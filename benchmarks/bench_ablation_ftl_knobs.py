@@ -1,0 +1,113 @@
+"""Ablations: mapping RAM, RAIN stripe width, and pSLC buffering.
+
+Each sweep isolates one mechanism DESIGN.md calls out and shows its
+first-order effect — the kind of sensitivity a vendor datasheet never
+reveals and the paper argues the community needs.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.blackbox.nand_page import sequential_write_sweep
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.presets import mx500_like, tiny
+from repro.ssd.timed import TimedSSD
+
+
+@pytest.mark.benchmark(group="ablation-mapping")
+def test_ablation_mapping_dirty_budget(benchmark, figure_output):
+    """Less RAM for dirty translation pages -> more metadata writes.
+
+    This is the mechanism behind the Fig 4b mixed-run surprise; the
+    sweep shows it directly by shrinking the budget below the
+    workload's dirty-TP working set.
+    """
+
+    def experiment():
+        results = {}
+        for limit in (2, 4, 8, 32):
+            config = tiny().with_changes(
+                mapping_tp_lpns=16,       # many small TPs
+                mapping_dirty_tp_limit=limit,
+                mapping_sync_interval=100_000,  # evictions only
+            )
+            device = SimulatedSSD(config)
+            rng = np.random.default_rng(9)
+            for _ in range(8000):
+                device.write_sectors(int(rng.integers(device.num_sectors)), 1)
+            device.flush()
+            results[limit] = device.smart.meta_program_pages
+        return results
+
+    results = run_once(benchmark, experiment)
+    figure_output(
+        "ablation_mapping_budget",
+        "Ablation — dirty-TP RAM budget vs metadata page writes",
+        ["dirty TP budget", "meta pages"],
+        [[k, v] for k, v in results.items()],
+    )
+    assert results[2] > results[32]
+
+
+@pytest.mark.benchmark(group="ablation-rain")
+def test_ablation_rain_stripe_width(benchmark, figure_output):
+    """Fig 4a's plateau moves with the stripe: k/(k+1) of the page."""
+
+    def experiment():
+        out = {}
+        for stripe in (0, 3, 7, 15):
+            config = mx500_like(scale=4).with_changes(rain_stripe=stripe)
+            device = SimulatedSSD(config)
+            sector = device.sector_size
+            estimate = sequential_write_sweep(
+                device, sizes_bytes=[sector * (1 << i) for i in range(5, 10)]
+            )
+            out[stripe] = estimate.converged_bytes_per_page
+        return out
+
+    results = run_once(benchmark, experiment)
+    page = mx500_like(scale=4).geometry.page_size
+    rows = []
+    for stripe, measured in results.items():
+        predicted = page if stripe == 0 else page * stripe / (stripe + 1)
+        rows.append([stripe, round(measured), round(predicted)])
+    figure_output(
+        "ablation_rain_stripe",
+        "Ablation — RAIN stripe width vs host-bytes-per-NAND-page plateau",
+        ["stripe (k data : 1 parity)", "measured B/page", "k/(k+1) * page"],
+        rows,
+    )
+    for stripe, measured in results.items():
+        predicted = page if stripe == 0 else page * stripe / (stripe + 1)
+        assert measured == pytest.approx(predicted, rel=0.1)
+
+
+@pytest.mark.benchmark(group="ablation-pslc")
+def test_ablation_pslc_burst_absorption(benchmark, figure_output):
+    """A pSLC buffer absorbs a write burst; the drain shows up later as
+    FTL-attributed traffic (the 'unpredictable background operations'
+    family)."""
+
+    def experiment():
+        out = {}
+        for pslc_blocks in (0, 8):
+            config = tiny().with_changes(pslc_blocks=pslc_blocks,
+                                         pslc_drain_threshold=0.95)
+            device = TimedSSD(config)
+            lat = []
+            for lba in range(0, min(160, device.num_sectors), 1):
+                request = device.submit("write", lba, 1, at_ns=device.now)
+                lat.append(request.latency_us)
+            out[pslc_blocks] = (float(np.mean(lat)),
+                                device.smart.pslc_program_pages)
+        return out
+
+    results = run_once(benchmark, experiment)
+    figure_output(
+        "ablation_pslc",
+        "Ablation — pSLC buffer vs burst write latency",
+        ["pSLC blocks", "mean burst latency (us)", "pSLC drain pages"],
+        [[k, round(v[0], 1), v[1]] for k, v in results.items()],
+    )
+    assert results[8][0] <= results[0][0] * 1.2

@@ -1,0 +1,85 @@
+"""Ablation: GC victim-selection policy vs. write amplification.
+
+DESIGN.md calls out victim selection as a first-order design choice
+(after Van Houdt's mean-field results).  This bench sweeps every policy
+on an identical aged workload and reports WAF and erase counts: greedy
+should produce the least write amplification, random the most, with
+randomized-greedy approaching greedy as d grows.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.ssd.config import GC_POLICIES
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.presets import tiny
+
+
+def churn(policy: str, writes: int = 12_000, seed: int = 3):
+    config = tiny().with_changes(gc_policy=policy)
+    device = SimulatedSSD(config)
+    rng = np.random.default_rng(seed)
+    # 80/20 skew so victim quality varies across blocks.
+    hot = max(1, device.num_sectors // 5)
+    for _ in range(writes):
+        if rng.random() < 0.8:
+            lba = int(rng.integers(hot))
+        else:
+            lba = hot + int(rng.integers(device.num_sectors - hot))
+        device.write_sectors(lba, 1)
+    device.flush()
+    return device
+
+
+@pytest.mark.benchmark(group="ablation-gc")
+def test_ablation_gc_policy_waf(benchmark, figure_output):
+    def experiment():
+        return {policy: churn(policy) for policy in GC_POLICIES}
+
+    devices = run_once(benchmark, experiment)
+    rows = []
+    waf = {}
+    for policy, device in devices.items():
+        waf[policy] = device.smart.waf()
+        rows.append([
+            policy,
+            round(device.smart.waf(), 3),
+            device.smart.erase_count,
+            device.ftl.stats.gc_migrated_sectors,
+        ])
+    figure_output(
+        "ablation_gc_policy",
+        "Ablation — GC victim selection vs write amplification (80/20 churn)",
+        ["policy", "WAF", "erases", "migrated sectors"],
+        rows,
+    )
+    assert waf["greedy"] <= waf["random"]
+    assert waf["randomized_greedy"] <= waf["random"] * 1.05
+
+
+@pytest.mark.benchmark(group="ablation-gc")
+def test_ablation_randomized_greedy_sample_size(benchmark, figure_output):
+    """d-choices: larger d converges to greedy."""
+
+    def experiment():
+        results = {}
+        for d in (2, 4, 8, 16):
+            config = tiny().with_changes(gc_policy="randomized_greedy",
+                                         gc_sample_size=d)
+            device = SimulatedSSD(config)
+            rng = np.random.default_rng(5)
+            for _ in range(10_000):
+                device.write_sectors(int(rng.integers(device.num_sectors)), 1)
+            device.flush()
+            results[d] = device.smart.waf()
+        return results
+
+    results = run_once(benchmark, experiment)
+    figure_output(
+        "ablation_gc_sample_size",
+        "Ablation — randomized-greedy sample size d vs WAF",
+        ["d", "WAF"],
+        [[d, round(w, 3)] for d, w in results.items()],
+    )
+    assert results[16] <= results[2] * 1.1

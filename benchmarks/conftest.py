@@ -1,0 +1,35 @@
+"""Shared benchmark plumbing.
+
+Every bench regenerates one of the paper's tables or figures: it runs the
+experiment once under pytest-benchmark (pedantic, single round — these
+are experiments, not microbenchmarks), prints the figure's rows, writes
+them to ``bench_results/<name>.csv``, and asserts the paper's qualitative
+shape so the suite doubles as a regression check on the reproduction.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+
+@pytest.fixture
+def figure_output():
+    """Print a figure table and persist it as CSV."""
+    from repro.analysis.report import format_table, write_csv
+
+    def emit(name: str, title: str, headers, rows):
+        text = format_table(headers, rows, title=title)
+        print("\n" + text)
+        write_csv(RESULTS_DIR / f"{name}.csv", headers, rows)
+        return text
+
+    return emit
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Intra-SSD compression under OLTP (paper §2, Fig 2).
+
+Runs the same OLTP transaction stream through five intra-SSD compression
+schemes and reports flash page writes per transaction, normalized to the
+`re-bp32` baseline — for highly compressible, moderately compressible,
+and incompressible data.
+
+Run:  python examples/compression_study.py
+"""
+
+from repro.analysis.report import format_table
+from repro.ssd.compression import SCHEMES, make_scheme
+from repro.workloads.compressibility import REGIMES, CompressibilityModel
+from repro.workloads.oltp import OltpWorkload, flash_writes_per_transaction
+
+TRANSACTIONS = 3000
+
+
+def main() -> None:
+    order = ["re-bp32", "compact", "fixed", "chunk4", "none"]
+    for regime_name in ("high", "moderate", "incompressible"):
+        rates = {}
+        for scheme_name in order:
+            rate = flash_writes_per_transaction(
+                make_scheme(scheme_name),
+                OltpWorkload(seed=1),
+                CompressibilityModel(REGIMES[regime_name], seed=1),
+                TRANSACTIONS,
+            )
+            rates[scheme_name] = rate
+        baseline = rates["re-bp32"]
+        rows = [
+            [name, round(rates[name], 3),
+             rates[name] / baseline if baseline else 0.0,
+             f"+{(rates[name] / baseline - 1) * 100:.0f}%" if baseline else "-"]
+            for name in order
+        ]
+        print(format_table(
+            ["scheme", "writes/txn", "normalized", "extra writes"],
+            rows,
+            title=f"\nFig 2 — {regime_name} compressibility "
+                  f"({TRANSACTIONS} transactions)",
+        ))
+    print(
+        "\nFor highly compressible data the worst scheme writes flash at a\n"
+        "rate >150% above the best — an FTL-internal choice no datasheet\n"
+        "mentions, directly moving device lifetime and performance."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Reverse engineer an SSD over its JTAG port (paper §3.2).
+
+Walks the complete 840-EVO-style study against the simulated hackable
+device: de-obfuscate the vendor firmware update, disassemble it, harvest
+data-structure pointers, then attach to the JTAG port to attribute core
+roles, map the translation-table layout, watch mapping chunks demand-load,
+and classify the pSLC index as a hash table.
+
+Run:  python examples/reverse_engineer_firmware.py
+"""
+
+from repro.analysis.report import format_table
+from repro.core.jtag.discovery import analyze_update_file, run_full_study
+from repro.ssd.firmware.device import HackableSSD
+from repro.ssd.firmware.isa import disassemble
+from repro.ssd.firmware.obfuscation import deobfuscate
+
+
+def main() -> None:
+    device = HackableSSD(scale=2)
+    print(f"target: {device.ssd.model}, "
+          f"{device.num_sectors * 4 // 1024} MiB logical\n")
+
+    # ------------------------------------------------------------------
+    # Step 1: the firmware update file, before and after the attack.
+    # ------------------------------------------------------------------
+    update = device.firmware_update_file
+    print(f"vendor update file: {len(update)} bytes, "
+          f"first 16: {update[:16].hex()}")
+    plain, guess = deobfuscate(update)
+    print(f"keystream attack: period={guess.period}, "
+          f"confidence={guess.confidence:.2f}")
+    print(f"recovered magic: {plain[:8]!r}\n")
+
+    analysis = analyze_update_file(update)
+    print("sections:", ", ".join(analysis.section_names))
+    print("strings :", ", ".join(analysis.strings))
+    print("LBA-LSB dispatch found in:", ", ".join(analysis.lsb_dispatch_sections))
+
+    # A taste of the disassembly the analysis works from.
+    from repro.ssd.firmware.builder import parse_image
+    core0 = [s for s in parse_image(plain) if s.name == "core0"][0]
+    print("\ncore0 disassembly (SATA dispatcher):")
+    for line in disassemble(core0.data, core0.load_addr)[:8]:
+        print("   ", line.text())
+
+    # ------------------------------------------------------------------
+    # Step 2: the live study over JTAG.
+    # ------------------------------------------------------------------
+    print("\nattaching to JTAG and running the full study "
+          "(PC sampling, memory diffing)...\n")
+    report = run_full_study(device)
+    print(format_table(["finding", "value"], report.rows(),
+                       title="§3.2 study results"))
+
+    print(
+        "\nCompare with the paper's 840 EVO findings: one SATA core plus two\n"
+        "flash cores split by the LBA's least-significant bit; eight mapping\n"
+        "arrays occupying more DRAM than the theoretical minimum; map chunks\n"
+        "(117.5 MB of logical space each) loaded on demand; and a hashed\n"
+        "index in front of the pSLC buffer."
+    )
+
+
+if __name__ == "__main__":
+    main()

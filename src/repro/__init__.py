@@ -1,0 +1,21 @@
+"""repro: a reproduction of "Why and How to Increase SSD Performance
+Transparency" (HotOS '19).
+
+Subpackages
+-----------
+``repro.flash``
+    NAND substrate: geometry, array physics, ONFI bus, signals, timing.
+``repro.ssd``
+    The SSD simulator: page-mapped FTL, GC, caching, RAIN, pSLC, SMART,
+    compression schemes, timed execution, and generated firmware.
+``repro.workloads``
+    fio-like job engine, OLTP transactions, file-server mix.
+``repro.fs``
+    EXT4-like and F2FS-like block-trace models plus Geriatrix-style aging.
+``repro.core``
+    The paper's contribution: hardware-probe tracing (§3.1), JTAG
+    firmware RE (§3.2), black-box SMART analysis (§2.2), and model
+    fidelity studies (§2.1).
+"""
+
+__version__ = "1.0.0"

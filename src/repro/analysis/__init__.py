@@ -1,0 +1,14 @@
+"""Statistics and reporting helpers."""
+
+from repro.analysis.report import format_table, to_csv, write_csv
+from repro.analysis.stats import (
+    LatencySummary,
+    relative_difference,
+    summarize_latencies,
+    tail_curve,
+)
+
+__all__ = [
+    "summarize_latencies", "LatencySummary", "tail_curve",
+    "relative_difference", "format_table", "to_csv", "write_csv",
+]

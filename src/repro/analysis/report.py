@@ -1,0 +1,60 @@
+"""Plain-text tables and CSV output for benchmark results.
+
+The paper's figures are reproduced as printed series/tables (no plotting
+dependency); every bench uses these helpers so outputs share one format.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str | None = None, float_fmt: str = "{:.3f}") -> str:
+    """Render an aligned text table."""
+    rendered_rows = [
+        [_fmt(cell, float_fmt) for cell in row]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell, float_fmt: str) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return float_fmt.format(cell)
+    return str(cell)
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """CSV text of the same data."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(list(row))
+    return buf.getvalue()
+
+
+def write_csv(path: str | Path, headers: Sequence[str],
+              rows: Iterable[Sequence]) -> Path:
+    """Write CSV to *path*, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_csv(headers, rows))
+    return path

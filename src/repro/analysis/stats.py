@@ -1,0 +1,65 @@
+"""Latency/throughput statistics helpers used across experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Standard percentile summary of a latency sample, in microseconds."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    p999: float
+    max: float
+
+    def row(self) -> list[float]:
+        return [self.count, self.mean, self.p50, self.p95, self.p99,
+                self.p999, self.max]
+
+
+def summarize_latencies(latencies_us: np.ndarray) -> LatencySummary:
+    """Percentile summary; empty input yields all-zero summary."""
+    arr = np.asarray(latencies_us, dtype=np.float64)
+    if arr.size == 0:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    p50, p95, p99, p999 = np.percentile(arr, [50, 95, 99, 99.9])
+    return LatencySummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        p50=float(p50),
+        p95=float(p95),
+        p99=float(p99),
+        p999=float(p999),
+        max=float(arr.max()),
+    )
+
+
+def tail_curve(latencies_us: np.ndarray, points: int = 50,
+               start_percentile: float = 99.0) -> tuple[np.ndarray, np.ndarray]:
+    """The paper's Fig 3 shape: latencies of the worst requests, ordered.
+
+    Returns ``(percentiles, values_us)`` spanning
+    ``[start_percentile, 100]``.
+    """
+    if points < 2:
+        raise ValueError("points must be >= 2")
+    arr = np.asarray(latencies_us, dtype=np.float64)
+    qs = np.linspace(start_percentile, 100.0, points)
+    if arr.size == 0:
+        return qs, np.zeros(points)
+    return qs, np.percentile(arr, qs)
+
+
+def relative_difference(a: float, b: float) -> float:
+    """|a - b| over their mean — the symmetric error MQSim-style fidelity
+    claims are stated in."""
+    if a == 0.0 and b == 0.0:
+        return 0.0
+    return abs(a - b) / ((abs(a) + abs(b)) / 2.0)

@@ -1,0 +1,305 @@
+"""Command-line interface: run the paper's studies from a shell.
+
+Installed as ``repro-ssd``.  Every subcommand is a thin veneer over the
+library — useful for demos, quick sweeps, and as executable
+documentation of the public API::
+
+    repro-ssd simulate --preset mx500 --writes 20000
+    repro-ssd nand-page --preset mx500
+    repro-ssd waf-study --io-count 12000
+    repro-ssd fidelity --io-count 2000
+    repro-ssd compression --regime high
+    repro-ssd jtag-study --scale 2
+    repro-ssd probe-features --cache-sectors 128
+    repro-ssd presets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import summarize_latencies
+from repro.ssd.presets import PRESETS
+
+
+def _preset(name: str, scale: int):
+    try:
+        return PRESETS[name](scale=scale)
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise SystemExit(f"unknown preset {name!r}; known: {known}")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_presets(args) -> int:
+    rows = []
+    for name, factory in sorted(PRESETS.items()):
+        config = factory(scale=args.scale)
+        geometry = config.geometry
+        rows.append([
+            name,
+            f"{config.logical_bytes / 2**20:.0f} MiB",
+            geometry.channels,
+            geometry.page_size,
+            config.gc_policy,
+            config.cache_designation,
+            config.rain_stripe or "-",
+            config.pslc_blocks or "-",
+        ])
+    print(format_table(
+        ["preset", "logical", "ch", "page B", "gc", "cache", "rain", "pslc"],
+        rows, title="device presets",
+    ))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.ssd.device import SimulatedSSD
+    from repro.workloads.engine import run_counter
+    from repro.workloads.patterns import Region
+    from repro.workloads.spec import JobSpec
+
+    device = SimulatedSSD(_preset(args.preset, args.scale))
+    job = JobSpec(
+        name="cli",
+        rw="randwrite" if args.pattern != "sequential" else "write",
+        region=Region(0, device.num_sectors),
+        bs_sectors=args.bs,
+        io_count=args.writes,
+        pattern=None if args.pattern in ("uniform", "sequential") else args.pattern,
+        seed=args.seed,
+    )
+    result = run_counter(device, [job])
+    print(device.smart_render())
+    print(f"\nWAF (FTL pages / host pages): {result.waf:.3f}")
+    print(f"GC invocations: {device.ftl.stats.gc_invocations}")
+    return 0
+
+
+def cmd_latency(args) -> int:
+    from repro.ssd.timed import TimedSSD
+    from repro.workloads.engine import run_timed
+    from repro.workloads.patterns import Region
+    from repro.workloads.spec import JobSpec
+
+    device = TimedSSD(_preset(args.preset, args.scale))
+    job = JobSpec("cli", "randwrite", Region(0, device.num_sectors),
+                  bs_sectors=args.bs, io_count=args.writes,
+                  iodepth=args.iodepth, seed=args.seed)
+    result = run_timed(device, [job])
+    job_result = result.jobs["cli"]
+    summary = summarize_latencies(job_result.latencies_us)
+    print(format_table(
+        ["metric", "value"],
+        [["IOPS", round(job_result.iops)],
+         ["mean (us)", summary.mean], ["p50 (us)", summary.p50],
+         ["p99 (us)", summary.p99], ["p99.9 (us)", summary.p999],
+         ["max (us)", summary.max]],
+        title=f"timed random writes on {args.preset}",
+    ))
+    return 0
+
+
+def cmd_nand_page(args) -> int:
+    from repro.core.blackbox.nand_page import sequential_write_sweep
+    from repro.ssd.device import SimulatedSSD
+
+    device = SimulatedSSD(_preset(args.preset, args.scale))
+    estimate = sequential_write_sweep(device)
+    print(format_table(
+        ["host write (KiB)", "NAND pages", "bytes/page"],
+        [[p.write_bytes // 1024, p.nand_pages, round(p.bytes_per_page)]
+         for p in estimate.points],
+        title="Fig 4a — sequential write sweep",
+    ))
+    print(f"\nconverged: {estimate.converged_bytes_per_page / 1024:.1f} KiB/page")
+    return 0
+
+
+def cmd_waf_study(args) -> int:
+    from repro.core.blackbox.waf import run_waf_study
+    from repro.ssd.device import SimulatedSSD
+
+    study = run_waf_study(
+        lambda: SimulatedSSD(_preset(args.preset, args.scale)),
+        io_count=args.io_count,
+    )
+    rows = [[w.name, w.requests, round(w.waf, 3)] for w in study.separate]
+    rows.append(["expected mixed", "-", round(study.expected_mixed_waf, 3)])
+    rows.append(["measured mixed", "-", round(study.measured_mixed_waf, 3)])
+    print(format_table(["workload", "requests", "WAF"], rows,
+                       title="Fig 4b — WAF extrapolation study"))
+    print(f"\nextrapolation error: {study.extrapolation_error:.2f}x")
+    return 0
+
+
+def cmd_fidelity(args) -> int:
+    from repro.core.modeling.fidelity import run_fidelity_study
+    from repro.ssd.presets import mqsim_baseline
+
+    study = run_fidelity_study(
+        mqsim_baseline(scale=args.scale),
+        block_sizes_sectors=(1, 4),
+        io_count=args.io_count,
+    )
+    rows = []
+    for bs in study.block_sizes():
+        for variant in study.variants():
+            result = study.of(variant, bs)
+            rows.append([f"{bs * 4}K", variant,
+                         round(result.summary.p50, 1),
+                         round(result.summary.p99, 1),
+                         round(result.summary.p999, 1)])
+    print(format_table(
+        ["request", "variant", "p50 (us)", "p99 (us)", "p99.9 (us)"],
+        rows, title="Fig 3 — FTL variants",
+    ))
+    for bs in study.block_sizes():
+        print(f"\np99 spread at {bs * 4}K: {study.p99_spread(bs):.2f}x")
+    return 0
+
+
+def cmd_compression(args) -> int:
+    from repro.ssd.compression import make_scheme
+    from repro.workloads.compressibility import REGIMES, CompressibilityModel
+    from repro.workloads.oltp import OltpWorkload, flash_writes_per_transaction
+
+    names = ["re-bp32", "compact", "fixed", "chunk4", "none"]
+    rates = {
+        name: flash_writes_per_transaction(
+            make_scheme(name), OltpWorkload(seed=1),
+            CompressibilityModel(REGIMES[args.regime], seed=1),
+            args.transactions,
+        )
+        for name in names
+    }
+    baseline = rates["re-bp32"]
+    print(format_table(
+        ["scheme", "writes/txn", "normalized"],
+        [[n, round(rates[n], 3), round(rates[n] / baseline, 3)] for n in names],
+        title=f"Fig 2 — compression schemes ({args.regime})",
+    ))
+    return 0
+
+
+def cmd_jtag_study(args) -> int:
+    from repro.core.jtag.discovery import run_full_study
+    from repro.ssd.firmware.device import HackableSSD
+
+    device = HackableSSD(scale=args.scale)
+    report = run_full_study(device)
+    print(format_table(["finding", "value"], report.rows(),
+                       title="Fig 6 / §3.2 — JTAG study"))
+    return 0
+
+
+def cmd_probe_features(args) -> int:
+    from repro.core.blackbox.ssdcheck import (
+        detect_checkpoint_interval,
+        detect_write_buffer,
+    )
+    from repro.ssd.presets import vertex2_like
+    from repro.ssd.timed import TimedSSD
+
+    config = vertex2_like(scale=args.scale).with_changes(
+        cache_sectors=args.cache_sectors,
+    )
+    buffer_probe = detect_write_buffer(TimedSSD(config))
+    interval_probe = detect_checkpoint_interval(TimedSSD(config),
+                                                writes=args.writes)
+    print(format_table(
+        ["feature", "estimate", "actual"],
+        [["write buffer (sectors)", buffer_probe.estimated_sectors,
+          config.cache_sectors],
+         ["checkpoint interval (writes)", interval_probe.estimated_interval,
+          config.mapping_sync_interval]],
+        title="SSDCheck-style black-box probes",
+    ))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ssd",
+        description="SSD performance-transparency studies (HotOS '19 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, preset_default="mx500"):
+        p.add_argument("--preset", default=preset_default,
+                       help=f"device preset (default {preset_default})")
+        p.add_argument("--scale", type=int, default=2,
+                       help="geometry down-scale factor (default 2)")
+        p.add_argument("--seed", type=int, default=42)
+
+    p = sub.add_parser("presets", help="list device presets")
+    p.add_argument("--scale", type=int, default=2)
+    p.set_defaults(fn=cmd_presets)
+
+    p = sub.add_parser("simulate", help="counter-mode workload + SMART")
+    common(p)
+    p.add_argument("--writes", type=int, default=20_000)
+    p.add_argument("--bs", type=int, default=1, help="request size in sectors")
+    p.add_argument("--pattern", default="uniform",
+                   choices=["uniform", "sequential", "hotcold", "zipf"])
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("latency", help="timed workload, latency percentiles")
+    common(p)
+    p.add_argument("--writes", type=int, default=8_000)
+    p.add_argument("--bs", type=int, default=1)
+    p.add_argument("--iodepth", type=int, default=4)
+    p.set_defaults(fn=cmd_latency)
+
+    p = sub.add_parser("nand-page", help="Fig 4a NAND-page estimation")
+    common(p)
+    p.set_defaults(fn=cmd_nand_page)
+
+    p = sub.add_parser("waf-study", help="Fig 4b WAF extrapolation study")
+    common(p)
+    p.add_argument("--io-count", type=int, default=12_000)
+    p.set_defaults(fn=cmd_waf_study)
+
+    p = sub.add_parser("fidelity", help="Fig 3 FTL-variant latency study")
+    p.add_argument("--scale", type=int, default=4)
+    p.add_argument("--io-count", type=int, default=2_000)
+    p.set_defaults(fn=cmd_fidelity)
+
+    p = sub.add_parser("compression", help="Fig 2 compression schemes")
+    p.add_argument("--regime", default="high",
+                   choices=["high", "moderate", "incompressible"])
+    p.add_argument("--transactions", type=int, default=3_000)
+    p.set_defaults(fn=cmd_compression)
+
+    p = sub.add_parser("jtag-study", help="Fig 6 / §3.2 JTAG RE study")
+    p.add_argument("--scale", type=int, default=2)
+    p.set_defaults(fn=cmd_jtag_study)
+
+    p = sub.add_parser("probe-features", help="SSDCheck-style latency probes")
+    p.add_argument("--scale", type=int, default=2)
+    p.add_argument("--cache-sectors", type=int, default=128)
+    p.add_argument("--writes", type=int, default=8_000)
+    p.set_defaults(fn=cmd_probe_features)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""The transparency toolkit: probe, JTAG, black-box, and modeling studies."""

@@ -1,0 +1,30 @@
+"""JTAG-based SSD hacking (paper §3.2)."""
+
+from repro.core.jtag.dap import JtagProbe
+from repro.core.jtag.debugger import Debugger, PcProfile
+from repro.core.jtag.discovery import (
+    ChunkDiscovery,
+    CoreRoles,
+    FirmwareAnalysis,
+    JtagStudyReport,
+    MapDiscovery,
+    PslcIndexDiscovery,
+    analyze_update_file,
+    attribute_core_roles,
+    candidate_map_bases,
+    discover_chunk_loading,
+    discover_pslc_index,
+    discover_translation_map,
+    run_full_study,
+)
+from repro.core.jtag.tap import Ir, TapController, TapState
+
+__all__ = [
+    "TapController", "TapState", "Ir",
+    "JtagProbe", "Debugger", "PcProfile",
+    "analyze_update_file", "attribute_core_roles", "candidate_map_bases",
+    "discover_translation_map", "discover_chunk_loading",
+    "discover_pslc_index", "run_full_study",
+    "FirmwareAnalysis", "CoreRoles", "MapDiscovery", "ChunkDiscovery",
+    "PslcIndexDiscovery", "JtagStudyReport",
+]

@@ -1,0 +1,123 @@
+"""Bit-banging layer: from GPIO wiggles to register transactions.
+
+:class:`JtagProbe` drives a :class:`~repro.core.jtag.tap.TapController`
+strictly through its ``clock(tms, tdi) -> tdo`` pin interface — every
+memory word read over this probe really costs the TCK cycles a GPIO
+bit-bang session would spend, which the stats expose (JTAG over pin
+control is slow; dumping megabytes takes hours on real hardware).
+"""
+
+from __future__ import annotations
+
+from repro.core.jtag.tap import DR_WIDTH, IR_BITS, Ir, TapController, TapState
+
+
+class JtagProbe:
+    """Memory/debug access over raw TAP clocking."""
+
+    def __init__(self, tap: TapController) -> None:
+        self.tap = tap
+
+    # ------------------------------------------------------------------
+    # TAP navigation
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Five TMS=1 clocks reach Test-Logic-Reset from any state."""
+        for _ in range(5):
+            self.tap.clock(1, 0)
+        self.tap.clock(0, 0)  # settle in Run-Test/Idle
+
+    def _to_shift_ir(self) -> None:
+        # From Run-Test/Idle: 1,1,0,0 -> Shift-IR.
+        for tms in (1, 1, 0, 0):
+            self.tap.clock(tms, 0)
+
+    def _to_shift_dr(self) -> None:
+        # From Run-Test/Idle: 1,0,0 -> Shift-DR.
+        for tms in (1, 0, 0):
+            self.tap.clock(tms, 0)
+
+    def _shift(self, value: int, bits: int) -> int:
+        """Shift *bits* of *value* LSB-first; last bit exits Shift state."""
+        out = 0
+        for i in range(bits):
+            tms = 1 if i == bits - 1 else 0
+            tdo = self.tap.clock(tms, (value >> i) & 1)
+            out |= (tdo & 1) << i
+        # Exit1 -> Update -> Run-Test/Idle.
+        self.tap.clock(1, 0)
+        self.tap.clock(0, 0)
+        return out
+
+    def write_ir(self, ir: Ir) -> None:
+        self._to_shift_ir()
+        self._shift(int(ir), IR_BITS)
+
+    def scan_dr(self, ir: Ir, value: int = 0) -> int:
+        """One DR scan under *ir*; returns the captured value."""
+        self.write_ir(ir)
+        self._to_shift_dr()
+        return self._shift(value, DR_WIDTH[ir])
+
+    # ------------------------------------------------------------------
+    # Debug-port operations
+    # ------------------------------------------------------------------
+
+    def idcode(self) -> int:
+        return self.scan_dr(Ir.IDCODE)
+
+    def set_address(self, addr: int) -> None:
+        self.scan_dr(Ir.ADDR, addr & 0xFFFFFFFF)
+
+    def read_word(self, addr: int) -> int:
+        self.set_address(addr)
+        return self.scan_dr(Ir.DATA_RD)
+
+    def write_word(self, addr: int, value: int) -> None:
+        self.set_address(addr)
+        self.scan_dr(Ir.DATA_WR, value & 0xFFFFFFFF)
+
+    def read_block(self, addr: int, nwords: int) -> list[int]:
+        """Sequential dump: ADDR once, then DATA_RD scans auto-increment."""
+        self.set_address(addr)
+        self.write_ir(Ir.DATA_RD)
+        out = []
+        for _ in range(nwords):
+            self._to_shift_dr()
+            out.append(self._shift(0, DR_WIDTH[Ir.DATA_RD]))
+        return out
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        """Byte-granularity convenience over word dumps."""
+        if length <= 0:
+            return b""
+        first = addr & ~0x3
+        nwords = (addr + length - first + 3) // 4
+        words = self.read_block(first, nwords)
+        blob = b"".join(w.to_bytes(4, "little") for w in words)
+        start = addr - first
+        return blob[start : start + length]
+
+    def select_core(self, core: int) -> None:
+        self.scan_dr(Ir.CORESEL, core)
+
+    def sample_pc(self, core: int) -> int:
+        self.select_core(core)
+        return self.scan_dr(Ir.PCSAMPLE)
+
+    def halt(self, core: int) -> None:
+        self.select_core(core)
+        self.scan_dr(Ir.CTRL, 0b01)
+
+    def resume(self, core: int) -> None:
+        self.select_core(core)
+        self.scan_dr(Ir.CTRL, 0b10)
+
+    def is_halted(self, core: int) -> bool:
+        self.select_core(core)
+        return bool(self.scan_dr(Ir.CTRL) & 1)
+
+    @property
+    def tck_cycles(self) -> int:
+        return self.tap.stats.tck_cycles

@@ -1,0 +1,207 @@
+"""IEEE 1149.1 TAP controller, bit-banged like Linux pinctrl would.
+
+The paper drove the 840 EVO's JTAG pins from a Novena's GPIOs through
+the kernel's pin-control subsystem.  This module is the corresponding
+substrate: a faithful 16-state TAP state machine clocked one
+``(TMS, TDI)`` pair at a time, returning TDO each cycle.
+
+The debug logic behind the TAP implements a small instruction set
+(IDCODE plus a memory/debug access port) over a
+:class:`~repro.ssd.firmware.device.HackableSSD`'s debug surface —
+the moral equivalent of an ARM DAP.
+
+Instruction register (4 bits):
+
+======  =========  ====================================================
+0xE     IDCODE     DR = 32-bit identification code
+0x8     ADDR       DR = 32-bit address register (read/write)
+0x9     DATA_RD    capture: DR = mem[addr]; update: addr += 4
+0xA     DATA_WR    update: mem[addr] = DR; addr += 4
+0xB     CORESEL    DR = 8-bit core select
+0xC     PCSAMPLE   capture: DR = selected core's PC
+0xD     CTRL       update: bit0 halt / bit1 resume selected core
+0xF     BYPASS     1-bit bypass register
+======  =========  ====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TapState(enum.Enum):
+    TEST_LOGIC_RESET = "test-logic-reset"
+    RUN_TEST_IDLE = "run-test-idle"
+    SELECT_DR = "select-dr-scan"
+    CAPTURE_DR = "capture-dr"
+    SHIFT_DR = "shift-dr"
+    EXIT1_DR = "exit1-dr"
+    PAUSE_DR = "pause-dr"
+    EXIT2_DR = "exit2-dr"
+    UPDATE_DR = "update-dr"
+    SELECT_IR = "select-ir-scan"
+    CAPTURE_IR = "capture-ir"
+    SHIFT_IR = "shift-ir"
+    EXIT1_IR = "exit1-ir"
+    PAUSE_IR = "pause-ir"
+    EXIT2_IR = "exit2-ir"
+    UPDATE_IR = "update-ir"
+
+
+S = TapState
+#: state transition table: state -> (next if TMS=0, next if TMS=1).
+TRANSITIONS: dict[TapState, tuple[TapState, TapState]] = {
+    S.TEST_LOGIC_RESET: (S.RUN_TEST_IDLE, S.TEST_LOGIC_RESET),
+    S.RUN_TEST_IDLE: (S.RUN_TEST_IDLE, S.SELECT_DR),
+    S.SELECT_DR: (S.CAPTURE_DR, S.SELECT_IR),
+    S.CAPTURE_DR: (S.SHIFT_DR, S.EXIT1_DR),
+    S.SHIFT_DR: (S.SHIFT_DR, S.EXIT1_DR),
+    S.EXIT1_DR: (S.PAUSE_DR, S.UPDATE_DR),
+    S.PAUSE_DR: (S.PAUSE_DR, S.EXIT2_DR),
+    S.EXIT2_DR: (S.SHIFT_DR, S.UPDATE_DR),
+    S.UPDATE_DR: (S.RUN_TEST_IDLE, S.SELECT_DR),
+    S.SELECT_IR: (S.CAPTURE_IR, S.TEST_LOGIC_RESET),
+    S.CAPTURE_IR: (S.SHIFT_IR, S.EXIT1_IR),
+    S.SHIFT_IR: (S.SHIFT_IR, S.EXIT1_IR),
+    S.EXIT1_IR: (S.PAUSE_IR, S.UPDATE_IR),
+    S.PAUSE_IR: (S.PAUSE_IR, S.EXIT2_IR),
+    S.EXIT2_IR: (S.SHIFT_IR, S.UPDATE_IR),
+    S.UPDATE_IR: (S.RUN_TEST_IDLE, S.SELECT_DR),
+}
+
+
+class Ir(enum.IntEnum):
+    ADDR = 0x8
+    DATA_RD = 0x9
+    DATA_WR = 0xA
+    CORESEL = 0xB
+    PCSAMPLE = 0xC
+    CTRL = 0xD
+    IDCODE = 0xE
+    BYPASS = 0xF
+
+
+IR_BITS = 4
+
+#: DR width per instruction.
+DR_WIDTH = {
+    Ir.ADDR: 32,
+    Ir.DATA_RD: 32,
+    Ir.DATA_WR: 32,
+    Ir.CORESEL: 8,
+    Ir.PCSAMPLE: 32,
+    Ir.CTRL: 8,
+    Ir.IDCODE: 32,
+    Ir.BYPASS: 1,
+}
+
+
+@dataclass
+class TapStats:
+    """Bit-banging effort (real sessions care: GPIO JTAG is slow)."""
+
+    tck_cycles: int = 0
+    resets: int = 0
+
+
+class TapController:
+    """The TAP plus its debug-logic registers."""
+
+    def __init__(self, device, idcode: int) -> None:
+        self.device = device
+        self.idcode = idcode
+        self.state = TapState.TEST_LOGIC_RESET
+        self.ir = int(Ir.IDCODE)  # 1149.1: IDCODE (or BYPASS) after reset
+        self._ir_shift = 0
+        self._dr_shift = 0
+        self._dr_width = DR_WIDTH[Ir.IDCODE]
+        self.addr = 0
+        self.core_sel = 0
+        self.stats = TapStats()
+
+    # ------------------------------------------------------------------
+
+    def clock(self, tms: int, tdi: int) -> int:
+        """One TCK rising edge; returns TDO sampled before the edge."""
+        self.stats.tck_cycles += 1
+        tdo = self._tdo()
+        state = self.state
+        if state is TapState.SHIFT_IR:
+            self._ir_shift = (self._ir_shift >> 1) | ((tdi & 1) << (IR_BITS - 1))
+        elif state is TapState.SHIFT_DR:
+            self._dr_shift = (
+                (self._dr_shift >> 1) | ((tdi & 1) << (self._dr_width - 1))
+            )
+        next_state = TRANSITIONS[state][tms & 1]
+        self._on_enter(next_state)
+        self.state = next_state
+        return tdo
+
+    def _tdo(self) -> int:
+        if self.state is TapState.SHIFT_IR:
+            return self._ir_shift & 1
+        if self.state is TapState.SHIFT_DR:
+            return self._dr_shift & 1
+        return 0
+
+    # ------------------------------------------------------------------
+
+    def _current_ir(self) -> Ir:
+        try:
+            return Ir(self.ir)
+        except ValueError:
+            return Ir.BYPASS
+
+    def _on_enter(self, state: TapState) -> None:
+        if state is TapState.TEST_LOGIC_RESET:
+            self.ir = int(Ir.IDCODE)
+            self.stats.resets += 1
+            return
+        if state is TapState.CAPTURE_IR:
+            self._ir_shift = 0b0001  # 1149.1 mandates lsb=1 in IR capture
+            return
+        if state is TapState.UPDATE_IR:
+            self.ir = self._ir_shift & ((1 << IR_BITS) - 1)
+            return
+        if state is TapState.CAPTURE_DR:
+            self._capture_dr()
+            return
+        if state is TapState.UPDATE_DR:
+            self._update_dr()
+
+    def _capture_dr(self) -> None:
+        ir = self._current_ir()
+        self._dr_width = DR_WIDTH[ir]
+        if ir is Ir.IDCODE:
+            self._dr_shift = self.idcode
+        elif ir is Ir.ADDR:
+            self._dr_shift = self.addr
+        elif ir is Ir.DATA_RD:
+            self._dr_shift = self.device.read_word(self.addr)
+        elif ir is Ir.CORESEL:
+            self._dr_shift = self.core_sel
+        elif ir is Ir.PCSAMPLE:
+            self._dr_shift = self.device.core_pc(self.core_sel)
+        elif ir is Ir.CTRL:
+            self._dr_shift = 1 if self.device.is_halted(self.core_sel) else 0
+        else:  # BYPASS / DATA_WR
+            self._dr_shift = 0
+
+    def _update_dr(self) -> None:
+        ir = self._current_ir()
+        value = self._dr_shift
+        if ir is Ir.ADDR:
+            self.addr = value & 0xFFFFFFFF
+        elif ir is Ir.DATA_RD:
+            self.addr = (self.addr + 4) & 0xFFFFFFFF  # post-increment reads
+        elif ir is Ir.DATA_WR:
+            self.device.write_word(self.addr, value)
+            self.addr = (self.addr + 4) & 0xFFFFFFFF
+        elif ir is Ir.CORESEL:
+            self.core_sel = value & 0xFF
+        elif ir is Ir.CTRL:
+            if value & 0b01:
+                self.device.halt_core(self.core_sel)
+            if value & 0b10:
+                self.device.resume_core(self.core_sel)

@@ -1,0 +1,29 @@
+"""SSD model fidelity analysis (paper §2.1)."""
+
+from repro.core.modeling.fidelity import (
+    MQSIM_ERROR_MARGIN,
+    FidelityStudy,
+    FtlVariant,
+    VariantResult,
+    paper_variants,
+    run_fidelity_study,
+)
+
+__all__ = [
+    "run_fidelity_study", "FidelityStudy", "FtlVariant", "VariantResult",
+    "paper_variants", "MQSIM_ERROR_MARGIN",
+]
+
+from repro.core.modeling.analytic import (  # noqa: E402
+    greedy_victim_valid_fraction,
+    measure_steady_waf,
+    waf_greedy_gc,
+    waf_random_gc,
+)
+
+__all__ += [
+    "waf_random_gc",
+    "waf_greedy_gc",
+    "greedy_victim_valid_fraction",
+    "measure_steady_waf",
+]

@@ -1,0 +1,26 @@
+"""Hardware-probe reverse engineering (paper §3.1)."""
+
+from repro.core.probe.analyzer import (
+    ANALYZERS,
+    BENCH,
+    HOBBYIST,
+    TLA7000,
+    AnalyzerSpec,
+    Capture,
+    LogicAnalyzer,
+)
+from repro.core.probe.decoder import DecodedOp, DecodeResult, decode_capture
+from repro.core.probe.inference import (
+    HostOpRecord,
+    InferenceReport,
+    infer_ftl_features,
+    signal_activity,
+)
+
+__all__ = [
+    "LogicAnalyzer", "AnalyzerSpec", "Capture",
+    "TLA7000", "BENCH", "HOBBYIST", "ANALYZERS",
+    "decode_capture", "DecodedOp", "DecodeResult",
+    "infer_ftl_features", "InferenceReport", "HostOpRecord",
+    "signal_activity",
+]

@@ -1,0 +1,125 @@
+"""The logic analyzer: finite sample rate, finite buffer, triggers.
+
+The paper (§3.1) attaches probes to a flash package's pinouts and records
+the controller↔package conversation with "a high-end logic analyzer
+[that] costs around $20,000".  This module models the measurement
+instrument honestly: it *samples* the continuous pin waveforms at a fixed
+rate into a bounded buffer.  Everything downstream (the decoder) sees
+only those samples, so the instrument's limits are real:
+
+* a sample rate below twice the bus strobe rate misses latch edges and
+  corrupts decode (you cannot probe a fast bus with a hobbyist analyzer);
+* the buffer depth bounds the observation window, so long workloads must
+  be captured via triggers, one window at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flash.signals import SignalTrace, render_samples
+
+
+@dataclass(frozen=True)
+class AnalyzerSpec:
+    """One instrument model."""
+
+    name: str
+    sample_rate_hz: float
+    buffer_samples: int
+    price_usd: int
+
+    @property
+    def sample_period_ns(self) -> float:
+        return 1e9 / self.sample_rate_hz
+
+    def window_ns(self) -> float:
+        """Longest capture this instrument can hold."""
+        return self.buffer_samples * self.sample_period_ns
+
+
+#: The paper's instrument class: Tektronix TLA7000-like.
+TLA7000 = AnalyzerSpec("tla7000", sample_rate_hz=500e6,
+                       buffer_samples=4_000_000, price_usd=20_000)
+
+#: A mid-range bench analyzer.
+BENCH = AnalyzerSpec("bench", sample_rate_hz=100e6,
+                     buffer_samples=1_000_000, price_usd=1_500)
+
+#: A USB hobbyist analyzer: too slow for ONFI data bursts.
+HOBBYIST = AnalyzerSpec("hobbyist", sample_rate_hz=10e6,
+                        buffer_samples=250_000, price_usd=150)
+
+ANALYZERS = {spec.name: spec for spec in (TLA7000, BENCH, HOBBYIST)}
+
+
+@dataclass
+class Capture:
+    """One buffered acquisition: sampled pin arrays plus provenance."""
+
+    spec: AnalyzerSpec
+    t0_ns: float
+    samples: dict[str, np.ndarray]
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.samples["t"])
+
+    @property
+    def duration_ns(self) -> float:
+        if self.num_samples == 0:
+            return 0.0
+        return float(self.samples["t"][-1] - self.samples["t"][0])
+
+
+class LogicAnalyzer:
+    """Samples a :class:`SignalTrace` through an instrument model."""
+
+    def __init__(self, spec: AnalyzerSpec = TLA7000) -> None:
+        self.spec = spec
+
+    def capture(self, trace: SignalTrace, t0: int = 0,
+                t1: int | None = None) -> Capture:
+        """Acquire from *t0* until the buffer fills (or *t1*)."""
+        samples = render_samples(
+            trace,
+            sample_period_ns=self.spec.sample_period_ns,
+            t0=t0,
+            t1=t1,
+            max_samples=self.spec.buffer_samples,
+        )
+        return Capture(self.spec, t0, samples)
+
+    def capture_triggered(self, trace: SignalTrace,
+                          arm_at: int = 0) -> Capture | None:
+        """Arm on bus activity: start capturing at the first command or
+        address cycle at or after *arm_at* (CLE/ALE trigger).
+
+        Returns None if the trace stays idle.
+        """
+        candidates = [
+            seg.t0 for seg in trace.segments
+            if seg.t0 >= arm_at and (seg.cle or seg.ale)
+        ]
+        if not candidates:
+            return None
+        start = min(candidates)
+        # Small pre-trigger margin, as real analyzers provide.
+        margin = int(self.spec.sample_period_ns * 16)
+        return self.capture(trace, t0=max(0, start - margin))
+
+    def windows(self, trace: SignalTrace, start: int = 0,
+                max_windows: int = 16) -> list[Capture]:
+        """Repeatedly re-arm over a long trace (fill buffer, re-trigger)."""
+        captures: list[Capture] = []
+        cursor = start
+        for _ in range(max_windows):
+            capture = self.capture_triggered(trace, arm_at=cursor)
+            if capture is None or capture.num_samples == 0:
+                break
+            captures.append(capture)
+            end = capture.samples["t"][-1]
+            cursor = int(end) + 1
+        return captures

@@ -1,0 +1,288 @@
+"""ONFI protocol decoder: from sampled pins back to commands.
+
+Input is *only* a :class:`~repro.core.probe.analyzer.Capture` — arrays of
+sampled CLE/ALE/WE#/RE#/R-B#/DQ values.  The decoder recovers the latch
+edges, classifies each latched byte (command / address / data) from the
+control pins, and parses the resulting cycle stream against the ONFI
+command grammar:
+
+    80h  A×5  [data-in]  10h   → PROGRAM   (busy = tPROG on R/B#)
+    00h  A×5  30h  [data-out]  → READ      (busy = tR before data)
+    60h  A×3  D0h              → ERASE     (busy = tBERS)
+    FFh                        → RESET
+    70h / 90h / ECh            → status / ID / parameter page
+
+Data-burst lengths are estimated by counting strobe excursions between
+command cycles, which is exactly what degrades on an undersampling
+instrument: the decoder reports its own health via
+:class:`DecodeStats` so experiments can see the instrument's limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.probe.analyzer import Capture
+from repro.flash.onfi import Opcode
+
+
+@dataclass(frozen=True)
+class DecodedOp:
+    """One reconstructed chip-level operation."""
+
+    name: str
+    t_start_ns: float
+    t_end_ns: float
+    row: int | None = None
+    column: int | None = None
+    #: estimated payload bytes (strobe count), None for non-data ops.
+    data_bytes: int | None = None
+    busy_ns: float = 0.0
+
+
+@dataclass
+class DecodeStats:
+    """Decoder health: how much of the capture parsed cleanly."""
+
+    command_cycles: int = 0
+    address_cycles: int = 0
+    data_strobes: int = 0
+    ops_decoded: int = 0
+    unparsed_cycles: int = 0
+    truncated: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return self.unparsed_cycles == 0 and not self.truncated
+
+
+@dataclass
+class DecodeResult:
+    ops: list[DecodedOp] = field(default_factory=list)
+    stats: DecodeStats = field(default_factory=DecodeStats)
+
+
+@dataclass(frozen=True)
+class _Cycle:
+    kind: str  # "cmd" | "addr" | "data"
+    value: int
+    t: float
+    strobes: int = 1
+
+
+def _latched_cycles(capture: Capture) -> list[_Cycle]:
+    """Recover latch events from sampled strobe edges.
+
+    A byte is latched on each WE# rising edge (input path) or RE# rising
+    edge (output path).  Consecutive latches with CLE=ALE=0 are data
+    strobes and are run-length folded into one "data" cycle.
+    """
+    s = capture.samples
+    t, cle, ale, we, re_ = s["t"], s["cle"], s["ale"], s["we"], s["re"]
+    dq = s["dq"]
+    cycles: list[_Cycle] = []
+    data_run = 0
+    data_t = 0.0
+
+    def flush_data() -> None:
+        nonlocal data_run, data_t
+        if data_run:
+            cycles.append(_Cycle("data", -1, data_t, strobes=data_run))
+            data_run = 0
+
+    we_rise = np.nonzero((we[:-1] == 0) & (we[1:] == 1))[0]
+    re_rise = np.nonzero((re_[:-1] == 0) & (re_[1:] == 1))[0]
+    edges = np.concatenate([we_rise, re_rise])
+    edges.sort(kind="stable")
+    for i in edges:
+        # Pin state while the strobe was low describes the cycle type;
+        # DQ is stable there too.
+        if cle[i]:
+            flush_data()
+            cycles.append(_Cycle("cmd", int(dq[i]), float(t[i])))
+        elif ale[i]:
+            flush_data()
+            cycles.append(_Cycle("addr", int(dq[i]), float(t[i])))
+        else:
+            if data_run == 0:
+                data_t = float(t[i])
+            data_run += 1
+    flush_data()
+    return cycles
+
+
+def _busy_spans(capture: Capture) -> list[tuple[float, float]]:
+    """R/B# low intervals, as (start, end) times."""
+    s = capture.samples
+    rb, t = s["rb"], s["t"]
+    spans = []
+    falls = np.nonzero((rb[:-1] == 1) & (rb[1:] == 0))[0]
+    rises = np.nonzero((rb[:-1] == 0) & (rb[1:] == 1))[0]
+    for f in falls:
+        later = rises[rises > f]
+        end = float(t[later[0]]) if len(later) else float(t[-1])
+        spans.append((float(t[f]), end))
+    return spans
+
+
+def _busy_after(spans: list[tuple[float, float]], t: float) -> tuple[float, float] | None:
+    for start, end in spans:
+        if start >= t - 1.0:
+            return start, end
+    return None
+
+
+def decode_capture(capture: Capture) -> DecodeResult:
+    """Parse one capture into operations."""
+    cycles = _latched_cycles(capture)
+    spans = _busy_spans(capture)
+    result = DecodeResult()
+    stats = result.stats
+    for cycle in cycles:
+        if cycle.kind == "cmd":
+            stats.command_cycles += 1
+        elif cycle.kind == "addr":
+            stats.address_cycles += 1
+        else:
+            stats.data_strobes += cycle.strobes
+
+    i = 0
+    n = len(cycles)
+    while i < n:
+        cycle = cycles[i]
+        if cycle.kind != "cmd":
+            stats.unparsed_cycles += 1
+            i += 1
+            continue
+        op, consumed = _parse_op(cycles, i, spans)
+        if op is None:
+            stats.unparsed_cycles += 1
+            i += 1
+            continue
+        if consumed + i > n:
+            stats.truncated = True
+        result.ops.append(op)
+        stats.ops_decoded += 1
+        i += consumed
+    return result
+
+
+def _addrs(cycles: list[_Cycle], i: int, count: int) -> list[int] | None:
+    vals = []
+    for j in range(i, i + count):
+        if j >= len(cycles) or cycles[j].kind != "addr":
+            return None
+        vals.append(cycles[j].value)
+    return vals
+
+
+def _parse_op(cycles: list[_Cycle], i: int,
+              spans: list[tuple[float, float]]) -> tuple[DecodedOp | None, int]:
+    cmd = cycles[i]
+    n = len(cycles)
+
+    if cmd.value == Opcode.PROGRAM_1ST:
+        addrs = _addrs(cycles, i + 1, 5)
+        if addrs is None:
+            return None, 1
+        j = i + 6
+        data = None
+        if j < n and cycles[j].kind == "data":
+            data = cycles[j].strobes
+            j += 1
+        if j >= n or cycles[j].kind != "cmd" or cycles[j].value != Opcode.PROGRAM_2ND:
+            return None, 1
+        busy = _busy_after(spans, cycles[j].t)
+        t_end = busy[1] if busy else cycles[j].t
+        return DecodedOp(
+            "program", cmd.t, t_end,
+            row=addrs[2] | (addrs[3] << 8) | (addrs[4] << 16),
+            column=addrs[0] | (addrs[1] << 8),
+            data_bytes=data,
+            busy_ns=(busy[1] - busy[0]) if busy else 0.0,
+        ), (j - i) + 1
+
+    if cmd.value == Opcode.READ_1ST:
+        addrs = _addrs(cycles, i + 1, 5)
+        if addrs is None:
+            return None, 1
+        j = i + 6
+        if j >= n or cycles[j].kind != "cmd" or cycles[j].value != Opcode.READ_2ND:
+            return None, 1
+        busy = _busy_after(spans, cycles[j].t)
+        consumed = (j - i) + 1
+        data = None
+        if j + 1 < n and cycles[j + 1].kind == "data":
+            data = cycles[j + 1].strobes
+            consumed += 1
+        t_end = cycles[j + (1 if data else 0)].t
+        if busy:
+            t_end = max(t_end, busy[1])
+        return DecodedOp(
+            "read", cmd.t, t_end,
+            row=addrs[2] | (addrs[3] << 8) | (addrs[4] << 16),
+            column=addrs[0] | (addrs[1] << 8),
+            data_bytes=data,
+            busy_ns=(busy[1] - busy[0]) if busy else 0.0,
+        ), consumed
+
+    if cmd.value == Opcode.ERASE_1ST:
+        addrs = _addrs(cycles, i + 1, 3)
+        if addrs is None:
+            return None, 1
+        j = i + 4
+        if j >= n or cycles[j].kind != "cmd" or cycles[j].value != Opcode.ERASE_2ND:
+            return None, 1
+        busy = _busy_after(spans, cycles[j].t)
+        t_end = busy[1] if busy else cycles[j].t
+        return DecodedOp(
+            "erase", cmd.t, t_end,
+            row=addrs[0] | (addrs[1] << 8) | (addrs[2] << 16),
+            busy_ns=(busy[1] - busy[0]) if busy else 0.0,
+        ), (j - i) + 1
+
+    if cmd.value == Opcode.RESET:
+        return DecodedOp("reset", cmd.t, cmd.t), 1
+
+    if cmd.value == Opcode.READ_STATUS:
+        consumed = 1
+        if i + 1 < n and cycles[i + 1].kind == "data":
+            consumed = 2
+        return DecodedOp("read_status", cmd.t, cmd.t), consumed
+
+    if cmd.value == Opcode.READ_ID:
+        consumed = 1
+        if i + 1 < n and cycles[i + 1].kind == "addr":
+            consumed += 1
+        if i + consumed < n and cycles[i + consumed].kind == "data":
+            consumed += 1
+        return DecodedOp("read_id", cmd.t, cmd.t), consumed
+
+    return None, 1
+
+
+def decode_trace_windows(trace, analyzer, max_windows: int = 64,
+                         start: int = 0) -> DecodeResult:
+    """Decode a long trace through repeated re-armed captures.
+
+    Real analyzers cannot hold a whole workload in their buffer; the
+    standard protocol is trigger → fill buffer → decode → re-arm.  Ops
+    split across a window boundary are lost (counted as unparsed), just
+    as they are on the bench.  ``start`` arms the first trigger at a
+    chosen time (e.g. the beginning of a host-idle period).
+    """
+    merged = DecodeResult()
+    for capture in analyzer.windows(trace, start=start,
+                                    max_windows=max_windows):
+        result = decode_capture(capture)
+        merged.ops.extend(result.ops)
+        stats, sub = merged.stats, result.stats
+        stats.command_cycles += sub.command_cycles
+        stats.address_cycles += sub.address_cycles
+        stats.data_strobes += sub.data_strobes
+        stats.ops_decoded += sub.ops_decoded
+        stats.unparsed_cycles += sub.unparsed_cycles
+        stats.truncated = stats.truncated or sub.truncated
+    return merged

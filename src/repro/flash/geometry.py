@@ -1,0 +1,205 @@
+"""Physical geometry of a NAND flash subsystem.
+
+An SSD's flash is organized as a shallow tree::
+
+    channel -> chip (way) -> die (LUN) -> plane -> block -> page
+
+A *channel* is a shared ONFI bus; all chips on a channel serialize their
+data transfers.  A *die* is the unit of array concurrency: one die executes
+one read/program/erase at a time.  A *plane* allows multi-plane commands
+within a die (not modeled as concurrent here; planes matter for allocation
+striping).  A *block* is the erase unit; a *page* the program unit.
+
+Addresses
+---------
+The library uses two interchangeable representations:
+
+``PhysicalAddress``
+    A named tuple ``(channel, chip, die, plane, block, page)``.
+
+*PPN* (physical page number)
+    A flat non-negative integer in ``range(geometry.total_pages)``.  The
+    flat form is what numpy-backed structures index by.  The packing order
+    is page-major within block, block within plane, and so on up the tree,
+    so consecutive PPNs within a block are consecutive pages.
+
+Similarly a flat *block index* in ``range(geometry.total_blocks)`` names a
+block globally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple
+
+
+class PhysicalAddress(NamedTuple):
+    """Fully-qualified address of one flash page."""
+
+    channel: int
+    chip: int
+    die: int
+    plane: int
+    block: int
+    page: int
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Dimensions of the flash array and page-size parameters.
+
+    The defaults describe a small, laptop-scale simulated device; the
+    device presets in :mod:`repro.ssd.presets` override them.
+    """
+
+    channels: int = 8
+    chips_per_channel: int = 1
+    dies_per_chip: int = 2
+    planes_per_die: int = 2
+    blocks_per_plane: int = 128
+    pages_per_block: int = 64
+    page_size: int = 16384
+    oob_size: int = 1024
+    sector_size: int = 4096
+
+    def __post_init__(self) -> None:
+        for name in (
+            "channels",
+            "chips_per_channel",
+            "dies_per_chip",
+            "planes_per_die",
+            "blocks_per_plane",
+            "pages_per_block",
+            "page_size",
+            "sector_size",
+        ):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"geometry field {name} must be positive, got {value}")
+        if self.oob_size < 0:
+            raise ValueError("oob_size must be non-negative")
+        if self.page_size % self.sector_size != 0:
+            raise ValueError(
+                f"page_size ({self.page_size}) must be a multiple of "
+                f"sector_size ({self.sector_size})"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived sizes
+    # ------------------------------------------------------------------
+
+    @property
+    def dies_total(self) -> int:
+        """Number of dies (units of array concurrency) in the device."""
+        return self.channels * self.chips_per_channel * self.dies_per_chip
+
+    @property
+    def planes_total(self) -> int:
+        return self.dies_total * self.planes_per_die
+
+    @property
+    def total_blocks(self) -> int:
+        return self.planes_total * self.blocks_per_plane
+
+    @property
+    def total_pages(self) -> int:
+        return self.total_blocks * self.pages_per_block
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Raw flash capacity (data area only, excluding OOB)."""
+        return self.total_pages * self.page_size
+
+    @property
+    def sectors_per_page(self) -> int:
+        return self.page_size // self.sector_size
+
+    @property
+    def block_bytes(self) -> int:
+        return self.pages_per_block * self.page_size
+
+    # ------------------------------------------------------------------
+    # Address packing
+    # ------------------------------------------------------------------
+
+    def ppn(self, addr: PhysicalAddress) -> int:
+        """Flatten a :class:`PhysicalAddress` to a physical page number."""
+        self._check(addr)
+        block_index = self.block_index(addr)
+        return block_index * self.pages_per_block + addr.page
+
+    def address(self, ppn: int) -> PhysicalAddress:
+        """Expand a flat PPN back into a :class:`PhysicalAddress`."""
+        if not 0 <= ppn < self.total_pages:
+            raise ValueError(f"ppn {ppn} out of range [0, {self.total_pages})")
+        block_index, page = divmod(ppn, self.pages_per_block)
+        return self.block_address(block_index)._replace(page=page)
+
+    def block_index(self, addr: PhysicalAddress) -> int:
+        """Flatten the block coordinates of *addr* to a global block index."""
+        self._check(addr)
+        index = addr.channel
+        index = index * self.chips_per_channel + addr.chip
+        index = index * self.dies_per_chip + addr.die
+        index = index * self.planes_per_die + addr.plane
+        index = index * self.blocks_per_plane + addr.block
+        return index
+
+    def block_address(self, block_index: int) -> PhysicalAddress:
+        """Expand a global block index to an address with ``page=0``."""
+        if not 0 <= block_index < self.total_blocks:
+            raise ValueError(
+                f"block index {block_index} out of range [0, {self.total_blocks})"
+            )
+        rest, block = divmod(block_index, self.blocks_per_plane)
+        rest, plane = divmod(rest, self.planes_per_die)
+        rest, die = divmod(rest, self.dies_per_chip)
+        channel, chip = divmod(rest, self.chips_per_channel)
+        return PhysicalAddress(channel, chip, die, plane, block, 0)
+
+    def die_index(self, addr: PhysicalAddress) -> int:
+        """Flatten the die coordinates of *addr* (unit of array busy time)."""
+        index = addr.channel
+        index = index * self.chips_per_channel + addr.chip
+        index = index * self.dies_per_chip + addr.die
+        return index
+
+    def die_of_block(self, block_index: int) -> int:
+        return block_index // (self.planes_per_die * self.blocks_per_plane)
+
+    def channel_of_block(self, block_index: int) -> int:
+        blocks_per_channel = self.total_blocks // self.channels
+        return block_index // blocks_per_channel
+
+    def die_of_ppn(self, ppn: int) -> int:
+        return self.die_of_block(ppn // self.pages_per_block)
+
+    def channel_of_ppn(self, ppn: int) -> int:
+        return self.channel_of_block(ppn // self.pages_per_block)
+
+    # ------------------------------------------------------------------
+    # Iteration helpers
+    # ------------------------------------------------------------------
+
+    def iter_plane_coords(self) -> Iterator[tuple[int, int, int, int]]:
+        """Yield every ``(channel, chip, die, plane)`` coordinate."""
+        for channel in range(self.channels):
+            for chip in range(self.chips_per_channel):
+                for die in range(self.dies_per_chip):
+                    for plane in range(self.planes_per_die):
+                        yield channel, chip, die, plane
+
+    def _check(self, addr: PhysicalAddress) -> None:
+        limits = (
+            self.channels,
+            self.chips_per_channel,
+            self.dies_per_chip,
+            self.planes_per_die,
+            self.blocks_per_plane,
+            self.pages_per_block,
+        )
+        for value, limit, name in zip(addr, limits, PhysicalAddress._fields):
+            if not 0 <= value < limit:
+                raise ValueError(
+                    f"address field {name}={value} out of range [0, {limit})"
+                )

@@ -1,0 +1,228 @@
+"""The NAND flash array: state, constraints, and wear.
+
+:class:`NandArray` models the *physics-level* contract of NAND flash that
+every FTL must respect:
+
+* a page can only be programmed when its block has been erased since the
+  page was last programmed (erase-before-write);
+* pages within a block must be programmed in order (ONFI sequential-page
+  programming rule — violating it on a real MLC part corrupts neighbours);
+* erases operate on whole blocks and wear the block out;
+* each page carries a small out-of-band (OOB) area where the FTL stamps the
+  logical page number so that mapping state can be rebuilt after power loss
+  (and so a reverse engineer can correlate physical and logical addresses).
+
+The array is numpy-backed and stores metadata only by default.  Callers
+that care about byte content (the firmware/RE experiments) can enable
+``store_data`` which keeps an actual ``bytes`` payload per programmed page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.flash.geometry import Geometry
+
+#: Marker stored in the OOB LPN slot of a page that holds no logical data
+#: (e.g. mapping metadata or parity).
+NO_LPN = np.int64(-1)
+
+
+class FlashViolation(Exception):
+    """The FTL attempted an operation NAND physics forbids."""
+
+
+class PageState:
+    """Per-page program state (values of :attr:`NandArray.page_state`)."""
+
+    FREE = 0  #: erased, programmable
+    PROGRAMMED = 1  #: holds data; must be erased before re-programming
+
+
+@dataclass
+class BlockStats:
+    """Read-only summary of one block, for tests and RE tooling."""
+
+    erase_count: int
+    programmed_pages: int
+    write_pointer: int
+
+
+@dataclass
+class NandCounters:
+    """Raw operation counters maintained by the array itself.
+
+    These are ground truth; the SMART counters exposed by the device
+    (:mod:`repro.ssd.smart`) are derived from FTL-level accounting and may
+    legitimately disagree with these in the same ways a real drive's
+    counters disagree with its raw flash activity.
+    """
+
+    reads: int = 0
+    programs: int = 0
+    erases: int = 0
+    program_failures: int = 0
+
+
+class NandArray:
+    """Mutable state of every page and block in the device.
+
+    Parameters
+    ----------
+    geometry:
+        Array dimensions.
+    erase_limit:
+        Rated program/erase cycles per block.  Erasing beyond the limit is
+        permitted (real blocks do not stop working at the rated count) but
+        raises the block's failure probability via
+        :mod:`repro.flash.errors`.
+    store_data:
+        Keep actual page payloads.  Off by default to keep large
+        simulations cheap.
+    """
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        *,
+        erase_limit: int = 3000,
+        store_data: bool = False,
+    ) -> None:
+        self.geometry = geometry
+        self.erase_limit = erase_limit
+        self.store_data = store_data
+        total_pages = geometry.total_pages
+        total_blocks = geometry.total_blocks
+        self.page_state = np.zeros(total_pages, dtype=np.uint8)
+        #: OOB logical-page stamp for each physical page (NO_LPN when none).
+        self.page_lpn = np.full(total_pages, NO_LPN, dtype=np.int64)
+        #: OOB program sequence stamp (monotonic; -1 = free).  Real FTLs
+        #: store this so the newest copy of a sector wins during
+        #: power-loss recovery.
+        self.page_seq = np.full(total_pages, -1, dtype=np.int64)
+        self.block_erase_count = np.zeros(total_blocks, dtype=np.int32)
+        #: Next programmable page index within each block.
+        self.block_write_ptr = np.zeros(total_blocks, dtype=np.int32)
+        self.counters = NandCounters()
+        self._data: dict[int, bytes] = {}
+        #: full per-slot OOB records (tuple of slot LPN codes), when the
+        #: writer provides them.
+        self._oob: dict[int, tuple[int, ...]] = {}
+        self._program_counter = 0
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def program(self, ppn: int, lpn: int = int(NO_LPN), data: bytes | None = None,
+                oob: tuple[int, ...] | None = None) -> None:
+        """Program one page, stamping *lpn* (and optionally a full
+        per-slot *oob* record plus a monotonic sequence number) into its
+        OOB area.
+
+        Raises :class:`FlashViolation` if the page is not free or is not
+        the block's next sequential page.
+        """
+        geometry = self.geometry
+        if not 0 <= ppn < geometry.total_pages:
+            raise FlashViolation(f"program: ppn {ppn} out of range")
+        if self.page_state[ppn] != PageState.FREE:
+            raise FlashViolation(
+                f"program: ppn {ppn} already programmed (erase-before-write)"
+            )
+        block, page = divmod(ppn, geometry.pages_per_block)
+        expected = int(self.block_write_ptr[block])
+        if page != expected:
+            raise FlashViolation(
+                f"program: block {block} requires sequential programming; "
+                f"next page is {expected}, got {page}"
+            )
+        if data is not None and len(data) > geometry.page_size:
+            raise FlashViolation(
+                f"program: payload of {len(data)} bytes exceeds page size "
+                f"{geometry.page_size}"
+            )
+        self.page_state[ppn] = PageState.PROGRAMMED
+        self.page_lpn[ppn] = lpn
+        self.page_seq[ppn] = self._program_counter
+        self._program_counter += 1
+        self.block_write_ptr[block] = page + 1
+        self.counters.programs += 1
+        if oob is not None:
+            self._oob[ppn] = tuple(int(x) for x in oob)
+        if self.store_data and data is not None:
+            self._data[ppn] = bytes(data)
+
+    def read(self, ppn: int) -> tuple[int, bytes | None]:
+        """Read one page; returns ``(oob_lpn, data_or_None)``.
+
+        Reading a free page is legal on real hardware (it returns all-FF);
+        here it returns ``(NO_LPN, None)``.
+        """
+        if not 0 <= ppn < self.geometry.total_pages:
+            raise FlashViolation(f"read: ppn {ppn} out of range")
+        self.counters.reads += 1
+        if self.page_state[ppn] == PageState.FREE:
+            return int(NO_LPN), None
+        return int(self.page_lpn[ppn]), self._data.get(ppn)
+
+    def erase(self, block_index: int) -> None:
+        """Erase one block, freeing all its pages and incrementing wear."""
+        geometry = self.geometry
+        if not 0 <= block_index < geometry.total_blocks:
+            raise FlashViolation(f"erase: block {block_index} out of range")
+        start = block_index * geometry.pages_per_block
+        end = start + geometry.pages_per_block
+        self.page_state[start:end] = PageState.FREE
+        self.page_lpn[start:end] = NO_LPN
+        self.page_seq[start:end] = -1
+        self.block_write_ptr[block_index] = 0
+        self.block_erase_count[block_index] += 1
+        self.counters.erases += 1
+        for ppn in range(start, end):
+            self._oob.pop(ppn, None)
+            if self.store_data:
+                self._data.pop(ppn, None)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def is_free(self, ppn: int) -> bool:
+        return bool(self.page_state[ppn] == PageState.FREE)
+
+    def read_oob(self, ppn: int) -> tuple[int, ...] | None:
+        """Full per-slot OOB record of a page, if the writer stored one."""
+        return self._oob.get(ppn)
+
+    def block_stats(self, block_index: int) -> BlockStats:
+        geometry = self.geometry
+        start = block_index * geometry.pages_per_block
+        end = start + geometry.pages_per_block
+        programmed = int(
+            np.count_nonzero(self.page_state[start:end] == PageState.PROGRAMMED)
+        )
+        return BlockStats(
+            erase_count=int(self.block_erase_count[block_index]),
+            programmed_pages=programmed,
+            write_pointer=int(self.block_write_ptr[block_index]),
+        )
+
+    def lpns_in_block(self, block_index: int) -> np.ndarray:
+        """OOB LPN stamps of all pages in a block (NO_LPN for free pages)."""
+        geometry = self.geometry
+        start = block_index * geometry.pages_per_block
+        return self.page_lpn[start : start + geometry.pages_per_block].copy()
+
+    def wear_summary(self) -> dict[str, float]:
+        """Aggregate wear figures used by wear-leveling tests."""
+        erases = self.block_erase_count
+        return {
+            "min": float(erases.min()),
+            "max": float(erases.max()),
+            "mean": float(erases.mean()),
+            "std": float(erases.std()),
+            "total": float(erases.sum()),
+        }

@@ -1,0 +1,209 @@
+"""ONFI 2.x command-set model.
+
+The Open NAND Flash Interface standardized how controllers talk to flash
+packages: every operation is a sequence of *bus cycles* — command bytes
+latched while CLE is high, address bytes latched while ALE is high, and
+data bytes clocked in or out — followed, for array operations, by a busy
+period signalled on the R/B# pin.
+
+This module encodes controller-side operations into
+:class:`OnfiOperation` objects (ordered cycle lists plus busy time).  The
+signal layer (:mod:`repro.flash.signals`) renders these to pin waveforms;
+the probe decoder (:mod:`repro.core.probe.decoder`) reconstructs them from
+sampled waveforms, which is exactly what the paper does with a logic
+analyzer on a Vertex II package.
+
+Addressing follows the common 5-cycle scheme: two column-address cycles
+(byte offset within the page) and three row-address cycles (page within
+block and block within LUN).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.flash.geometry import Geometry, PhysicalAddress
+from repro.flash.timing import TimingProfile
+
+
+class Opcode(enum.IntEnum):
+    """ONFI command bytes used by this model."""
+
+    READ_1ST = 0x00
+    READ_2ND = 0x30
+    PROGRAM_1ST = 0x80
+    PROGRAM_2ND = 0x10
+    ERASE_1ST = 0x60
+    ERASE_2ND = 0xD0
+    READ_STATUS = 0x70
+    READ_ID = 0x90
+    PARAM_PAGE = 0xEC
+    RESET = 0xFF
+
+
+class CycleKind(enum.Enum):
+    """What a single bus cycle carries."""
+
+    CMD = "cmd"
+    ADDR = "addr"
+    DATA_IN = "data_in"  # controller -> flash (program payload)
+    DATA_OUT = "data_out"  # flash -> controller (read payload)
+
+
+@dataclass(frozen=True)
+class BusCycle:
+    """One unit of bus activity.
+
+    ``value`` is the byte on DQ for CMD/ADDR cycles; for data cycles
+    ``nbytes`` is the burst length and ``value`` is ignored (the signal
+    layer synthesizes payload bytes).
+    """
+
+    kind: CycleKind
+    value: int = 0
+    nbytes: int = 1
+
+
+@dataclass(frozen=True)
+class OnfiOperation:
+    """A complete chip-level operation as seen on the bus.
+
+    ``busy_ns`` is how long R/B# stays low after the final launch command
+    (tR, tPROG or tBERS); zero for pure bus operations such as RESET.
+    ``busy_after`` is the index in ``cycles`` after which the busy period
+    begins (reads go busy after READ_2ND, *before* data-out).
+    """
+
+    name: str
+    cycles: tuple[BusCycle, ...]
+    busy_ns: int = 0
+    busy_after: int | None = None
+
+
+# ----------------------------------------------------------------------
+# Address packing
+# ----------------------------------------------------------------------
+
+
+def row_address(geometry: Geometry, addr: PhysicalAddress) -> int:
+    """Pack plane/block/page into the 3-byte ONFI row address for a die.
+
+    The row address is local to a LUN (die): the low bits select the page
+    within the block and the high bits select the block, with the plane
+    interleaved at the block level as real parts do.
+    """
+    blocks_in_die = geometry.planes_per_die * geometry.blocks_per_plane
+    block_in_die = addr.plane * geometry.blocks_per_plane + addr.block
+    if not 0 <= block_in_die < blocks_in_die:
+        raise ValueError("block coordinates out of range for die")
+    return block_in_die * geometry.pages_per_block + addr.page
+
+
+def split_row(geometry: Geometry, row: int) -> tuple[int, int, int]:
+    """Inverse of :func:`row_address`: returns ``(plane, block, page)``."""
+    block_in_die, page = divmod(row, geometry.pages_per_block)
+    plane, block = divmod(block_in_die, geometry.blocks_per_plane)
+    return plane, block, page
+
+
+def _addr_cycles(column: int, row: int, *, include_column: bool = True) -> list[BusCycle]:
+    cycles = []
+    if include_column:
+        cycles.append(BusCycle(CycleKind.ADDR, column & 0xFF))
+        cycles.append(BusCycle(CycleKind.ADDR, (column >> 8) & 0xFF))
+    cycles.append(BusCycle(CycleKind.ADDR, row & 0xFF))
+    cycles.append(BusCycle(CycleKind.ADDR, (row >> 8) & 0xFF))
+    cycles.append(BusCycle(CycleKind.ADDR, (row >> 16) & 0xFF))
+    return cycles
+
+
+# ----------------------------------------------------------------------
+# Operation encoders
+# ----------------------------------------------------------------------
+
+
+def encode_read(
+    geometry: Geometry,
+    timing: TimingProfile,
+    addr: PhysicalAddress,
+    nbytes: int | None = None,
+) -> OnfiOperation:
+    """Page read: 00h, 5 address cycles, 30h, busy tR, then data out."""
+    nbytes = geometry.page_size if nbytes is None else nbytes
+    cycles: list[BusCycle] = [BusCycle(CycleKind.CMD, Opcode.READ_1ST)]
+    cycles += _addr_cycles(0, row_address(geometry, addr))
+    cycles.append(BusCycle(CycleKind.CMD, Opcode.READ_2ND))
+    busy_after = len(cycles) - 1
+    cycles.append(BusCycle(CycleKind.DATA_OUT, nbytes=nbytes))
+    return OnfiOperation(
+        "read", tuple(cycles), busy_ns=timing.read_ns, busy_after=busy_after
+    )
+
+
+def encode_program(
+    geometry: Geometry,
+    timing: TimingProfile,
+    addr: PhysicalAddress,
+    nbytes: int | None = None,
+) -> OnfiOperation:
+    """Page program: 80h, 5 address cycles, data in, 10h, busy tPROG."""
+    nbytes = geometry.page_size if nbytes is None else nbytes
+    cycles: list[BusCycle] = [BusCycle(CycleKind.CMD, Opcode.PROGRAM_1ST)]
+    cycles += _addr_cycles(0, row_address(geometry, addr))
+    cycles.append(BusCycle(CycleKind.DATA_IN, nbytes=nbytes))
+    cycles.append(BusCycle(CycleKind.CMD, Opcode.PROGRAM_2ND))
+    return OnfiOperation(
+        "program", tuple(cycles), busy_ns=timing.program_ns, busy_after=len(cycles) - 1
+    )
+
+
+def encode_erase(
+    geometry: Geometry,
+    timing: TimingProfile,
+    addr: PhysicalAddress,
+) -> OnfiOperation:
+    """Block erase: 60h, 3 row-address cycles, D0h, busy tBERS."""
+    cycles: list[BusCycle] = [BusCycle(CycleKind.CMD, Opcode.ERASE_1ST)]
+    cycles += _addr_cycles(0, row_address(geometry, addr), include_column=False)
+    cycles.append(BusCycle(CycleKind.CMD, Opcode.ERASE_2ND))
+    return OnfiOperation(
+        "erase", tuple(cycles), busy_ns=timing.erase_ns, busy_after=len(cycles) - 1
+    )
+
+
+def encode_reset() -> OnfiOperation:
+    return OnfiOperation("reset", (BusCycle(CycleKind.CMD, Opcode.RESET),), busy_ns=500)
+
+
+def encode_read_status() -> OnfiOperation:
+    return OnfiOperation(
+        "read_status",
+        (
+            BusCycle(CycleKind.CMD, Opcode.READ_STATUS),
+            BusCycle(CycleKind.DATA_OUT, nbytes=1),
+        ),
+    )
+
+
+def encode_read_id() -> OnfiOperation:
+    """Read ID: 90h + one address cycle (00h), returns 5 ID bytes."""
+    return OnfiOperation(
+        "read_id",
+        (
+            BusCycle(CycleKind.CMD, Opcode.READ_ID),
+            BusCycle(CycleKind.ADDR, 0x00),
+            BusCycle(CycleKind.DATA_OUT, nbytes=5),
+        ),
+    )
+
+
+def operation_bus_ns(op: OnfiOperation, timing: TimingProfile) -> int:
+    """Total bus occupancy of an operation, excluding array busy time."""
+    total = 0
+    for cycle in op.cycles:
+        if cycle.kind in (CycleKind.DATA_IN, CycleKind.DATA_OUT):
+            total += timing.transfer_ns(cycle.nbytes)
+        else:
+            total += timing.cycle_ns
+    return total

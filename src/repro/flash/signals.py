@@ -1,0 +1,201 @@
+"""Pin-level signal model of the ONFI bus.
+
+The probe experiment in the paper attaches a logic analyzer to a flash
+package's pinouts and records the electrical conversation between the SSD
+controller and the package.  This module is the *emitting* side: it renders
+:class:`~repro.flash.onfi.OnfiOperation` executions into a
+:class:`SignalTrace` — a compact, piecewise description of what each pin
+does over time.
+
+A trace is a sequence of :class:`BusSegment` values.  Within a segment the
+control pins (CLE, ALE) are constant, and the latch strobe (WE# for input,
+RE# for output) toggles ``strobes`` times at a uniform rate, latching one
+byte per strobe.  R/B# busy periods are kept separately as
+:class:`BusyWindow` spans.
+
+The logic-analyzer model (:mod:`repro.core.probe.analyzer`) *samples* a
+trace at a finite rate into plain numpy arrays — that sampled form is all
+the decoder ever sees, so undersampling genuinely loses command bytes and
+undercounts data strobes, mirroring the paper's point that probing needs
+expensive high-rate capture hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.flash.onfi import BusCycle, CycleKind, OnfiOperation
+from repro.flash.timing import TimingProfile
+
+#: DQ value reported for data-burst segments (payload bytes vary per strobe;
+#: the emitter does not record each one).
+DATA_DQ = -1
+
+
+@dataclass(frozen=True)
+class BusSegment:
+    """A span of bus activity with constant control-pin state."""
+
+    t0: int
+    t1: int
+    cle: bool
+    ale: bool
+    dq: int
+    strobes: int
+    reading: bool
+
+    @property
+    def strobe_period_ns(self) -> float:
+        if self.strobes == 0:
+            return float(self.t1 - self.t0)
+        return (self.t1 - self.t0) / self.strobes
+
+
+@dataclass(frozen=True)
+class BusyWindow:
+    """A period during which the package holds R/B# low."""
+
+    t0: int
+    t1: int
+
+
+@dataclass
+class SignalTrace:
+    """Everything a probe wired to one package could observe."""
+
+    segments: list[BusSegment] = field(default_factory=list)
+    busy: list[BusyWindow] = field(default_factory=list)
+    t_end: int = 0
+
+    def extend(self, other: "SignalTrace") -> None:
+        self.segments.extend(other.segments)
+        self.busy.extend(other.busy)
+        self.t_end = max(self.t_end, other.t_end)
+
+    @property
+    def duration_ns(self) -> int:
+        return self.t_end
+
+    def window(self, t0: int, t1: int) -> "SignalTrace":
+        """Restrict the trace to ``[t0, t1)`` (segments clipped whole)."""
+        trace = SignalTrace(t_end=min(self.t_end, t1))
+        trace.segments = [s for s in self.segments if s.t0 < t1 and s.t1 > t0]
+        trace.busy = [b for b in self.busy if b.t0 < t1 and b.t1 > t0]
+        return trace
+
+
+class SignalEmitter:
+    """Renders timed ONFI operations into an accumulating trace."""
+
+    def __init__(self, timing: TimingProfile) -> None:
+        self.timing = timing
+        self.trace = SignalTrace()
+
+    def emit(self, op: OnfiOperation, start_ns: int) -> int:
+        """Render one operation beginning at *start_ns*.
+
+        Returns the time at which the operation (including any busy
+        period and trailing data transfer) completes.
+        """
+        timing = self.timing
+        now = start_ns
+        busy_start: int | None = None
+        for index, cycle in enumerate(op.cycles):
+            if busy_start is not None:
+                # R/B# was released before this cycle (e.g. read data-out).
+                now = max(now, busy_start + op.busy_ns)
+                self.trace.busy.append(BusyWindow(busy_start, now))
+                busy_start = None
+            duration = self._cycle_ns(cycle)
+            self.trace.segments.append(self._segment(cycle, now, now + duration))
+            now += duration
+            if op.busy_after is not None and index == op.busy_after:
+                busy_start = now
+        if busy_start is not None:
+            end = busy_start + op.busy_ns
+            self.trace.busy.append(BusyWindow(busy_start, end))
+            now = max(now, end)
+        self.trace.t_end = max(self.trace.t_end, now)
+        return now
+
+    def _cycle_ns(self, cycle: BusCycle) -> int:
+        if cycle.kind in (CycleKind.DATA_IN, CycleKind.DATA_OUT):
+            return max(1, self.timing.transfer_ns(cycle.nbytes))
+        return self.timing.cycle_ns
+
+    @staticmethod
+    def _segment(cycle: BusCycle, t0: int, t1: int) -> BusSegment:
+        if cycle.kind is CycleKind.CMD:
+            return BusSegment(t0, t1, cle=True, ale=False, dq=cycle.value,
+                              strobes=1, reading=False)
+        if cycle.kind is CycleKind.ADDR:
+            return BusSegment(t0, t1, cle=False, ale=True, dq=cycle.value,
+                              strobes=1, reading=False)
+        if cycle.kind is CycleKind.DATA_IN:
+            return BusSegment(t0, t1, cle=False, ale=False, dq=DATA_DQ,
+                              strobes=cycle.nbytes, reading=False)
+        return BusSegment(t0, t1, cle=False, ale=False, dq=DATA_DQ,
+                          strobes=cycle.nbytes, reading=True)
+
+
+def render_samples(
+    trace: SignalTrace,
+    sample_period_ns: float,
+    t0: int = 0,
+    t1: int | None = None,
+    max_samples: int | None = None,
+) -> dict[str, np.ndarray]:
+    """Sample a trace's pins at a uniform rate, as a logic analyzer would.
+
+    Returns arrays ``t`` (ns), ``cle``, ``ale``, ``we``, ``re`` (strobe
+    levels), ``rb`` (ready/busy, 1 = ready), and ``dq`` (bus byte, with
+    synthetic payload bytes during data bursts and 0xFF when idle).
+
+    The strobe pins are square waves: one low-then-high excursion per
+    latched byte.  A sampler slower than twice the strobe rate will miss
+    excursions — by design.
+    """
+    if sample_period_ns <= 0:
+        raise ValueError("sample_period_ns must be positive")
+    end = trace.t_end if t1 is None else t1
+    count = int(max(0, end - t0) / sample_period_ns)
+    if max_samples is not None:
+        count = min(count, max_samples)
+    t = t0 + np.arange(count, dtype=np.float64) * sample_period_ns
+    cle = np.zeros(count, dtype=np.uint8)
+    ale = np.zeros(count, dtype=np.uint8)
+    we = np.ones(count, dtype=np.uint8)
+    re = np.ones(count, dtype=np.uint8)
+    rb = np.ones(count, dtype=np.uint8)
+    dq = np.full(count, 0xFF, dtype=np.int16)
+
+    for seg in trace.segments:
+        lo = np.searchsorted(t, seg.t0, side="left")
+        hi = np.searchsorted(t, seg.t1, side="left")
+        if hi <= lo:
+            continue
+        cle[lo:hi] = 1 if seg.cle else 0
+        ale[lo:hi] = 1 if seg.ale else 0
+        # Strobe square wave: low during the first half of each byte slot.
+        period = seg.strobe_period_ns
+        phase = (t[lo:hi] - seg.t0) % period
+        low = (phase < period / 2).astype(np.uint8)
+        if seg.reading:
+            re[lo:hi] = 1 - low
+        else:
+            we[lo:hi] = 1 - low
+        if seg.dq == DATA_DQ:
+            # Deterministic pseudo-payload derived from the byte index.
+            byte_index = ((t[lo:hi] - seg.t0) / period).astype(np.int64)
+            dq[lo:hi] = ((byte_index * 131) ^ (byte_index >> 7)) & 0xFF
+        else:
+            dq[lo:hi] = seg.dq
+
+    for window in trace.busy:
+        lo = np.searchsorted(t, window.t0, side="left")
+        hi = np.searchsorted(t, window.t1, side="left")
+        rb[lo:hi] = 0
+
+    return {"t": t, "cle": cle, "ale": ale, "we": we, "re": re, "rb": rb, "dq": dq}

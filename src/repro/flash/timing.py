@@ -1,0 +1,73 @@
+"""NAND timing parameters.
+
+All times are integers in nanoseconds.  The figures follow typical
+datasheet values for the respective cell technologies (tR = array read,
+tPROG = array program, tBERS = block erase) plus a synchronous-ONFI bus
+transfer rate expressed as nanoseconds per byte.
+
+The timed simulator charges, per operation::
+
+    program:  command/address cycles + data-in transfer (bus) + tPROG (die)
+    read:     command/address cycles + tR (die) + data-out transfer (bus)
+    erase:    command/address cycles + tBERS (die)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+US = 1_000
+MS = 1_000_000
+
+
+@dataclass(frozen=True)
+class TimingProfile:
+    """Timing of one flash cell mode."""
+
+    name: str
+    read_ns: int
+    program_ns: int
+    erase_ns: int
+    #: bus transfer cost per data byte, in ns (e.g. 5 ns/B = 200 MB/s).
+    bus_ns_per_byte: float
+    #: fixed cost of a command or address cycle on the bus.
+    cycle_ns: int = 25
+
+    def transfer_ns(self, nbytes: int) -> int:
+        """Bus time to move *nbytes* of data."""
+        return int(round(nbytes * self.bus_ns_per_byte))
+
+
+#: Single-level cell: fast and durable.
+SLC = TimingProfile("slc", read_ns=25 * US, program_ns=250 * US, erase_ns=1500 * US,
+                    bus_ns_per_byte=5.0)
+
+#: Multi-level cell: the mainstream SATA-era profile (840 EVO class).
+MLC = TimingProfile("mlc", read_ns=50 * US, program_ns=900 * US, erase_ns=3500 * US,
+                    bus_ns_per_byte=5.0)
+
+#: Triple-level cell: slow programs, used for the "aged budget drive" model.
+TLC = TimingProfile("tlc", read_ns=75 * US, program_ns=1800 * US, erase_ns=5 * MS,
+                    bus_ns_per_byte=5.0)
+
+#: TLC blocks operated in pseudo-SLC mode (TurboWrite-style buffers).
+PSLC = TimingProfile("pslc", read_ns=30 * US, program_ns=300 * US, erase_ns=2 * MS,
+                     bus_ns_per_byte=5.0)
+
+#: Asynchronous (ONFI 1.x era) interface, as on the OCZ Vertex II the
+#: paper probes: ~40 MB/s bus, slow command cycles.  Probing experiments
+#: use this profile — its strobe rates are within reach of real logic
+#: analyzers.
+ASYNC = TimingProfile("async", read_ns=50 * US, program_ns=900 * US,
+                      erase_ns=3500 * US, bus_ns_per_byte=25.0, cycle_ns=100)
+
+PROFILES: dict[str, TimingProfile] = {p.name: p for p in (SLC, MLC, TLC, PSLC, ASYNC)}
+
+
+def profile(name: str) -> TimingProfile:
+    """Look up a timing profile by name, with a helpful error."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise KeyError(f"unknown timing profile {name!r}; known: {known}") from None

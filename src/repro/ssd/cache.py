@@ -1,0 +1,93 @@
+"""The controller's RAM write cache.
+
+One of the three design knobs the paper varies in its Fig 3 experiment is
+"write cache designation (data or mapping metadata)": the same RAM can
+buffer host *data* (absorbing overwrites and packing sectors into full
+flash pages before programming) or be given to the mapping layer
+(holding more dirty translation pages, reducing metadata writes).
+
+:class:`WriteCache` implements the data designation.  The mapping
+designation is wired in the FTL: the RAM budget is added to the mapping
+table's dirty-TP allowance and the data path runs through a minimal,
+one-page staging buffer (sectors are still packed into whole pages, but
+nothing is absorbed).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class WriteCache:
+    """LRU cache of pending host sector writes.
+
+    ``insert`` returns ``True`` on a *write hit* — the sector was already
+    pending, so the new version replaces it and no flash write is owed for
+    the older one (write absorption).  When occupancy exceeds the
+    capacity, the FTL asks for flush batches until it fits again.
+    """
+
+    def __init__(self, capacity_sectors: int) -> None:
+        if capacity_sectors < 1:
+            raise ValueError("capacity_sectors must be >= 1")
+        self.capacity = capacity_sectors
+        self._pending: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.insertions = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, lpn: int) -> bool:
+        return lpn in self._pending
+
+    @property
+    def needs_flush(self) -> bool:
+        return len(self._pending) > self.capacity
+
+    def insert(self, lpn: int) -> bool:
+        """Buffer one sector write; returns True if it absorbed an older
+        pending write to the same LPN."""
+        self.insertions += 1
+        if lpn in self._pending:
+            self._pending.move_to_end(lpn)
+            self.hits += 1
+            return True
+        self._pending[lpn] = None
+        return False
+
+    def take_flush_batch(self, max_sectors: int) -> list[int]:
+        """Remove up to *max_sectors* of the oldest pending sectors.
+
+        The batch is returned sorted by LPN: the FTL packs one batch into
+        one flash page, and real caches coalesce neighbouring sectors so
+        that sequential streams produce sequentially-packed pages.
+        """
+        if max_sectors < 1:
+            raise ValueError("max_sectors must be >= 1")
+        batch = []
+        while self._pending and len(batch) < max_sectors:
+            lpn, _ = self._pending.popitem(last=False)
+            batch.append(lpn)
+        batch.sort()
+        return batch
+
+    def drop(self, lpn: int) -> bool:
+        """Remove a pending sector without writing it (TRIM path)."""
+        if lpn in self._pending:
+            del self._pending[lpn]
+            return True
+        return False
+
+    def drain_batches(self, max_sectors: int) -> list[list[int]]:
+        """Empty the cache completely (host flush / shutdown)."""
+        batches = []
+        while self._pending:
+            batches.append(self.take_flush_batch(max_sectors))
+        return batches
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.insertions:
+            return 0.0
+        return self.hits / self.insertions

@@ -1,0 +1,233 @@
+"""Intra-SSD compression schemes (the paper's Fig 2, after Zuck et al.).
+
+Commercial controllers (SandForce/Kingston "DuraWrite", Intel) compress
+host data inside the FTL to reduce physical writes.  Zuck et al.
+(INFLOW '14) compared scheme families under OLTP workloads; the paper's
+Fig 2 shows that for highly compressible data the schemes differ by up to
+156 % in flash writes per transaction, normalized to the best (`re-bp32`).
+
+All schemes here share a log-structured write model: compressed payloads
+are appended to a write log, and one flash page program happens each time
+the open log page fills.  They differ in the unit of compression and the
+packing discipline:
+
+``none``
+    No compression; each 4 KB sector occupies 4 KB of log.
+``fixed``
+    Compress each sector independently but store it in fixed-size
+    sub-page slots (rounded up), simplifying the map at the price of
+    internal fragmentation.
+``compact``
+    Compress each sector independently and append byte-exact (plus a
+    small header) at the log head.
+``chunk4``
+    Compress aligned groups of 4 sectors (16 KB) together.  Grouping
+    compresses better, but updating any single sector forces a
+    read-modify-rewrite of the whole chunk.
+``re-bp32``
+    Batch up to 32 compressed sectors and bin-pack the batch into whole
+    pages (first-fit decreasing), recompressing cold remainders — the
+    efficient baseline Fig 2 normalizes against.
+
+Sizes are modeled, not computed from real bytes: callers provide each
+sector's compressed size via a :class:`repro.workloads.compressibility`
+model, which is all the write-accounting needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: bytes of per-item header each packed compressed sector carries.
+HEADER_BYTES = 16
+
+
+@dataclass
+class CompressionStats:
+    sector_updates: int = 0
+    bytes_appended: int = 0
+    page_programs: int = 0
+    rmw_reads: int = 0
+
+
+class _LogWriter:
+    """Shared open-page accounting: append bytes, count page programs."""
+
+    def __init__(self, page_size: int) -> None:
+        self.page_size = page_size
+        self._open_fill = 0
+        self.stats = CompressionStats()
+
+    def append(self, nbytes: int) -> int:
+        """Append *nbytes* to the log; returns page programs incurred."""
+        if nbytes < 0:
+            raise ValueError("cannot append negative bytes")
+        self.stats.bytes_appended += nbytes
+        programs = 0
+        fill = self._open_fill + nbytes
+        while fill >= self.page_size:
+            fill -= self.page_size
+            programs += 1
+        self._open_fill = fill
+        self.stats.page_programs += programs
+        return programs
+
+
+class CompressionScheme:
+    """Base class; subclasses implement :meth:`update`."""
+
+    name = "abstract"
+
+    def __init__(self, page_size: int = 16384, sector_size: int = 4096) -> None:
+        self.page_size = page_size
+        self.sector_size = sector_size
+        self._log = _LogWriter(page_size)
+
+    @property
+    def stats(self) -> CompressionStats:
+        return self._log.stats
+
+    def update(self, lpn: int, compressed_size: int) -> int:
+        """Write one sector whose compressed form is *compressed_size*
+        bytes; returns flash page programs incurred."""
+        raise NotImplementedError
+
+    def _clamp(self, compressed_size: int) -> int:
+        """Incompressible data is stored raw (never expanded)."""
+        return min(compressed_size, self.sector_size)
+
+
+class NoCompression(CompressionScheme):
+    name = "none"
+
+    def update(self, lpn: int, compressed_size: int) -> int:
+        self.stats.sector_updates += 1
+        return self._log.append(self.sector_size)
+
+
+class FixedSlot(CompressionScheme):
+    """Fixed sub-page slots (default: quarter-page granularity)."""
+
+    name = "fixed"
+
+    def __init__(self, page_size: int = 16384, sector_size: int = 4096,
+                 slot_bytes: int | None = None) -> None:
+        super().__init__(page_size, sector_size)
+        self.slot_bytes = slot_bytes if slot_bytes is not None else sector_size // 2
+        if self.slot_bytes <= 0 or page_size % self.slot_bytes:
+            raise ValueError("slot_bytes must divide page_size")
+
+    def update(self, lpn: int, compressed_size: int) -> int:
+        self.stats.sector_updates += 1
+        size = self._clamp(compressed_size) + HEADER_BYTES
+        slots = -(-size // self.slot_bytes)
+        return self._log.append(slots * self.slot_bytes)
+
+
+class Compact(CompressionScheme):
+    """Byte-exact packing of independently compressed sectors."""
+
+    name = "compact"
+
+    def update(self, lpn: int, compressed_size: int) -> int:
+        self.stats.sector_updates += 1
+        return self._log.append(self._clamp(compressed_size) + HEADER_BYTES)
+
+
+class Chunk4(CompressionScheme):
+    """Compress aligned 4-sector chunks together; RMW on partial update.
+
+    ``grouping_factor`` models the ratio improvement from compressing
+    4 sectors as one stream instead of separately (shared dictionaries);
+    0.65 reproduces the gap Zuck et al. report for highly compressible
+    OLTP data.
+    """
+
+    name = "chunk4"
+    sectors_per_chunk = 4
+
+    def __init__(self, page_size: int = 16384, sector_size: int = 4096,
+                 grouping_factor: float = 0.65) -> None:
+        super().__init__(page_size, sector_size)
+        self.grouping_factor = grouping_factor
+        #: last-known per-sector compressed sizes of each chunk.
+        self._chunks: dict[int, dict[int, int]] = {}
+
+    def update(self, lpn: int, compressed_size: int) -> int:
+        self.stats.sector_updates += 1
+        chunk_id, slot = divmod(lpn, self.sectors_per_chunk)
+        chunk = self._chunks.setdefault(chunk_id, {})
+        first_write = len(chunk) == 0
+        chunk[slot] = self._clamp(compressed_size)
+        if not first_write:
+            # Read back the rest of the chunk before recompressing it.
+            self.stats.rmw_reads += 1
+        # The whole aligned chunk is recompressed and rewritten: slots
+        # this stream never wrote still hold (compressible) device data,
+        # estimated at the mean ratio of the slots we have seen.
+        mean_size = sum(chunk.values()) / len(chunk)
+        grouped = int(
+            mean_size * self.sectors_per_chunk * self.grouping_factor
+        ) + HEADER_BYTES
+        return self._log.append(grouped)
+
+
+class ReBp32(CompressionScheme):
+    """Batch 32 compressed sectors, bin-pack into whole pages.
+
+    First-fit-decreasing packing wastes almost nothing, and batching
+    amortizes headers: one header per bin rather than per sector.  This
+    is Fig 2's normalization baseline.
+    """
+
+    name = "re-bp32"
+    batch_sectors = 32
+
+    def __init__(self, page_size: int = 16384, sector_size: int = 4096) -> None:
+        super().__init__(page_size, sector_size)
+        self._batch: list[int] = []
+
+    def update(self, lpn: int, compressed_size: int) -> int:
+        self.stats.sector_updates += 1
+        self._batch.append(self._clamp(compressed_size))
+        if len(self._batch) < self.batch_sectors:
+            return 0
+        return self._flush_batch()
+
+    def _flush_batch(self) -> int:
+        sizes = sorted(self._batch, reverse=True)
+        self._batch = []
+        bins: list[int] = []
+        usable = self.page_size - HEADER_BYTES
+        for size in sizes:
+            for i, fill in enumerate(bins):
+                if fill + size <= usable:
+                    bins[i] = fill + size
+                    break
+            else:
+                bins.append(size)
+        programs = 0
+        for fill in bins:
+            programs += self._log.append(fill + HEADER_BYTES)
+        return programs
+
+    def flush(self) -> int:
+        """Force out a partial batch (end of measurement window)."""
+        if not self._batch:
+            return 0
+        return self._flush_batch()
+
+
+SCHEMES: dict[str, type[CompressionScheme]] = {
+    cls.name: cls for cls in (NoCompression, FixedSlot, Compact, Chunk4, ReBp32)
+}
+
+
+def make_scheme(name: str, page_size: int = 16384, sector_size: int = 4096) -> CompressionScheme:
+    """Instantiate a scheme by name."""
+    try:
+        cls = SCHEMES[name]
+    except KeyError:
+        known = ", ".join(sorted(SCHEMES))
+        raise KeyError(f"unknown compression scheme {name!r}; known: {known}") from None
+    return cls(page_size=page_size, sector_size=sector_size)

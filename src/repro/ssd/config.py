@@ -1,0 +1,166 @@
+"""Every FTL design knob in one place.
+
+The paper's central complaint is that these knobs are invisible from
+outside the device.  :class:`SsdConfig` makes them explicit so experiments
+can sweep exactly the dimensions the paper varies (GC victim selection,
+write-cache designation, page-allocation scheme) plus the mechanisms its
+reverse engineering uncovered (RAIN parity, pSLC buffering, demand-loaded
+mapping chunks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.flash.geometry import Geometry
+from repro.flash.timing import PROFILES
+
+#: GC victim-selection policies understood by :mod:`repro.ssd.gc`.
+GC_POLICIES = ("greedy", "randomized_greedy", "random", "fifo", "cost_benefit")
+
+#: Write-cache designations (the Fig 3 "write cache designation" knob).
+CACHE_DESIGNATIONS = ("data", "mapping")
+
+#: Page-allocation orderings over Channel / Way / Die / Plane.
+ALLOCATION_SCHEMES = (
+    "CWDP", "CWPD", "CDWP", "CDPW", "CPWD", "CPDW",
+    "WCDP", "WDCP", "DWCP", "DCWP", "PDWC", "PWDC", "DPWC",
+)
+
+#: Intra-SSD compression schemes (Fig 2); these live in their own modeled
+#: log path (:mod:`repro.ssd.compression`), not in the sector-granularity FTL.
+COMPRESSION_SCHEMES = ("none", "fixed", "compact", "chunk4", "re-bp32")
+
+
+@dataclass(frozen=True)
+class SsdConfig:
+    """Complete configuration of a simulated SSD.
+
+    Capacity accounting: the flash array provides
+    ``geometry.capacity_bytes`` of raw space; ``op_ratio`` of it is
+    reserved as over-provisioning, the rest (minus pSLC blocks) is
+    exported as logical sectors of ``geometry.sector_size`` bytes.
+    """
+
+    geometry: Geometry = field(default_factory=Geometry)
+    timing_name: str = "mlc"
+
+    # --- capacity -----------------------------------------------------
+    op_ratio: float = 0.07
+
+    # --- garbage collection --------------------------------------------
+    gc_policy: str = "greedy"
+    #: sample size d for the randomized-greedy (d-choices) policy.
+    gc_sample_size: int = 8
+    #: foreground GC starts when a plane's free blocks drop to this count.
+    gc_low_water_blocks: int = 2
+    #: foreground GC stops once the plane is back above this count.
+    gc_high_water_blocks: int = 4
+    #: idle-time GC keeps this many blocks free beyond the high water
+    #: mark (one of §2.1's "unpredictable background operations").
+    idle_gc_extra_blocks: int = 2
+
+    # --- write cache ----------------------------------------------------
+    cache_designation: str = "data"
+    #: RAM budget of the write cache, in host sectors.
+    cache_sectors: int = 256
+
+    # --- mapping --------------------------------------------------------
+    #: LPNs covered by one translation page (one metadata flash write).
+    mapping_tp_lpns: int = 4096
+    #: RAM slots for dirty translation pages before forced eviction.
+    mapping_dirty_tp_limit: int = 512
+    #: host sector writes between periodic metadata checkpoints.
+    mapping_sync_interval: int = 8192
+    #: LPNs per demand-loaded mapping chunk (0 disables demand loading;
+    #: the 840 EVO model uses chunks covering 117.5 MB of LBA space).
+    mapping_chunk_lpns: int = 0
+    #: resident chunk budget when demand loading is on.
+    mapping_resident_chunks: int = 8
+
+    # --- allocation -------------------------------------------------------
+    allocation_scheme: str = "CWDP"
+
+    # --- RAIN parity -------------------------------------------------------
+    #: data pages per parity page; 0 disables RAIN.
+    rain_stripe: int = 0
+
+    # --- pseudo-SLC buffer ---------------------------------------------
+    #: blocks (per device) operated as a pSLC write buffer; 0 disables.
+    pslc_blocks: int = 0
+    #: fraction of the pSLC buffer that triggers background draining.
+    pslc_drain_threshold: float = 0.5
+
+    # --- reliability -----------------------------------------------------
+    erase_limit: int = 3000
+    #: enable static wear leveling (cold block rotation).
+    wear_leveling: bool = False
+    wear_leveling_delta: int = 100
+    #: retention refresh: rewrite blocks older than this many host
+    #: sector-writes during idle maintenance (0 disables).
+    refresh_after_ops: int = 0
+    #: retention time scale: host sector-writes per simulated day of
+    #: data age (0 disables retention/ECC modeling on reads).
+    ops_per_day: int = 0
+
+    def __post_init__(self) -> None:
+        if self.timing_name not in PROFILES:
+            raise ValueError(f"unknown timing profile {self.timing_name!r}")
+        if self.gc_policy not in GC_POLICIES:
+            raise ValueError(f"unknown gc_policy {self.gc_policy!r}")
+        if self.cache_designation not in CACHE_DESIGNATIONS:
+            raise ValueError(f"unknown cache_designation {self.cache_designation!r}")
+        if self.allocation_scheme not in ALLOCATION_SCHEMES:
+            raise ValueError(f"unknown allocation_scheme {self.allocation_scheme!r}")
+        if not 0.0 <= self.op_ratio < 0.5:
+            raise ValueError("op_ratio must be in [0, 0.5)")
+        if self.gc_high_water_blocks < self.gc_low_water_blocks:
+            raise ValueError("gc_high_water_blocks must be >= gc_low_water_blocks")
+        if self.rain_stripe < 0 or self.rain_stripe == 1:
+            raise ValueError("rain_stripe must be 0 (off) or >= 2")
+        if self.pslc_blocks < 0:
+            raise ValueError("pslc_blocks must be non-negative")
+        if self.mapping_tp_lpns <= 0:
+            raise ValueError("mapping_tp_lpns must be positive")
+        if self.idle_gc_extra_blocks < 0:
+            raise ValueError("idle_gc_extra_blocks must be non-negative")
+        if self.refresh_after_ops < 0:
+            raise ValueError("refresh_after_ops must be non-negative")
+        if self.ops_per_day < 0:
+            raise ValueError("ops_per_day must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Derived capacity
+    # ------------------------------------------------------------------
+
+    @property
+    def pslc_reserved_bytes(self) -> int:
+        return self.pslc_blocks * self.geometry.block_bytes
+
+    def pslc_block_ids(self) -> tuple[int, ...]:
+        """Physical blocks reserved for the pSLC buffer, striped across
+        planes so the buffer can absorb bursts with full die
+        parallelism (as TurboWrite-class regions are laid out)."""
+        geometry = self.geometry
+        planes = geometry.planes_total
+        ids = []
+        for i in range(self.pslc_blocks):
+            plane = i % planes
+            slot = i // planes
+            ids.append(plane * geometry.blocks_per_plane + slot)
+        return tuple(ids)
+
+    @property
+    def logical_sectors(self) -> int:
+        """Exported logical capacity, in sectors."""
+        usable = self.geometry.capacity_bytes - self.pslc_reserved_bytes
+        exported = int(usable * (1.0 - self.op_ratio))
+        return exported // self.geometry.sector_size
+
+    @property
+    def logical_bytes(self) -> int:
+        return self.logical_sectors * self.geometry.sector_size
+
+    def with_changes(self, **kwargs) -> "SsdConfig":
+        """Return a copy with the given fields replaced (for sweeps)."""
+        return replace(self, **kwargs)

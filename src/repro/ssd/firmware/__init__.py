@@ -1,0 +1,20 @@
+"""Generated firmware: ISA, image builder, obfuscation, hackable device."""
+
+from repro.ssd.firmware.builder import (
+    FirmwareImage,
+    MemoryMap,
+    build_firmware,
+    memory_map_for,
+    parse_image,
+)
+from repro.ssd.firmware.cpu import Cpu, CpuFault
+from repro.ssd.firmware.device import HackableSSD, IDCODE
+from repro.ssd.firmware.isa import assemble, disassemble, find_pointer_loads
+from repro.ssd.firmware.obfuscation import deobfuscate, obfuscate
+
+__all__ = [
+    "HackableSSD", "IDCODE",
+    "MemoryMap", "FirmwareImage", "build_firmware", "memory_map_for",
+    "parse_image", "assemble", "disassemble", "find_pointer_loads",
+    "obfuscate", "deobfuscate", "Cpu", "CpuFault",
+]

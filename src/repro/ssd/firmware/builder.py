@@ -1,0 +1,307 @@
+"""Firmware image generation for the 840-EVO-like device.
+
+The JTAG study needs a *genuine artifact* to reverse engineer: machine
+code whose constants and control flow embody the FTL facts the paper
+recovered, packed in a vendor-style sectioned image.  The builder
+assembles three cores' worth of ISA code from templates:
+
+``core0`` (SATA)
+    Reads the pending LBA from MMIO and rings core 1's or core 2's
+    doorbell depending on ``lba & 1`` — the LBA-LSB channel split.
+``core1`` / ``core2`` (flash)
+    Compute the translation-entry address: entry index ``lba >> 3``
+    scaled by the entry stride, into one of the core's four mapping
+    arrays selected by ``(lba >> 1) & 3``; then probe the pSLC hashed
+    index at bucket ``(lba ^ (lba >> 5)) & (buckets - 1)``.
+
+Image layout (the "public format" a de-obfuscation utility would know)::
+
+    +0   magic  "SSDFW840"
+    +8   version u32, section_count u32
+    +16  section table: name[8] load_addr u32 size u32 offset u32
+    ...  section payloads, zero/0xFF padding between sections
+
+The padding is not cosmetic: it is the known plaintext the keystream
+attack in :mod:`repro.ssd.firmware.obfuscation` exploits.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.ssd.config import SsdConfig
+from repro.ssd.firmware.isa import assemble
+
+MAGIC = b"SSDFW840"
+SECTION_HEADER = struct.Struct("<8sIII")
+HEADER = struct.Struct("<8sII")
+
+#: address-space bases (fixed by the controller design).
+CODE_BASE = 0x00000000
+SRAM_BASE = 0x10000000
+DRAM_BASE = 0x20000000
+MMIO_BASE = 0x40000000
+
+#: MMIO registers.
+MMIO_LBA = 0x0
+MMIO_LEN = 0x4
+MMIO_DOORBELL = 0x8
+
+NUM_MAP_ARRAYS = 8
+MAP_ENTRY_BYTES = 4
+PSLC_BUCKET_BYTES = 8
+
+
+@dataclass(frozen=True)
+class MemoryMap:
+    """Where everything lives in the controller's address space."""
+
+    num_lpns: int
+    entries_per_array: int
+    map_array_bases: tuple[int, ...]
+    pslc_index_base: int
+    pslc_buckets: int
+    dram_base: int = DRAM_BASE
+    code_base: int = CODE_BASE
+    sram_base: int = SRAM_BASE
+    mmio_base: int = MMIO_BASE
+
+    @property
+    def map_array_bytes(self) -> int:
+        return self.entries_per_array * MAP_ENTRY_BYTES
+
+    @property
+    def map_total_bytes(self) -> int:
+        return self.map_array_bytes * NUM_MAP_ARRAYS
+
+    @property
+    def pslc_index_bytes(self) -> int:
+        return self.pslc_buckets * PSLC_BUCKET_BYTES
+
+    def array_of_lpn(self, lpn: int) -> tuple[int, int]:
+        """``(array index, byte offset)`` of one LPN's map entry."""
+        return lpn % NUM_MAP_ARRAYS, (lpn // NUM_MAP_ARRAYS) * MAP_ENTRY_BYTES
+
+    def entry_address(self, lpn: int) -> int:
+        array, offset = self.array_of_lpn(lpn)
+        return self.map_array_bases[array] + offset
+
+    def pslc_bucket_of(self, lpn: int) -> int:
+        return (lpn ^ (lpn >> 5)) & (self.pslc_buckets - 1)
+
+    def pslc_bucket_address(self, bucket: int) -> int:
+        return self.pslc_index_base + bucket * PSLC_BUCKET_BYTES
+
+
+def memory_map_for(config: SsdConfig, pslc_buckets: int = 4096) -> MemoryMap:
+    """Lay out DRAM for a device configuration."""
+    if pslc_buckets & (pslc_buckets - 1):
+        raise ValueError("pslc_buckets must be a power of two")
+    num_lpns = config.logical_sectors
+    entries = -(-num_lpns // NUM_MAP_ARRAYS)
+    stride = _round_up(entries * MAP_ENTRY_BYTES, 0x1000)
+    bases = tuple(DRAM_BASE + i * stride for i in range(NUM_MAP_ARRAYS))
+    # The pSLC index comes from a different allocation pool: leave a
+    # guard gap so it is not stride-contiguous with the map arrays.
+    pslc_base = DRAM_BASE + NUM_MAP_ARRAYS * stride + 0x10000
+    return MemoryMap(
+        num_lpns=num_lpns,
+        entries_per_array=entries,
+        map_array_bases=bases,
+        pslc_index_base=pslc_base,
+        pslc_buckets=pslc_buckets,
+    )
+
+
+def _round_up(value: int, align: int) -> int:
+    return (value + align - 1) // align * align
+
+
+def _hi(value: int) -> int:
+    return (value >> 16) & 0xFFFF
+
+
+def _lo(value: int) -> int:
+    return value & 0xFFFF
+
+
+# ----------------------------------------------------------------------
+# Code templates
+# ----------------------------------------------------------------------
+
+
+def sata_core_source(memory_map: MemoryMap) -> str:
+    """Core 0: the host-interface dispatcher."""
+    mmio = memory_map.mmio_base
+    return f"""
+sata_entry:
+    movi r1, 0x{_lo(mmio):x}
+    movt r1, 0x{_hi(mmio):x}
+    ldr r0, [r1, 0x{MMIO_LBA:x}]
+    and r2, r0, 0x1            ; route by the LBA's least-significant bit
+    cmp r2, 0x0
+    beq route_even
+    movi r3, 0x2
+    str r3, [r1, 0x{MMIO_DOORBELL:x}]   ; doorbell flash core 2
+    b sata_wait
+route_even:
+    movi r3, 0x1
+    str r3, [r1, 0x{MMIO_DOORBELL:x}]   ; doorbell flash core 1
+sata_wait:
+    wfi
+    b sata_entry
+"""
+
+
+def flash_core_source(memory_map: MemoryMap, core: int) -> str:
+    """Cores 1 and 2: map lookup over the core's four arrays + pSLC probe."""
+    if core not in (1, 2):
+        raise ValueError("flash cores are 1 and 2")
+    parity = core - 1
+    arrays = [parity, parity + 2, parity + 4, parity + 6]
+    bases = [memory_map.map_array_bases[a] for a in arrays]
+    mmio = memory_map.mmio_base
+    pslc = memory_map.pslc_index_base
+    mask = memory_map.pslc_buckets - 1
+    return f"""
+flash_entry:
+    movi r1, 0x{_lo(mmio):x}
+    movt r1, 0x{_hi(mmio):x}
+    ldr r0, [r1, 0x{MMIO_LBA:x}]
+    lsr r4, r0, 0x3            ; entry index = lba / 8
+    lsl r4, r4, 0x2            ; * entry stride (4 bytes)
+    lsr r5, r0, 0x1
+    and r5, r5, 0x3            ; which of this core's four arrays
+    cmp r5, 0x0
+    beq use_a0
+    cmp r5, 0x1
+    beq use_a1
+    cmp r5, 0x2
+    beq use_a2
+    movi r6, 0x{_lo(bases[3]):x}
+    movt r6, 0x{_hi(bases[3]):x}
+    b lookup
+use_a0:
+    movi r6, 0x{_lo(bases[0]):x}
+    movt r6, 0x{_hi(bases[0]):x}
+    b lookup
+use_a1:
+    movi r6, 0x{_lo(bases[1]):x}
+    movt r6, 0x{_hi(bases[1]):x}
+    b lookup
+use_a2:
+    movi r6, 0x{_lo(bases[2]):x}
+    movt r6, 0x{_hi(bases[2]):x}
+lookup:
+    addx r6, r4
+    ldr r7, [r6, 0x0]          ; translation entry
+    lsr r8, r0, 0x5            ; pSLC hashed-index probe:
+    xorx r8, r0                ;   h = (lba ^ (lba >> 5)) & (buckets-1)
+    and r8, r8, 0x{mask:x}
+    lsl r8, r8, 0x3            ;   * bucket stride (8 bytes)
+    movi r9, 0x{_lo(pslc):x}
+    movt r9, 0x{_hi(pslc):x}
+    addx r9, r8
+    ldr r10, [r9, 0x0]         ; bucket tag
+    wfi
+    b flash_entry
+"""
+
+
+#: vendor-ish strings embedded in the image (RE pipelines grep these).
+IMAGE_STRINGS = (
+    b"EVO840-REPRO-FTL\x00",
+    b"TurboWrite\x00",
+    b"L2P-CHUNK-LOADER\x00",
+    b"SATA-HOST-IF\x00",
+)
+
+
+@dataclass
+class Section:
+    name: str
+    load_addr: int
+    data: bytes
+
+
+@dataclass
+class FirmwareImage:
+    """A built (plain, unobfuscated) firmware image."""
+
+    memory_map: MemoryMap
+    sections: list[Section] = field(default_factory=list)
+
+    def section(self, name: str) -> Section:
+        for section in self.sections:
+            if section.name == name:
+                return section
+        raise KeyError(f"no section {name!r}")
+
+    def to_bytes(self, pad_to: int = 0x8000) -> bytes:
+        """Serialize with header, section table, and padding."""
+        table_size = HEADER.size + SECTION_HEADER.size * len(self.sections)
+        offset = _round_up(table_size, 64)
+        entries = []
+        payloads = []
+        for section in self.sections:
+            entries.append(SECTION_HEADER.pack(
+                section.name.encode().ljust(8, b"\x00")[:8],
+                section.load_addr, len(section.data), offset,
+            ))
+            payloads.append((offset, section.data))
+            offset = _round_up(offset + len(section.data), 64)
+        total = max(offset, pad_to)
+        image = bytearray(b"\xff" * total)
+        image[: HEADER.size] = HEADER.pack(MAGIC, 1, len(self.sections))
+        cursor = HEADER.size
+        for entry in entries:
+            image[cursor : cursor + SECTION_HEADER.size] = entry
+            cursor += SECTION_HEADER.size
+        for off, data in payloads:
+            image[off : off + len(data)] = data
+        return bytes(image)
+
+
+class ImageFormatError(Exception):
+    """The bytes do not parse as a firmware image."""
+
+
+def parse_image(data: bytes) -> list[Section]:
+    """Parse a plain image back into sections (the 'public' format)."""
+    if len(data) < HEADER.size:
+        raise ImageFormatError("image too short")
+    magic, version, count = HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise ImageFormatError(f"bad magic {magic!r}")
+    sections = []
+    cursor = HEADER.size
+    for _ in range(count):
+        if cursor + SECTION_HEADER.size > len(data):
+            raise ImageFormatError("truncated section table")
+        name, load, size, offset = SECTION_HEADER.unpack_from(data, cursor)
+        cursor += SECTION_HEADER.size
+        if offset + size > len(data):
+            raise ImageFormatError("section payload out of bounds")
+        sections.append(Section(name.rstrip(b"\x00").decode(), load,
+                                data[offset : offset + size]))
+    return sections
+
+
+def build_firmware(memory_map: MemoryMap) -> FirmwareImage:
+    """Assemble all cores and pack the image."""
+    core0 = assemble(sata_core_source(memory_map))
+    core1 = assemble(flash_core_source(memory_map, 1))
+    core2 = assemble(flash_core_source(memory_map, 2))
+    code_base = memory_map.code_base
+    image = FirmwareImage(memory_map)
+    image.sections.append(Section("core0", code_base, core0))
+    image.sections.append(Section("core1", code_base + 0x1000, core1))
+    image.sections.append(Section("core2", code_base + 0x2000, core2))
+    image.sections.append(Section("strings", code_base + 0x3000,
+                                  b"".join(IMAGE_STRINGS)))
+    # A zero-padded configuration blob: known plaintext for the
+    # keystream attack, like the padded tail of real vendor images.
+    image.sections.append(Section("config", code_base + 0x4000,
+                                  b"\x00" * 2048))
+    return image

@@ -1,0 +1,144 @@
+"""A tiny interpreter for the firmware ISA.
+
+Used by tests and the RE pipeline's dynamic analysis: executing the
+generated firmware against the device's address space proves the code
+really computes what the static analysis claims (e.g. that the SATA
+dispatcher routes by the LBA's least-significant bit, or that a flash
+core's map lookup lands in the documented array).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.ssd.firmware.isa import WORD, Insn, Op, decode_word
+
+
+class CpuFault(Exception):
+    """Undefined instruction or runaway execution."""
+
+
+@dataclass
+class MemoryTrace:
+    """Accesses observed while running (for the dynamic-analysis tests)."""
+
+    loads: list[tuple[int, int]] = field(default_factory=list)  # (addr, value)
+    stores: list[tuple[int, int]] = field(default_factory=list)
+
+
+class Cpu:
+    """One core: 15 registers, a Z flag, and a word-addressed bus.
+
+    ``read_word`` / ``write_word`` are callables over the device address
+    space; ``code`` is the core's text section, executed at ``code_base``.
+    """
+
+    def __init__(
+        self,
+        code: bytes,
+        code_base: int,
+        read_word: Callable[[int], int],
+        write_word: Callable[[int, int], None],
+    ) -> None:
+        self.code = code
+        self.code_base = code_base
+        self.read_word = read_word
+        self.write_word = write_word
+        self.regs = [0] * 15
+        self.z = False
+        self.pc = code_base
+        self.halted = False
+        self.waiting = False
+        self.trace = MemoryTrace()
+        self._lr = 0
+
+    def _fetch(self) -> Insn:
+        offset = self.pc - self.code_base
+        if not 0 <= offset < len(self.code) or offset % WORD:
+            raise CpuFault(f"pc 0x{self.pc:08x} outside code section")
+        word = int.from_bytes(self.code[offset : offset + WORD], "little")
+        insn = decode_word(word)
+        if insn is None:
+            raise CpuFault(f"undefined instruction 0x{word:08x} at 0x{self.pc:08x}")
+        return insn
+
+    def step(self) -> None:
+        """Execute one instruction."""
+        if self.halted or self.waiting:
+            return
+        insn = self._fetch()
+        next_pc = self.pc + WORD
+        op, rd, rn = insn.op, insn.rd, insn.rn
+        imm = insn.imm
+        regs = self.regs
+        mask = 0xFFFFFFFF
+        if op is Op.NOP:
+            pass
+        elif op is Op.HALT:
+            self.halted = True
+        elif op is Op.WFI:
+            self.waiting = True
+        elif op is Op.MOVI:
+            regs[rd] = imm
+        elif op is Op.MOVT:
+            regs[rd] = ((imm << 16) | (regs[rd] & 0xFFFF)) & mask
+        elif op is Op.LDR:
+            addr = (regs[rn] + imm) & mask
+            value = self.read_word(addr)
+            regs[rd] = value & mask
+            self.trace.loads.append((addr, regs[rd]))
+        elif op is Op.STR:
+            addr = (regs[rn] + imm) & mask
+            self.write_word(addr, regs[rd] & mask)
+            self.trace.stores.append((addr, regs[rd] & mask))
+        elif op is Op.ADD:
+            regs[rd] = (regs[rn] + imm) & mask
+        elif op is Op.SUB:
+            regs[rd] = (regs[rn] - imm) & mask
+        elif op is Op.AND:
+            regs[rd] = regs[rn] & imm
+        elif op is Op.ORR:
+            regs[rd] = (regs[rn] | imm) & mask
+        elif op is Op.XOR:
+            regs[rd] = (regs[rn] ^ imm) & mask
+        elif op is Op.LSR:
+            regs[rd] = (regs[rn] & mask) >> (imm & 31)
+        elif op is Op.LSL:
+            regs[rd] = (regs[rn] << (imm & 31)) & mask
+        elif op is Op.ADDX:
+            regs[rd] = (regs[rd] + regs[rn]) & mask
+        elif op is Op.XORX:
+            regs[rd] = (regs[rd] ^ regs[rn]) & mask
+        elif op is Op.CMP:
+            self.z = (regs[rn] & mask) == (imm & mask)
+        elif op is Op.BEQ:
+            if self.z:
+                next_pc = self.pc + insn.simm * WORD
+        elif op is Op.BNE:
+            if not self.z:
+                next_pc = self.pc + insn.simm * WORD
+        elif op is Op.B:
+            next_pc = self.pc + insn.simm * WORD
+        elif op is Op.BL:
+            self._lr = next_pc
+            next_pc = self.pc + insn.simm * WORD
+        elif op is Op.RET:
+            next_pc = self._lr
+        else:  # pragma: no cover - enum is exhaustive
+            raise CpuFault(f"unhandled op {op!r}")
+        self.pc = next_pc
+
+    def run(self, max_steps: int = 10_000) -> int:
+        """Run until HALT/WFI; returns steps executed."""
+        steps = 0
+        while not self.halted and not self.waiting:
+            if steps >= max_steps:
+                raise CpuFault(f"no HALT/WFI within {max_steps} steps")
+            self.step()
+            steps += 1
+        return steps
+
+    def resume(self) -> None:
+        """Clear a WFI so execution can continue (interrupt delivery)."""
+        self.waiting = False

@@ -1,0 +1,276 @@
+"""A small fixed-width controller ISA, with assembler and disassembler.
+
+The 840 EVO's controller is an ARM Cortex-R tri-core; reproducing a full
+ARM decoder is beside the point, but the reverse-engineering pipeline
+needs *real* machine code to disassemble and analyze — firmware whose
+constants and control flow genuinely encode the FTL facts the paper
+recovered (the LBA-LSB channel split, the mapping-array base addresses).
+
+So the firmware builder targets this 32-bit ISA:
+
+========  =============================  =================================
+encoding  ``[op:8][rd:4][rn:4][imm:16]`` little-endian words
+regs      r0..r14, pc is implicit
+flags     Z only (set by CMP)
+========  =============================  =================================
+
+Instructions: NOP, HALT, WFI, MOVI (rd=imm), MOVT (rd|=imm<<16),
+LDR/STR (rd <-> [rn+imm]), ADD/SUB/AND/ORR/LSR/LSL (rd = rn op imm),
+CMP (flags = rn vs imm), BEQ/BNE/B/BL (pc-relative, in words), RET.
+
+The idiom ``MOVI rX, lo16; MOVT rX, hi16`` materializes 32-bit pointers —
+exactly the pattern the RE pipeline scans for to find data structures in
+the controller's address space (as one scans for ``MOVW/MOVT`` pairs in
+real ARM firmware).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+import struct
+from dataclasses import dataclass
+
+WORD = 4
+
+
+class Op(enum.IntEnum):
+    NOP = 0x00
+    HALT = 0x01
+    MOVI = 0x02
+    MOVT = 0x03
+    LDR = 0x04
+    STR = 0x05
+    ADD = 0x06
+    SUB = 0x07
+    AND = 0x08
+    ORR = 0x09
+    LSR = 0x0A
+    LSL = 0x0B
+    CMP = 0x0C
+    BEQ = 0x0D
+    BNE = 0x0E
+    B = 0x0F
+    BL = 0x10
+    RET = 0x11
+    WFI = 0x12
+    ADDX = 0x13  # rd = rd + rn   (register-register add)
+    XOR = 0x14  # rd = rn ^ imm
+    XORX = 0x15  # rd = rd ^ rn   (register-register xor)
+
+
+#: opcodes whose imm field is a signed pc-relative word offset.
+BRANCH_OPS = {Op.BEQ, Op.BNE, Op.B, Op.BL}
+
+#: opcodes taking rd, rn, imm
+TRIPLE_OPS = {Op.LDR, Op.STR, Op.ADD, Op.SUB, Op.AND, Op.ORR, Op.LSR, Op.LSL,
+              Op.XOR}
+
+#: opcodes taking rd, rn (register-register)
+PAIR_OPS = {Op.ADDX, Op.XORX}
+
+
+class AsmError(Exception):
+    """Assembly failed (syntax, range, unknown label)."""
+
+
+@dataclass(frozen=True)
+class Insn:
+    """One decoded instruction."""
+
+    op: Op
+    rd: int = 0
+    rn: int = 0
+    imm: int = 0
+
+    def encode(self) -> int:
+        imm = self.imm & 0xFFFF
+        return (int(self.op) << 24) | (self.rd << 20) | (self.rn << 16) | imm
+
+    @property
+    def simm(self) -> int:
+        """imm as a signed 16-bit value (branch offsets)."""
+        return self.imm - 0x10000 if self.imm & 0x8000 else self.imm
+
+    def text(self) -> str:
+        op = self.op
+        if op in (Op.NOP, Op.HALT, Op.RET, Op.WFI):
+            return op.name.lower()
+        if op is Op.MOVI or op is Op.MOVT:
+            return f"{op.name.lower()} r{self.rd}, 0x{self.imm:x}"
+        if op is Op.LDR:
+            return f"ldr r{self.rd}, [r{self.rn}, 0x{self.imm:x}]"
+        if op is Op.STR:
+            return f"str r{self.rd}, [r{self.rn}, 0x{self.imm:x}]"
+        if op in TRIPLE_OPS:
+            return f"{op.name.lower()} r{self.rd}, r{self.rn}, 0x{self.imm:x}"
+        if op in PAIR_OPS:
+            return f"{op.name.lower()} r{self.rd}, r{self.rn}"
+        if op is Op.CMP:
+            return f"cmp r{self.rn}, 0x{self.imm:x}"
+        if op in BRANCH_OPS:
+            return f"{op.name.lower()} {self.simm}"
+        raise AssertionError(f"unhandled op {op!r}")
+
+
+def decode_word(word: int) -> Insn | None:
+    """Decode one 32-bit word; None if the opcode is not in the ISA."""
+    opcode = (word >> 24) & 0xFF
+    try:
+        op = Op(opcode)
+    except ValueError:
+        return None
+    return Insn(op, rd=(word >> 20) & 0xF, rn=(word >> 16) & 0xF,
+                imm=word & 0xFFFF)
+
+
+# ----------------------------------------------------------------------
+# Assembler
+# ----------------------------------------------------------------------
+
+_REG = r"r(\d{1,2})"
+_IMM = r"(-?(?:0x[0-9a-fA-F]+|\d+))"
+_PATTERNS = [
+    (re.compile(rf"(movi|movt)\s+{_REG}\s*,\s*{_IMM}$"), "ri"),
+    (re.compile(rf"(ldr|str)\s+{_REG}\s*,\s*\[\s*{_REG}\s*(?:,\s*{_IMM})?\s*\]$"), "mem"),
+    (re.compile(rf"(add|sub|and|orr|lsr|lsl|xor)\s+{_REG}\s*,\s*{_REG}\s*,\s*{_IMM}$"), "rri"),
+    (re.compile(rf"(addx|xorx)\s+{_REG}\s*,\s*{_REG}$"), "rr"),
+    (re.compile(rf"(cmp)\s+{_REG}\s*,\s*{_IMM}$"), "ni"),
+    (re.compile(r"(beq|bne|bl|b)\s+([\w.]+)$"), "label"),
+    (re.compile(r"(nop|halt|ret|wfi)$"), "bare"),
+]
+
+
+def _int(text: str) -> int:
+    return int(text, 0)
+
+
+def assemble(source: str, base_pc: int = 0) -> bytes:
+    """Two-pass assembly of *source* into little-endian machine code.
+
+    Lines hold one instruction, a ``label:`` definition, or a comment
+    (``;`` to end of line).  Branch targets are labels.
+    """
+    lines = []
+    for raw in source.splitlines():
+        line = raw.split(";", 1)[0].strip().lower()
+        if line:
+            lines.append(line)
+
+    labels: dict[str, int] = {}
+    insns: list[tuple[str, tuple]] = []
+    pc = 0
+    for line in lines:
+        while ":" in line:
+            label, _, line = line.partition(":")
+            label = label.strip()
+            if not re.fullmatch(r"[\w.]+", label):
+                raise AsmError(f"bad label {label!r}")
+            if label in labels:
+                raise AsmError(f"duplicate label {label!r}")
+            labels[label] = pc
+            line = line.strip()
+        if not line:
+            continue
+        insns.append((line, (pc,)))
+        pc += 1
+
+    words: list[int] = []
+    for line, (pc,) in insns:
+        words.append(_assemble_line(line, pc, labels).encode())
+    return struct.pack(f"<{len(words)}I", *words) if words else b""
+
+
+def _assemble_line(line: str, pc: int, labels: dict[str, int]) -> Insn:
+    for pattern, shape in _PATTERNS:
+        match = pattern.fullmatch(line)
+        if not match:
+            continue
+        mnemonic = match.group(1)
+        op = Op[mnemonic.upper()]
+        if shape == "bare":
+            return Insn(op)
+        if shape == "ri":
+            rd, imm = int(match.group(2)), _int(match.group(3))
+            _check_reg(rd), _check_imm(imm)
+            return Insn(op, rd=rd, imm=imm & 0xFFFF)
+        if shape == "mem":
+            rd, rn = int(match.group(2)), int(match.group(3))
+            imm = _int(match.group(4)) if match.group(4) else 0
+            _check_reg(rd), _check_reg(rn), _check_imm(imm)
+            return Insn(op, rd=rd, rn=rn, imm=imm & 0xFFFF)
+        if shape == "rri":
+            rd, rn, imm = (int(match.group(2)), int(match.group(3)),
+                           _int(match.group(4)))
+            _check_reg(rd), _check_reg(rn), _check_imm(imm)
+            return Insn(op, rd=rd, rn=rn, imm=imm & 0xFFFF)
+        if shape == "rr":
+            rd, rn = int(match.group(2)), int(match.group(3))
+            _check_reg(rd), _check_reg(rn)
+            return Insn(op, rd=rd, rn=rn)
+        if shape == "ni":
+            rn, imm = int(match.group(2)), _int(match.group(3))
+            _check_reg(rn), _check_imm(imm)
+            return Insn(op, rn=rn, imm=imm & 0xFFFF)
+        if shape == "label":
+            target = match.group(2)
+            if target not in labels:
+                raise AsmError(f"unknown label {target!r}")
+            offset = labels[target] - pc
+            if not -0x8000 <= offset < 0x8000:
+                raise AsmError(f"branch to {target!r} out of range")
+            return Insn(op, imm=offset & 0xFFFF)
+    raise AsmError(f"cannot assemble: {line!r}")
+
+
+def _check_reg(reg: int) -> None:
+    if not 0 <= reg <= 14:
+        raise AsmError(f"register r{reg} out of range (r0-r14)")
+
+
+def _check_imm(imm: int) -> None:
+    if not -0x8000 <= imm <= 0xFFFF:
+        raise AsmError(f"immediate {imm:#x} does not fit in 16 bits")
+
+
+# ----------------------------------------------------------------------
+# Disassembler
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DisasmLine:
+    """One disassembled instruction with its address."""
+
+    addr: int
+    word: int
+    insn: Insn | None
+
+    def text(self) -> str:
+        body = self.insn.text() if self.insn else f".word 0x{self.word:08x}"
+        return f"{self.addr:08x}:  {body}"
+
+
+def disassemble(code: bytes, base: int = 0) -> list[DisasmLine]:
+    """Linear-sweep disassembly (firmware here has no inline data)."""
+    if len(code) % WORD:
+        code = code[: len(code) - len(code) % WORD]
+    out = []
+    for i, (word,) in enumerate(struct.iter_unpack("<I", code)):
+        out.append(DisasmLine(base + i * WORD, word, decode_word(word)))
+    return out
+
+
+def find_pointer_loads(lines: list[DisasmLine]) -> list[tuple[int, int, int]]:
+    """Scan for ``MOVI rX, lo; MOVT rX, hi`` pairs.
+
+    Returns ``(addr_of_movi, register, pointer_value)`` triples — the
+    standard firmware-RE trick for harvesting data-structure addresses.
+    """
+    found = []
+    by_index = [line for line in lines if line.insn is not None]
+    for a, b in zip(by_index, by_index[1:]):
+        ia, ib = a.insn, b.insn
+        if (ia.op is Op.MOVI and ib.op is Op.MOVT and ia.rd == ib.rd):
+            found.append((a.addr, ia.rd, (ib.imm << 16) | ia.imm))
+    return found

@@ -1,0 +1,631 @@
+"""The flash translation layer.
+
+This is the "complex layer of proprietary firmware" the paper is about:
+it owns the logical-to-physical map, the write cache, page allocation,
+garbage collection, RAIN parity, and the pSLC buffer, and it emits a
+:class:`~repro.ssd.ops.FlashOp` stream describing every physical
+operation it causes.
+
+Write path (host sector granularity)::
+
+    host sector -> write cache (absorb/pack) -> [pSLC buffer] -> data page
+                                  \\-> mapping update -> dirty TP -> meta page
+                                  \\-> RAIN stripe accounting -> parity page
+                                  \\-> free-block pressure -> GC migrations
+
+Accounting conventions (documented because the black-box experiments
+measure them):
+
+* Host data page programs count as *host* pages even when they land in
+  the pSLC buffer; drain traffic counts as FTL (reason ``PSLC``).
+* GC migrations update the map via :meth:`MappingTable.silent_update` —
+  real FTLs piggyback those updates on the destination block's OOB, so
+  they do not generate additional translation-page writes here.
+* RAIN parity pages are counted but held as immediately-invalid overhead
+  (parity is reconstructible; GC never migrates it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.flash.errors import (
+    PSLC_RELIABILITY,
+    RELIABILITY_BY_TIMING,
+    FailureInjector,
+    ReliabilityModel,
+)
+from repro.flash.geometry import Geometry
+from repro.flash.nand import NO_LPN, NandArray
+from repro.ssd.allocation import OutOfSpace, PageAllocator
+from repro.ssd.cache import WriteCache
+from repro.ssd.config import SsdConfig
+from repro.ssd.gc import VictimSelector
+from repro.ssd.mapping import UNMAPPED, MappingEvents, MappingTable
+from repro.ssd.ops import FlashOp, OpKind, OpReason
+from repro.ssd.rain import RainAccountant
+from repro.ssd.slc import PslcBuffer
+from repro.ssd.wearlevel import WearLeveler
+
+#: p2l code space: values <= META_P2L_BASE mark metadata pages; the
+#: translation-page id is recovered as ``META_P2L_BASE - value``.
+META_P2L_BASE = -2
+
+#: p2l value of a slot holding nothing valid.
+P2L_NONE = -1
+
+
+def _tp_to_p2l(tp_id: int) -> int:
+    return META_P2L_BASE - tp_id
+
+
+def _p2l_to_tp(value: int) -> int:
+    return META_P2L_BASE - value
+
+
+@dataclass
+class FtlStats:
+    """FTL-internal statistics (invisible to a black-box observer)."""
+
+    host_sector_writes: int = 0
+    host_sector_reads: int = 0
+    cache_absorbed: int = 0
+    gc_invocations: int = 0
+    gc_migrated_sectors: int = 0
+    pslc_staged_sectors: int = 0
+    pslc_drains: int = 0
+    blocks_retired: int = 0
+    trimmed_sectors: int = 0
+    idle_gc_blocks: int = 0
+    wear_migrations: int = 0
+    refreshed_blocks: int = 0
+    uncorrectable_reads: int = 0
+
+
+class Ftl:
+    """Page-mapped FTL over a :class:`NandArray`."""
+
+    def __init__(
+        self,
+        config: SsdConfig,
+        nand: NandArray | None = None,
+        injector: FailureInjector | None = None,
+        reliability: ReliabilityModel | None = None,
+    ) -> None:
+        self.config = config
+        geometry = config.geometry
+        self.geometry = geometry
+        self.nand = nand if nand is not None else NandArray(
+            geometry, erase_limit=config.erase_limit
+        )
+        self.injector = injector if injector is not None else FailureInjector()
+        self.reliability = (reliability if reliability is not None
+                            else RELIABILITY_BY_TIMING[config.timing_name])
+
+        spp = geometry.sectors_per_page
+        self.num_lpns = config.logical_sectors
+        total_psas = geometry.total_pages * spp
+        #: physical-sector -> logical-sector reverse map (see p2l codes above).
+        self.p2l = np.full(total_psas, P2L_NONE, dtype=np.int64)
+        self.sector_valid = np.zeros(total_psas, dtype=bool)
+        self.block_valid = np.zeros(geometry.total_blocks, dtype=np.int32)
+
+        # pSLC buffer blocks are striped across planes (TurboWrite-style
+        # fixed regions with full die parallelism).
+        pslc_block_ids = list(config.pslc_block_ids())
+        self.pslc = PslcBuffer(geometry, pslc_block_ids)
+        excluded = frozenset(pslc_block_ids)
+
+        self.allocator = PageAllocator(
+            geometry, self.nand, config.allocation_scheme, excluded_blocks=excluded
+        )
+
+        dirty_limit = config.mapping_dirty_tp_limit
+        if config.cache_designation == "mapping":
+            # The RAM budget buys dirty-TP slots instead of data buffering:
+            # one TP occupies one flash page of RAM.
+            extra = config.cache_sectors * geometry.sector_size // geometry.page_size
+            dirty_limit += extra
+            cache_sectors = geometry.sectors_per_page
+        else:
+            cache_sectors = max(config.cache_sectors, geometry.sectors_per_page)
+        self.cache = WriteCache(cache_sectors)
+
+        self.mapping = MappingTable(
+            num_lpns=self.num_lpns,
+            tp_lpns=config.mapping_tp_lpns,
+            dirty_tp_limit=dirty_limit,
+            sync_interval=config.mapping_sync_interval,
+            chunk_lpns=config.mapping_chunk_lpns,
+            resident_chunks=config.mapping_resident_chunks,
+        )
+        self.selector = VictimSelector(
+            config.gc_policy,
+            geometry,
+            self.nand,
+            self.allocator,
+            self.block_valid,
+            sample_size=config.gc_sample_size,
+        )
+        self.rain = RainAccountant(config.rain_stripe)
+        self.leveler = WearLeveler(
+            geometry, self.nand, self.allocator,
+            delta=config.wear_leveling_delta,
+        ) if config.wear_leveling else None
+        #: host-sector-write sequence when each block was first programmed
+        #: since its last erase (-1 = not programmed); drives refresh age.
+        self.block_birth = np.full(geometry.total_blocks, -1, dtype=np.int64)
+        self._op_seq = 0
+        self.stats = FtlStats()
+        self._ops: list[FlashOp] = []
+        #: blocks currently being migrated (nested GC must not touch them).
+        self._gc_in_flight: set[int] = set()
+        #: True while GC migration is writing; migration draws on the
+        #: watermark reserve instead of recursively triggering GC.
+        self._in_gc = False
+
+    # ------------------------------------------------------------------
+    # Host interface
+    # ------------------------------------------------------------------
+
+    def write(self, lpn: int, nsectors: int = 1) -> list[FlashOp]:
+        """Write *nsectors* consecutive logical sectors starting at *lpn*."""
+        self._check_range(lpn, nsectors)
+        self._ops = []
+        for sector in range(lpn, lpn + nsectors):
+            self.stats.host_sector_writes += 1
+            self._op_seq += 1
+            if self.cache.insert(sector):
+                self.stats.cache_absorbed += 1
+            while self.cache.needs_flush:
+                self._flush_one_batch()
+        return self._ops
+
+    def read(self, lpn: int, nsectors: int = 1) -> list[FlashOp]:
+        """Read *nsectors* consecutive logical sectors starting at *lpn*."""
+        self._check_range(lpn, nsectors)
+        self._ops = []
+        for sector in range(lpn, lpn + nsectors):
+            self.stats.host_sector_reads += 1
+            if sector in self.cache:
+                continue  # RAM hit
+            psa = self.pslc.lookup(sector)
+            if psa is None:
+                psa, events = self.mapping.lookup(sector)
+                self._apply_mapping_events(events)
+            if psa is not None and psa != UNMAPPED:
+                ppn = psa // self.geometry.sectors_per_page
+                self._check_read_integrity(ppn)
+                self._emit(FlashOp(OpKind.READ, ppn, OpReason.HOST,
+                                   self.geometry.sector_size))
+        return self._ops
+
+    def _check_read_integrity(self, ppn: int) -> None:
+        """Retention/ECC model: a page whose raw bit errors exceed the
+        ECC budget is an uncorrectable read (counted, not fatal — real
+        drives report the sector and carry on)."""
+        if not self.config.ops_per_day:
+            return
+        block = ppn // self.geometry.pages_per_block
+        birth = int(self.block_birth[block])
+        if birth < 0:
+            return
+        age_days = (self._op_seq - birth) / self.config.ops_per_day
+        model = self.reliability
+        if block in self.allocator.excluded_blocks:
+            model = PSLC_RELIABILITY  # buffer blocks run in pSLC mode
+        cycles = int(self.nand.block_erase_count[block])
+        if not model.is_correctable(cycles, age_days):
+            self.stats.uncorrectable_reads += 1
+
+    def trim(self, lpn: int, nsectors: int = 1) -> list[FlashOp]:
+        """Discard logical sectors (ATA TRIM)."""
+        self._check_range(lpn, nsectors)
+        self._ops = []
+        for sector in range(lpn, lpn + nsectors):
+            self.stats.trimmed_sectors += 1
+            self.cache.drop(sector)
+            self.pslc.invalidate(sector)
+            old, events = self.mapping.trim(sector)
+            self._invalidate_old_copy(sector, old, UNMAPPED)
+            self._apply_mapping_events(events)
+        return self._ops
+
+    def flush(self) -> list[FlashOp]:
+        """Drain the write cache and close open RAIN stripes."""
+        self._ops = []
+        while len(self.cache):
+            self._flush_one_batch()
+        if self.rain.flush():
+            self._program_parity_page()
+        return self._ops
+
+    def checkpoint(self) -> list[FlashOp]:
+        """Persist all dirty mapping state (clean shutdown)."""
+        self._ops = []
+        self._apply_mapping_events(self.mapping.checkpoint())
+        return self._ops
+
+    # ------------------------------------------------------------------
+    # Write machinery
+    # ------------------------------------------------------------------
+
+    def _flush_one_batch(self) -> None:
+        batch = self.cache.take_flush_batch(self.geometry.sectors_per_page)
+        if not batch:
+            return
+        if self.pslc.enabled and self.pslc.has_space():
+            self._stage_batch_in_pslc(batch)
+        else:
+            self._program_data_page(batch, stream="host", reason=OpReason.HOST)
+        self._maybe_drain_pslc()
+
+    def _program_data_page(
+        self, lpns: list[int], stream: str, reason: OpReason,
+        *, silent_map: bool = False,
+    ) -> None:
+        """Program one page holding *lpns* and update all bookkeeping."""
+        self._ensure_free_space()
+        geometry = self.geometry
+        spp = geometry.sectors_per_page
+        ppn = self._allocate_programmable_page(stream)
+        self.nand.program(ppn, lpn=lpns[0], oob=tuple(lpns[:spp]))
+        self._emit(FlashOp(OpKind.PROGRAM, ppn, reason, geometry.page_size))
+        block = ppn // geometry.pages_per_block
+        for slot, lpn in enumerate(lpns[:spp]):
+            psa = ppn * spp + slot
+            self.p2l[psa] = lpn
+            self.sector_valid[psa] = True
+            self.block_valid[block] += 1
+            if silent_map:
+                old = self.mapping.silent_update(lpn, psa)
+            else:
+                old, events = self.mapping.update(lpn, psa)
+                self._apply_mapping_events(events)
+            self._invalidate_old_copy(lpn, old, psa)
+            # A fresh main-area copy supersedes any pSLC-resident one.
+            pslc_psa = self.pslc.lookup(lpn)
+            if pslc_psa is not None and pslc_psa != psa:
+                self.pslc.invalidate(lpn)
+        if self.rain.on_data_page():
+            self._program_parity_page()
+
+    def _program_parity_page(self) -> None:
+        self._ensure_free_space()
+        ppn = self._allocate_programmable_page("host")
+        self.nand.program(ppn, lpn=int(NO_LPN))
+        # Parity is never valid: it is overhead that GC erases freely.
+        self._emit(FlashOp(OpKind.PROGRAM, ppn, OpReason.PARITY,
+                           self.geometry.page_size))
+
+    def _program_meta_page(self, tp_id: int, reason: OpReason = OpReason.META) -> None:
+        self._ensure_free_space()
+        geometry = self.geometry
+        ppn = self._allocate_programmable_page("meta")
+        self.nand.program(ppn, lpn=int(NO_LPN), oob=(_tp_to_p2l(tp_id),))
+        self._emit(FlashOp(OpKind.PROGRAM, ppn, reason, geometry.page_size))
+        old = int(self.mapping.tp_stored_ppn[tp_id])
+        if old >= 0:
+            self._invalidate_meta_page(old)
+        slot0 = ppn * geometry.sectors_per_page
+        self.p2l[slot0] = _tp_to_p2l(tp_id)
+        self.sector_valid[slot0] = True
+        self.block_valid[ppn // geometry.pages_per_block] += 1
+        self.mapping.note_flushed(tp_id, ppn)
+        if self.rain.on_data_page():
+            self._program_parity_page()
+
+    def _allocate_programmable_page(self, stream: str) -> int:
+        """Allocate a page, handling injected program failures by
+        retiring the bad block and allocating elsewhere."""
+        while True:
+            ppn = self.allocator.allocate_page(stream)
+            if not self.injector.program_fails(ppn):
+                if ppn % self.geometry.pages_per_block == 0:
+                    self.block_birth[ppn // self.geometry.pages_per_block] = (
+                        self._op_seq
+                    )
+                return ppn
+            block = ppn // self.geometry.pages_per_block
+            plane = block // self.geometry.blocks_per_plane
+            self._retire_block(block, stream, plane)
+
+    def _retire_block(self, block: int, stream: str, plane: int) -> None:
+        """Program failure: salvage valid data, then retire the block."""
+        self.stats.blocks_retired += 1
+        self.allocator.abandon_active(stream, plane)
+        self.allocator.retire_block(block)
+        was_in_gc = self._in_gc
+        self._in_gc = True
+        try:
+            self._migrate_block_contents(block, reason=OpReason.GC)
+        finally:
+            self._in_gc = was_in_gc
+
+    # ------------------------------------------------------------------
+    # pSLC
+    # ------------------------------------------------------------------
+
+    def _stage_batch_in_pslc(self, lpns: list[int]) -> None:
+        ppn, pairs = self.pslc.stage_page(lpns)
+        self.stats.pslc_staged_sectors += len(pairs)
+        # Host data: counts as a host page even in the buffer.
+        self.nand.program(ppn, lpn=pairs[0][0], oob=tuple(lpn for lpn, _ in pairs))
+        self._emit(FlashOp(OpKind.PROGRAM, ppn, OpReason.HOST,
+                           self.geometry.page_size))
+        if not self.pslc.has_space():
+            self._drain_pslc_block()
+
+    def _maybe_drain_pslc(self) -> None:
+        if not self.pslc.enabled:
+            return
+        while self.pslc.used_fraction() >= self.config.pslc_drain_threshold:
+            if not self._drain_pslc_block():
+                break
+
+    def _drain_pslc_block(self) -> bool:
+        block = self.pslc.pick_drain_block()
+        if block is None:
+            return False
+        self.stats.pslc_drains += 1
+        victims = self.pslc.evict_block(block)
+        spp = self.geometry.sectors_per_page
+        # Read the source pages once each.
+        for ppn in sorted({psa // spp for _, psa in victims}):
+            self._emit(FlashOp(OpKind.READ, ppn, OpReason.PSLC,
+                               self.geometry.page_size))
+        lpns = [lpn for lpn, _ in victims]
+        for start in range(0, len(lpns), spp):
+            self._program_data_page(lpns[start : start + spp], stream="host",
+                                    reason=OpReason.PSLC)
+        self.nand.erase(block)
+        self._emit(FlashOp(OpKind.ERASE, block, OpReason.PSLC))
+        return True
+
+    # ------------------------------------------------------------------
+    # Idle maintenance (§2.1's "unpredictable background operations")
+    # ------------------------------------------------------------------
+
+    def idle_maintenance(self, max_blocks: int = 8) -> list[FlashOp]:
+        """Background work the FTL performs when the host goes quiet:
+        idle GC beyond the foreground watermark, static wear leveling,
+        and retention refresh.  Returns the flash ops incurred.
+
+        Wear leveling and refresh get a guaranteed slice of the budget:
+        under sustained churn, idle GC alone would otherwise starve the
+        lifetime mechanisms forever.
+        """
+        self._ops = []
+        wear_share = 1 if (self.leveler is not None
+                           and self.leveler.should_level()) else 0
+        refresh_share = 1 if self.config.refresh_after_ops else 0
+        budget = max(0, max_blocks - wear_share - refresh_share)
+        budget -= self._idle_gc(budget)
+        if self.leveler is not None and (wear_share or budget > 0):
+            budget += wear_share
+            budget -= self._wear_level(max(budget, wear_share))
+        if self.config.refresh_after_ops and (refresh_share or budget > 0):
+            self._refresh_old_blocks(max(budget + refresh_share, refresh_share))
+        return self._ops
+
+    def _idle_gc(self, budget: int) -> int:
+        target = (self.config.gc_high_water_blocks
+                  + self.config.idle_gc_extra_blocks)
+        done = 0
+        for plane in range(self.geometry.planes_total):
+            while (done < budget
+                   and self.allocator.free_blocks_in_plane(plane) < target):
+                victim = self.selector.select_victim(
+                    plane, exclude=self._gc_in_flight
+                )
+                if victim is None or int(self.block_valid[victim]) >= (
+                    self.geometry.pages_per_block
+                    * self.geometry.sectors_per_page
+                ):
+                    break
+                self._collect_block(victim)
+                self.stats.idle_gc_blocks += 1
+                done += 1
+        return done
+
+    def _wear_level(self, budget: int) -> int:
+        done = 0
+        while done < budget and self.leveler.should_level():
+            decision = self.leveler.pick_victim()
+            if decision is None:
+                break
+            block = decision.victim_block
+            self._gc_in_flight.add(block)
+            self._in_gc = True
+            try:
+                self._migrate_block_contents(block, reason=OpReason.WEAR)
+                self.nand.erase(block)
+                self._emit(FlashOp(OpKind.ERASE, block, OpReason.WEAR))
+                self.allocator.release_block(block)
+            finally:
+                self._gc_in_flight.discard(block)
+                self._in_gc = False
+            self.stats.wear_migrations += 1
+            done += 1
+        return done
+
+    def _refresh_old_blocks(self, budget: int) -> int:
+        """Rewrite blocks whose data has aged past the refresh deadline
+        (flash correct-and-refresh)."""
+        horizon = self._op_seq - self.config.refresh_after_ops
+        stale = [
+            block for block in range(self.geometry.total_blocks)
+            if 0 <= int(self.block_birth[block]) <= horizon
+            and int(self.block_valid[block]) > 0
+            and block not in self.allocator.active_blocks()
+            and block not in self.allocator.retired_blocks
+            and block not in self.allocator.excluded_blocks
+            and self.nand.block_write_ptr[block]
+            >= self.geometry.pages_per_block
+        ]
+        stale.sort(key=lambda b: int(self.block_birth[b]))
+        done = 0
+        for block in stale[:budget]:
+            self._gc_in_flight.add(block)
+            self._in_gc = True
+            try:
+                self._migrate_block_contents(block, reason=OpReason.REFRESH)
+                self.nand.erase(block)
+                self._emit(FlashOp(OpKind.ERASE, block, OpReason.REFRESH))
+                self.allocator.release_block(block)
+            finally:
+                self._gc_in_flight.discard(block)
+                self._in_gc = False
+            self.stats.refreshed_blocks += 1
+            done += 1
+        return done
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+
+    def _ensure_free_space(self) -> None:
+        if self._in_gc:
+            return
+        low = self.config.gc_low_water_blocks
+        high = self.config.gc_high_water_blocks
+        for plane in range(self.geometry.planes_total):
+            guard = self.geometry.blocks_per_plane
+            while self.allocator.free_blocks_in_plane(plane) <= low and guard:
+                victim = self.selector.select_victim(plane, exclude=self._gc_in_flight)
+                if victim is None:
+                    break
+                self._collect_block(victim)
+                guard -= 1
+                if self.allocator.free_blocks_in_plane(plane) >= high:
+                    break
+
+    def _collect_block(self, victim: int) -> None:
+        self.stats.gc_invocations += 1
+        self._gc_in_flight.add(victim)
+        self._in_gc = True
+        try:
+            self._migrate_block_contents(victim, reason=OpReason.GC)
+            if self.injector.erase_fails(victim):
+                self.stats.blocks_retired += 1
+                self.allocator.retire_block(victim)
+                return
+            self.nand.erase(victim)
+            self._emit(FlashOp(OpKind.ERASE, victim, OpReason.GC))
+            self.allocator.release_block(victim)
+        finally:
+            self._gc_in_flight.discard(victim)
+            self._in_gc = False
+
+    def _migrate_block_contents(self, block: int, reason: OpReason) -> None:
+        """Move every valid sector / metadata page out of *block*."""
+        geometry = self.geometry
+        spp = geometry.sectors_per_page
+        first_psa = block * geometry.pages_per_block * spp
+        live_lpns: list[int] = []
+        live_tps: list[int] = []
+        pages_to_read: set[int] = set()
+        for psa in range(first_psa, first_psa + geometry.pages_per_block * spp):
+            if not self.sector_valid[psa]:
+                continue
+            code = int(self.p2l[psa])
+            pages_to_read.add(psa // spp)
+            if code <= META_P2L_BASE:
+                live_tps.append(_p2l_to_tp(code))
+            elif code >= 0:
+                live_lpns.append(code)
+            self.sector_valid[psa] = False
+            self.p2l[psa] = P2L_NONE
+        self.block_valid[block] = 0
+        for ppn in sorted(pages_to_read):
+            self._emit(FlashOp(OpKind.READ, ppn, reason, geometry.page_size))
+        self.stats.gc_migrated_sectors += len(live_lpns)
+        for start in range(0, len(live_lpns), spp):
+            self._program_data_page(
+                live_lpns[start : start + spp], stream="gc", reason=reason,
+                silent_map=True,
+            )
+        for tp_id in live_tps:
+            self._program_meta_page(tp_id, reason=reason)
+
+    # ------------------------------------------------------------------
+    # Shared bookkeeping
+    # ------------------------------------------------------------------
+
+    def _apply_mapping_events(self, events: MappingEvents) -> None:
+        if events.empty:
+            return
+        for stored_ppn in events.load_tp_ppns:
+            self._emit(FlashOp(OpKind.READ, stored_ppn, OpReason.META,
+                               self.geometry.page_size))
+        for tp_id in events.flush_tps:
+            self._program_meta_page(tp_id)
+
+    def _invalidate_old_copy(self, lpn: int, old: int, new_psa: int) -> None:
+        """Invalidate *lpn*'s superseded copy at *old* — but only if the
+        reverse map confirms that sector still belongs to *lpn*.
+
+        The ownership check matters because a mapping entry can be
+        transiently stale within one host call: GC triggered mid-batch
+        (by a metadata flush) may relocate or reclaim sectors between
+        the moment a batch was formed and the moment its slots update
+        the map.  Invalidating only owned sectors makes those windows
+        self-healing instead of corrupting unrelated data.
+        """
+        if old == UNMAPPED or old == new_psa:
+            return
+        if int(self.p2l[old]) != lpn:
+            return  # the sector has since been reclaimed or re-owned
+        self._invalidate_psa(old)
+
+    def _invalidate_psa(self, psa: int) -> None:
+        if not self.sector_valid[psa]:
+            return
+        self.sector_valid[psa] = False
+        self.p2l[psa] = P2L_NONE
+        self.block_valid[psa // self.geometry.sectors_per_page
+                         // self.geometry.pages_per_block] -= 1
+
+    def _invalidate_meta_page(self, ppn: int) -> None:
+        slot0 = ppn * self.geometry.sectors_per_page
+        if self.sector_valid[slot0] and int(self.p2l[slot0]) <= META_P2L_BASE:
+            self._invalidate_psa(slot0)
+
+    def _emit(self, op: FlashOp) -> None:
+        self._ops.append(op)
+
+    def _check_range(self, lpn: int, nsectors: int) -> None:
+        if nsectors < 1:
+            raise ValueError("nsectors must be >= 1")
+        if lpn < 0 or lpn + nsectors > self.num_lpns:
+            raise ValueError(
+                f"sector range [{lpn}, {lpn + nsectors}) outside logical "
+                f"capacity {self.num_lpns}"
+            )
+
+    # ------------------------------------------------------------------
+    # Integrity checks (used heavily by tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert the cross-structure invariants that define FTL sanity."""
+        spp = self.geometry.sectors_per_page
+        # 1. Every mapped LPN points at a valid physical sector that maps back.
+        mapped = np.nonzero(self.mapping.l2p != UNMAPPED)[0]
+        for lpn in mapped[: 10000]:
+            psa = int(self.mapping.l2p[lpn])
+            assert self.sector_valid[psa], f"lpn {lpn} -> invalid psa {psa}"
+            assert int(self.p2l[psa]) == lpn, (
+                f"p2l mismatch: lpn {lpn} -> psa {psa} -> {int(self.p2l[psa])}"
+            )
+        # 2. Block valid counters match the sector_valid bitmap.
+        per_block = self.sector_valid.reshape(
+            self.geometry.total_blocks, self.geometry.pages_per_block * spp
+        ).sum(axis=1)
+        assert np.array_equal(per_block, self.block_valid), "block_valid drift"
+        # 3. Valid sectors only exist on programmed pages.
+        valid_psas = np.nonzero(self.sector_valid)[0]
+        pages = np.unique(valid_psas // spp)
+        assert np.all(self.nand.page_state[pages] == 1), "valid sector on free page"

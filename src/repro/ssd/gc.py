@@ -1,0 +1,123 @@
+"""Garbage-collection victim selection.
+
+Van Houdt's mean-field analysis (SIGMETRICS '13) showed that the family a
+GC victim-selection policy belongs to changes write amplification in
+first-order ways; the paper varies "randomized-greedy algorithm or greedy"
+as one of its three Fig 3 knobs.
+
+The policies here choose *which* full block to reclaim; the FTL performs
+the migration and erase.  All randomness is seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.flash.geometry import Geometry
+from repro.flash.nand import NandArray
+from repro.ssd.allocation import PageAllocator
+
+
+class VictimSelector:
+    """Selects GC victim blocks within a plane.
+
+    Parameters
+    ----------
+    policy:
+        One of ``greedy``, ``randomized_greedy``, ``random``, ``fifo``,
+        ``cost_benefit``.
+    valid_sectors:
+        Device-wide per-block valid-sector counts, maintained by the FTL.
+    """
+
+    def __init__(
+        self,
+        policy: str,
+        geometry: Geometry,
+        nand: NandArray,
+        allocator: PageAllocator,
+        valid_sectors: np.ndarray,
+        sample_size: int = 8,
+        seed: int = 12345,
+    ) -> None:
+        self.policy = policy
+        self.geometry = geometry
+        self.nand = nand
+        self.allocator = allocator
+        self.valid_sectors = valid_sectors
+        self.sample_size = max(2, sample_size)
+        self._rng = np.random.default_rng(seed)
+        self._select = {
+            "greedy": self._greedy,
+            "randomized_greedy": self._randomized_greedy,
+            "random": self._random,
+            "fifo": self._fifo,
+            "cost_benefit": self._cost_benefit,
+        }[policy]
+
+    # ------------------------------------------------------------------
+
+    def candidates(self, plane: int, exclude: Iterable[int] = ()) -> list[int]:
+        """Fully-written, non-active, non-retired blocks in *plane*."""
+        geometry = self.geometry
+        start = plane * geometry.blocks_per_plane
+        end = start + geometry.blocks_per_plane
+        active = self.allocator.active_blocks()
+        retired = self.allocator.retired_blocks
+        excluded = set(exclude) | set(self.allocator.excluded_blocks)
+        result = []
+        for block in range(start, end):
+            if block in active or block in retired or block in excluded:
+                continue
+            if self.nand.block_write_ptr[block] < geometry.pages_per_block:
+                continue  # not fully written: still has free pages
+            result.append(block)
+        return result
+
+    def select_victim(self, plane: int, exclude: Iterable[int] = ()) -> int | None:
+        """Pick a victim block in *plane*, or None if nothing is reclaimable."""
+        pool = self.candidates(plane, exclude)
+        if not pool:
+            return None
+        return self._select(pool)
+
+    # ------------------------------------------------------------------
+    # Policies
+    # ------------------------------------------------------------------
+
+    def _greedy(self, pool: list[int]) -> int:
+        return min(pool, key=lambda b: int(self.valid_sectors[b]))
+
+    def _randomized_greedy(self, pool: list[int]) -> int:
+        if len(pool) <= self.sample_size:
+            sample = pool
+        else:
+            index = self._rng.choice(len(pool), size=self.sample_size, replace=False)
+            sample = [pool[i] for i in index]
+        return min(sample, key=lambda b: int(self.valid_sectors[b]))
+
+    def _random(self, pool: list[int]) -> int:
+        return pool[int(self._rng.integers(len(pool)))]
+
+    def _fifo(self, pool: list[int]) -> int:
+        seq = self.allocator.block_alloc_seq
+        return min(pool, key=lambda b: seq.get(b, 0))
+
+    def _cost_benefit(self, pool: list[int]) -> int:
+        """Rosenblum/Ousterhout cost-benefit: maximize age*(1-u)/(2u)."""
+        seq = self.allocator.block_alloc_seq
+        now = max(seq.values(), default=0) + 1
+        sectors_per_block = (
+            self.geometry.pages_per_block * self.geometry.sectors_per_page
+        )
+
+        def score(block: int) -> float:
+            u = int(self.valid_sectors[block]) / sectors_per_block
+            age = now - seq.get(block, 0)
+            if u >= 1.0:
+                return -1.0
+            return age * (1.0 - u) / (2.0 * u + 1e-9)
+
+        return max(pool, key=score)

@@ -1,0 +1,244 @@
+"""Logical-to-physical mapping with translation-page metadata costs.
+
+A page-mapped FTL keeps one entry per logical sector.  The entries are
+grouped into *translation pages* (TPs): the unit in which mapping metadata
+is persisted to flash.  RAM holds a bounded set of dirty TPs; metadata
+reaches flash two ways:
+
+* **eviction** — dirtying a TP beyond the RAM budget forces the
+  least-recently-dirtied TP out (one metadata program);
+* **checkpoint** — every ``sync_interval`` host sector updates, all dirty
+  TPs are flushed (a periodic consistency point).
+
+This is the mechanism behind the paper's Fig 4b: each workload alone has a
+dirty-TP working set that fits the budget pays only checkpoint flushes;
+workloads whose *union* of working sets overflows the budget move the FTL
+into the eviction-dominated regime.  Together with GC debt (which likewise
+accumulates with total volume, not per-request), this is why the paper's
+IOPS-weighted additive WAF prediction fails for concurrent runs.
+
+Orthogonally, the map may be split into demand-loaded *chunks* (the
+840 EVO's 117.5 MB chunks, §3.2): a chunk must be resident before any of
+its entries can be used, and loading one costs flash reads of its stored
+TPs.
+
+The table reports metadata work as :class:`MappingEvents`; the FTL turns
+those into actual flash operations (it owns page allocation).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: l2p value for an unmapped sector.
+UNMAPPED = -1
+
+
+@dataclass
+class MappingEvents:
+    """Metadata work triggered by a lookup/update.
+
+    ``flush_tps`` — TP ids that must be written to flash now.
+    ``load_tp_ppns`` — flash page numbers to read for a chunk load.
+    ``loaded_chunks`` — chunk ids that became resident (for stats/RE).
+    """
+
+    flush_tps: list[int] = field(default_factory=list)
+    load_tp_ppns: list[int] = field(default_factory=list)
+    loaded_chunks: list[int] = field(default_factory=list)
+
+    def merge(self, other: "MappingEvents") -> None:
+        self.flush_tps.extend(other.flush_tps)
+        self.load_tp_ppns.extend(other.load_tp_ppns)
+        self.loaded_chunks.extend(other.loaded_chunks)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.flush_tps or self.load_tp_ppns or self.loaded_chunks)
+
+
+@dataclass
+class MappingStats:
+    """Counters for analysis and the RE experiments."""
+
+    updates: int = 0
+    lookups: int = 0
+    tp_flushes: int = 0
+    checkpoint_flushes: int = 0
+    eviction_flushes: int = 0
+    chunk_loads: int = 0
+
+
+class MappingTable:
+    """Sector-granularity L2P map with TP dirty tracking and chunked load."""
+
+    def __init__(
+        self,
+        num_lpns: int,
+        tp_lpns: int,
+        dirty_tp_limit: int,
+        sync_interval: int,
+        chunk_lpns: int = 0,
+        resident_chunks: int = 8,
+    ) -> None:
+        if num_lpns <= 0:
+            raise ValueError("num_lpns must be positive")
+        if chunk_lpns and chunk_lpns % tp_lpns != 0:
+            raise ValueError("chunk_lpns must be a multiple of tp_lpns")
+        self.num_lpns = num_lpns
+        self.tp_lpns = tp_lpns
+        self.dirty_tp_limit = max(1, dirty_tp_limit)
+        self.sync_interval = sync_interval
+        self.chunk_lpns = chunk_lpns
+        self.resident_chunks = max(1, resident_chunks)
+
+        self.l2p = np.full(num_lpns, UNMAPPED, dtype=np.int64)
+        self.num_tps = -(-num_lpns // tp_lpns)
+        #: flash location of each TP's last flushed copy (-1 = never stored).
+        self.tp_stored_ppn = np.full(self.num_tps, -1, dtype=np.int64)
+        self._dirty: OrderedDict[int, None] = OrderedDict()
+        self._resident: OrderedDict[int, None] = OrderedDict()
+        self._since_sync = 0
+        self.stats = MappingStats()
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+
+    def tp_of(self, lpn: int) -> int:
+        return lpn // self.tp_lpns
+
+    def chunk_of(self, lpn: int) -> int:
+        if not self.chunk_lpns:
+            return 0
+        return lpn // self.chunk_lpns
+
+    def _tps_in_chunk(self, chunk: int) -> range:
+        per_chunk = self.chunk_lpns // self.tp_lpns
+        start = chunk * per_chunk
+        return range(start, min(start + per_chunk, self.num_tps))
+
+    @property
+    def num_chunks(self) -> int:
+        if not self.chunk_lpns:
+            return 1
+        return -(-self.num_lpns // self.chunk_lpns)
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def lookup(self, lpn: int) -> tuple[int, MappingEvents]:
+        """Translate one LPN; may require a chunk load."""
+        self._check_lpn(lpn)
+        self.stats.lookups += 1
+        events = self._ensure_resident(lpn)
+        return int(self.l2p[lpn]), events
+
+    def update(self, lpn: int, psa: int) -> tuple[int, MappingEvents]:
+        """Map *lpn* to physical sector *psa*; returns (old_psa, events)."""
+        self._check_lpn(lpn)
+        self.stats.updates += 1
+        events = self._ensure_resident(lpn)
+        old = int(self.l2p[lpn])
+        self.l2p[lpn] = psa
+        events.merge(self._mark_dirty(self.tp_of(lpn)))
+        self._since_sync += 1
+        if self._since_sync >= self.sync_interval:
+            events.merge(self.checkpoint())
+        return old, events
+
+    def trim(self, lpn: int) -> tuple[int, MappingEvents]:
+        """Unmap one LPN (TRIM); dirties its TP like an update."""
+        return self.update(lpn, UNMAPPED)
+
+    def silent_update(self, lpn: int, psa: int) -> int:
+        """Update without metadata cost (used by GC when it migrates a
+        sector: real FTLs piggyback those map updates on the migration
+        destination block's OOB and the eventual TP write)."""
+        self._check_lpn(lpn)
+        old = int(self.l2p[lpn])
+        self.l2p[lpn] = psa
+        return old
+
+    def checkpoint(self) -> MappingEvents:
+        """Flush every dirty TP (periodic consistency point)."""
+        events = MappingEvents(flush_tps=list(self._dirty.keys()))
+        self.stats.tp_flushes += len(self._dirty)
+        self.stats.checkpoint_flushes += len(self._dirty)
+        self._dirty.clear()
+        self._since_sync = 0
+        return events
+
+    def note_flushed(self, tp_id: int, ppn: int) -> None:
+        """Record where the FTL just stored a TP."""
+        self.tp_stored_ppn[tp_id] = ppn
+
+    # ------------------------------------------------------------------
+    # Dirty tracking
+    # ------------------------------------------------------------------
+
+    def _mark_dirty(self, tp_id: int) -> MappingEvents:
+        events = MappingEvents()
+        if tp_id in self._dirty:
+            self._dirty.move_to_end(tp_id)
+            return events
+        while len(self._dirty) >= self.dirty_tp_limit:
+            victim, _ = self._dirty.popitem(last=False)
+            events.flush_tps.append(victim)
+            self.stats.tp_flushes += 1
+            self.stats.eviction_flushes += 1
+        self._dirty[tp_id] = None
+        return events
+
+    @property
+    def dirty_tp_count(self) -> int:
+        return len(self._dirty)
+
+    def is_dirty(self, tp_id: int) -> bool:
+        return tp_id in self._dirty
+
+    # ------------------------------------------------------------------
+    # Chunk residency
+    # ------------------------------------------------------------------
+
+    def _ensure_resident(self, lpn: int) -> MappingEvents:
+        events = MappingEvents()
+        if not self.chunk_lpns:
+            return events
+        chunk = self.chunk_of(lpn)
+        if chunk in self._resident:
+            self._resident.move_to_end(chunk)
+            return events
+        while len(self._resident) >= self.resident_chunks:
+            evicted, _ = self._resident.popitem(last=False)
+            # Dirty TPs belonging to the evicted chunk must be persisted.
+            for tp_id in self._tps_in_chunk(evicted):
+                if tp_id in self._dirty:
+                    del self._dirty[tp_id]
+                    events.flush_tps.append(tp_id)
+                    self.stats.tp_flushes += 1
+                    self.stats.eviction_flushes += 1
+        self._resident[chunk] = None
+        self.stats.chunk_loads += 1
+        events.loaded_chunks.append(chunk)
+        for tp_id in self._tps_in_chunk(chunk):
+            stored = int(self.tp_stored_ppn[tp_id])
+            if stored >= 0:
+                events.load_tp_ppns.append(stored)
+        return events
+
+    def resident_chunk_ids(self) -> list[int]:
+        return list(self._resident.keys())
+
+    # ------------------------------------------------------------------
+
+    def mapped_count(self) -> int:
+        return int(np.count_nonzero(self.l2p != UNMAPPED))
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.num_lpns:
+            raise IndexError(f"lpn {lpn} out of range [0, {self.num_lpns})")

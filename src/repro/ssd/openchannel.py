@@ -1,0 +1,305 @@
+"""Open-channel SSD: the paper's transparency upper bound.
+
+§1: "recently proposed open-channel SSDs expose the FTL logic to the
+host, yielding highly predictable I/O performance with perfect scheduling
+decisions, presenting an upper bound on the improvement potential for SSD
+transparency."
+
+:class:`OpenChannelSSD` exports the raw geometry and physical operations
+(program/read/erase) over the same channel/die resource timelines the
+black-box simulator uses — no firmware FTL, no hidden state.
+
+:class:`HostFtl` is the host-side translation layer that the visibility
+enables (LightNVM/pblk-flavoured).  Its predictability comes from two
+things a firmware FTL cannot offer a host:
+
+* the host sees the geometry, so it stripes writes perfectly across
+  dies and never collides with itself;
+* the host controls *when* reclaim happens, so GC is **incremental** —
+  at most ``gc_step_pages`` migrations are interleaved per host write,
+  bounding the worst-case stall instead of letting multi-block collection
+  storms land on unlucky requests.
+
+The ablation bench compares tail latency against the black-box device
+under the identical workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.flash.geometry import Geometry
+from repro.flash.nand import NO_LPN, NandArray
+from repro.flash.onfi import (
+    encode_erase,
+    encode_program,
+    encode_read,
+    operation_bus_ns,
+)
+from repro.flash.timing import TimingProfile, profile
+
+
+@dataclass(frozen=True)
+class RawCompletion:
+    """Completion of one raw physical operation."""
+
+    kind: str
+    target: int
+    start_ns: int
+    complete_ns: int
+
+
+class OpenChannelSSD:
+    """Geometry-exposing device: raw ops on shared channel/die timelines."""
+
+    def __init__(self, geometry: Geometry, timing_name: str = "mlc") -> None:
+        self.geometry = geometry
+        self.timing: TimingProfile = profile(timing_name)
+        self.nand = NandArray(geometry)
+        self.die_free = np.zeros(geometry.dies_total, dtype=np.int64)
+        self.chan_free = np.zeros(geometry.channels, dtype=np.int64)
+        self.now = 0
+
+    def program_page(self, ppn: int, at_ns: int,
+                     oob: tuple[int, ...] = ()) -> RawCompletion:
+        geometry, timing = self.geometry, self.timing
+        self.nand.program(ppn, lpn=oob[0] if oob else int(NO_LPN), oob=oob or None)
+        die = geometry.die_of_ppn(ppn)
+        channel = geometry.channel_of_ppn(ppn)
+        onfi = encode_program(geometry, timing, geometry.address(ppn))
+        bus = operation_bus_ns(onfi, timing)
+        start = max(at_ns, int(self.chan_free[channel]), int(self.die_free[die]))
+        self.chan_free[channel] = start + bus
+        end = start + bus + timing.program_ns
+        self.die_free[die] = end
+        self.now = max(self.now, at_ns)
+        return RawCompletion("program", ppn, start, end)
+
+    def read_page(self, ppn: int, at_ns: int) -> RawCompletion:
+        geometry, timing = self.geometry, self.timing
+        die = geometry.die_of_ppn(ppn)
+        channel = geometry.channel_of_ppn(ppn)
+        onfi = encode_read(geometry, timing, geometry.address(ppn))
+        data_ns = timing.transfer_ns(geometry.page_size)
+        cmd_ns = operation_bus_ns(onfi, timing) - data_ns
+        start = max(at_ns, int(self.chan_free[channel]), int(self.die_free[die]))
+        self.chan_free[channel] = start + cmd_ns
+        array_end = start + cmd_ns + timing.read_ns
+        self.die_free[die] = array_end
+        bus_start = max(array_end, int(self.chan_free[channel]))
+        end = bus_start + data_ns
+        self.chan_free[channel] = end
+        self.now = max(self.now, at_ns)
+        return RawCompletion("read", ppn, start, end)
+
+    def erase_block(self, block: int, at_ns: int) -> RawCompletion:
+        geometry, timing = self.geometry, self.timing
+        self.nand.erase(block)
+        die = geometry.die_of_block(block)
+        channel = geometry.channel_of_block(block)
+        onfi = encode_erase(geometry, timing, geometry.block_address(block))
+        bus = operation_bus_ns(onfi, timing)
+        start = max(at_ns, int(self.chan_free[channel]), int(self.die_free[die]))
+        self.chan_free[channel] = start + bus
+        end = start + bus + timing.erase_ns
+        self.die_free[die] = end
+        self.now = max(self.now, at_ns)
+        return RawCompletion("erase", block, start, end)
+
+
+@dataclass
+class HostFtlStats:
+    host_sector_writes: int = 0
+    programs: int = 0
+    gc_migrated_pages: int = 0
+    erases: int = 0
+    gc_steps: int = 0
+
+
+class HostFtl:
+    """A host-side FTL over an open-channel device.
+
+    Page-mapped at sector granularity with perfect die striping and
+    incremental (bounded-per-request) garbage collection.
+    """
+
+    def __init__(
+        self,
+        device: OpenChannelSSD,
+        op_ratio: float = 0.12,
+        gc_low_water_blocks: int = 3,
+        gc_step_pages: int = 1,
+    ) -> None:
+        self.device = device
+        geometry = device.geometry
+        self.geometry = geometry
+        spp = geometry.sectors_per_page
+        self.num_lpns = int(geometry.capacity_bytes * (1 - op_ratio)
+                            ) // geometry.sector_size
+        self.l2p = np.full(self.num_lpns, -1, dtype=np.int64)
+        self.p2l = np.full(geometry.total_pages * spp, -1, dtype=np.int64)
+        self.block_valid = np.zeros(geometry.total_blocks, dtype=np.int32)
+        self.gc_low_water_blocks = gc_low_water_blocks
+        self.gc_step_pages = gc_step_pages
+        self.stats = HostFtlStats()
+
+        planes = geometry.planes_total
+        self._free: list[list[int]] = [[] for _ in range(planes)]
+        for block in range(geometry.total_blocks):
+            self._free[block // geometry.blocks_per_plane].append(block)
+        for pool in self._free:
+            pool.reverse()
+        self._active: dict[tuple[int, str], tuple[int, int]] = {}
+        self._write_index = {"host": 0, "gc": 0}
+        self._pending: list[int] = []
+        #: incremental-GC state: the victim being drained, if any.
+        self._gc_victim: int | None = None
+        self._gc_cursor = 0
+        #: migrated sectors awaiting re-packing into full pages.
+        self._gc_pending: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Host interface
+    # ------------------------------------------------------------------
+
+    def write(self, lpn: int, at_ns: int) -> int:
+        """Write one sector; returns its completion time.
+
+        The write buffers until a full page is ready (the host knows the
+        page size), then programs one perfectly-striped page.  At most
+        ``gc_step_pages`` of GC work is interleaved — the bounded-stall
+        discipline visibility makes possible.
+        """
+        if not 0 <= lpn < self.num_lpns:
+            raise ValueError(f"lpn {lpn} out of range")
+        self.stats.host_sector_writes += 1
+        self._pending.append(lpn)
+        complete = at_ns
+        complete = max(complete, self._gc_step(at_ns))
+        if len(self._pending) >= self.geometry.sectors_per_page:
+            batch, self._pending = self._pending, []
+            complete = max(complete, self._program_batch(batch, "host", at_ns))
+        return complete
+
+    def read(self, lpn: int, at_ns: int) -> int:
+        psa = int(self.l2p[lpn])
+        if psa < 0:
+            return at_ns
+        ppn = psa // self.geometry.sectors_per_page
+        return self.device.read_page(ppn, at_ns).complete_ns
+
+    # ------------------------------------------------------------------
+
+    def _program_batch(self, lpns: list[int], stream: str, at_ns: int) -> int:
+        geometry = self.geometry
+        spp = geometry.sectors_per_page
+        ppn = self._allocate_page(stream)
+        completion = self.device.program_page(ppn, at_ns, oob=tuple(lpns))
+        self.stats.programs += 1
+        block = ppn // geometry.pages_per_block
+        for slot, lpn in enumerate(lpns[:spp]):
+            psa = ppn * spp + slot
+            old = int(self.l2p[lpn])
+            if old >= 0 and int(self.p2l[old]) == lpn:
+                self.p2l[old] = -1
+                self.block_valid[old // spp // geometry.pages_per_block] -= 1
+            self.l2p[lpn] = psa
+            self.p2l[psa] = lpn
+            self.block_valid[block] += 1
+        return completion.complete_ns
+
+    def _allocate_page(self, stream: str) -> int:
+        geometry = self.geometry
+        planes = geometry.planes_total
+        index = self._write_index[stream]
+        self._write_index[stream] = index + 1
+        for offset in range(planes):
+            plane = (index + offset) % planes
+            key = (plane, stream)
+            block, page = self._active.get(key, (-1, geometry.pages_per_block))
+            if page >= geometry.pages_per_block:
+                if not self._free[plane]:
+                    continue
+                block, page = self._free[plane].pop(), 0
+            self._active[key] = (block, page + 1)
+            return block * geometry.pages_per_block + page
+        raise RuntimeError("host FTL out of space")
+
+    # ------------------------------------------------------------------
+    # Incremental GC
+    # ------------------------------------------------------------------
+
+    def _total_free(self) -> int:
+        return sum(len(pool) for pool in self._free)
+
+    def _gc_step(self, at_ns: int) -> int:
+        """Do a *bounded* slice of reclaim work: the host amortizes GC
+        over requests instead of paying it in storms."""
+        low_water = self.gc_low_water_blocks * self.geometry.planes_total
+        if self._gc_victim is None:
+            if self._total_free() > low_water:
+                return at_ns
+            self._gc_victim = self._pick_victim()
+            self._gc_cursor = 0
+            if self._gc_victim is None:
+                return at_ns
+        geometry = self.geometry
+        spp = geometry.sectors_per_page
+        complete = at_ns
+        moved = 0
+        victim = self._gc_victim
+        base = victim * geometry.pages_per_block
+        while moved < self.gc_step_pages and self._gc_cursor < geometry.pages_per_block:
+            ppn = base + self._gc_cursor
+            self._gc_cursor += 1
+            live = [
+                int(self.p2l[ppn * spp + slot])
+                for slot in range(spp)
+                if int(self.p2l[ppn * spp + slot]) >= 0
+            ]
+            if not live:
+                continue
+            self.stats.gc_steps += 1
+            self.device.read_page(ppn, at_ns)
+            # Re-pack: migrated sectors accumulate until a full page is
+            # ready, so reclaim never decays page density.
+            self._gc_pending.extend(live)
+            while len(self._gc_pending) >= spp:
+                batch = self._gc_pending[:spp]
+                del self._gc_pending[:spp]
+                complete = max(complete,
+                               self._program_batch(batch, "gc", at_ns))
+                self.stats.gc_migrated_pages += 1
+            moved += 1
+        if self._gc_cursor >= geometry.pages_per_block:
+            # The re-pack buffer may still hold this victim's sectors:
+            # persist them (one possibly-partial page) before erasing.
+            if self._gc_pending:
+                batch, self._gc_pending = self._gc_pending, []
+                complete = max(complete,
+                               self._program_batch(batch, "gc", at_ns))
+                self.stats.gc_migrated_pages += 1
+            completion = self.device.erase_block(victim, at_ns)
+            complete = max(complete, completion.complete_ns)
+            self.stats.erases += 1
+            plane = victim // geometry.blocks_per_plane
+            self._free[plane].append(victim)
+            self._gc_victim = None
+        return complete
+
+    def _pick_victim(self) -> int | None:
+        geometry = self.geometry
+        active = {block for block, _ in self._active.values()}
+        free = {b for pool in self._free for b in pool}
+        best: tuple[int, int] | None = None
+        for block in range(geometry.total_blocks):
+            if block in active or block in free:
+                continue
+            if int(self.device.nand.block_write_ptr[block]) < geometry.pages_per_block:
+                continue
+            valid = int(self.block_valid[block])
+            if best is None or valid < best[0]:
+                best = (valid, block)
+        return best[1] if best else None

@@ -1,0 +1,241 @@
+"""Device presets modeled on the drives the paper measured.
+
+Every preset is scaled down from the real device (gigabytes instead of
+hundreds of gigabytes) so experiments run in seconds; the *structural*
+parameters — page sizes, stripe widths, channel counts, mapping-chunk
+shape — follow what the paper reports or what its mechanisms require.
+A ``scale`` argument shrinks geometry further for unit tests.
+"""
+
+from __future__ import annotations
+
+from repro.flash.geometry import Geometry
+from repro.ssd.config import SsdConfig
+
+
+def mx500_like(scale: int = 1) -> SsdConfig:
+    """Crucial MX500 model (the §2.2 black-box target).
+
+    Key structure: 32 KB NAND pages with 15+1 RAIN striping, so that
+    host-bytes-per-NAND-page converges at 32 KB * 15/16 = 30 KB (Fig 4a);
+    a data-designated write cache; bounded dirty-TP RAM so that the
+    Fig 4b working-set union overflows it.
+    """
+    scale = max(1, scale)
+    geometry = Geometry(
+        channels=4,
+        chips_per_channel=1,
+        dies_per_chip=2,
+        planes_per_die=2,
+        blocks_per_plane=max(8, 64 // scale),
+        pages_per_block=max(16, 128 // scale),
+        page_size=32768,
+        sector_size=4096,
+    )
+    return SsdConfig(
+        geometry=geometry,
+        timing_name="tlc",
+        op_ratio=0.07,
+        gc_policy="greedy",
+        cache_designation="data",
+        cache_sectors=512,
+        mapping_tp_lpns=2048,
+        mapping_dirty_tp_limit=160,
+        mapping_sync_interval=4096,
+        allocation_scheme="CWDP",
+        rain_stripe=15,
+    )
+
+
+def evo840_like(scale: int = 1) -> SsdConfig:
+    """Samsung 840 EVO model (the §3.2 JTAG target).
+
+    Key structure: eight channels split between two flash cores by the
+    LBA LSB; a TLC array with a pSLC (TurboWrite) buffer fronted by a
+    hashed index; a demand-loaded map whose chunks each cover 117.5 MB of
+    logical space (30080 sectors = 8 translation pages of 3760 entries).
+    """
+    scale = max(1, scale)
+    geometry = Geometry(
+        channels=8,
+        chips_per_channel=1,
+        dies_per_chip=1,
+        planes_per_die=2,
+        blocks_per_plane=max(8, 64 // scale),
+        pages_per_block=max(16, 64 // scale),
+        page_size=16384,
+        sector_size=4096,
+    )
+    return SsdConfig(
+        geometry=geometry,
+        timing_name="tlc",
+        op_ratio=0.08,
+        gc_policy="greedy",
+        cache_designation="mapping",  # "the SSD does not use DRAM to cache data"
+        cache_sectors=256,
+        mapping_tp_lpns=3760,
+        mapping_dirty_tp_limit=64,
+        mapping_sync_interval=8192,
+        mapping_chunk_lpns=30080,  # 117.5 MB of logical space per chunk
+        mapping_resident_chunks=4,
+        allocation_scheme="CWDP",
+        pslc_blocks=max(2, 8 // scale),
+    )
+
+
+def mqsim_baseline(scale: int = 1) -> SsdConfig:
+    """The §2.1 fidelity experiment's baseline FTL configuration.
+
+    The paper varies three knobs against this base: GC victim selection
+    (greedy -> randomized_greedy), write-cache designation
+    (data -> mapping), and page allocation (CWDP -> PDWC).
+    """
+    scale = max(1, scale)
+    geometry = Geometry(
+        channels=4,
+        chips_per_channel=1,
+        dies_per_chip=2,
+        planes_per_die=2,
+        blocks_per_plane=max(24, 48 // scale),
+        pages_per_block=max(16, 64 // scale),
+        page_size=16384,
+        sector_size=4096,
+    )
+    return SsdConfig(
+        geometry=geometry,
+        timing_name="mlc",
+        op_ratio=0.10,
+        gc_policy="greedy",
+        gc_low_water_blocks=2,
+        gc_high_water_blocks=3,
+        cache_designation="data",
+        cache_sectors=256,
+        mapping_tp_lpns=2048,
+        mapping_dirty_tp_limit=96,
+        mapping_sync_interval=8192,
+        allocation_scheme="CWDP",
+    )
+
+
+def ssd64_like(scale: int = 1) -> SsdConfig:
+    """Fig 1's smaller, older drive: tight over-provisioning, small
+    mapping RAM, TLC timing — ages badly."""
+    scale = max(1, scale)
+    geometry = Geometry(
+        channels=2,
+        chips_per_channel=1,
+        dies_per_chip=2,
+        planes_per_die=2,
+        blocks_per_plane=max(8, 64 // scale),
+        pages_per_block=max(16, 64 // scale),
+        page_size=16384,
+        sector_size=4096,
+    )
+    return SsdConfig(
+        geometry=geometry,
+        timing_name="tlc",
+        op_ratio=0.04,
+        gc_policy="random",
+        cache_designation="data",
+        cache_sectors=64,
+        mapping_tp_lpns=2048,
+        mapping_dirty_tp_limit=32,
+        mapping_sync_interval=2048,
+        allocation_scheme="DPWC",
+    )
+
+
+def ssd120_like(scale: int = 1) -> SsdConfig:
+    """Fig 1's larger drive: generous over-provisioning, greedy GC,
+    bigger cache — ages gracefully."""
+    scale = max(1, scale)
+    geometry = Geometry(
+        channels=4,
+        chips_per_channel=1,
+        dies_per_chip=2,
+        planes_per_die=2,
+        blocks_per_plane=max(8, 64 // scale),
+        pages_per_block=max(16, 64 // scale),
+        page_size=16384,
+        sector_size=4096,
+    )
+    return SsdConfig(
+        geometry=geometry,
+        timing_name="mlc",
+        op_ratio=0.12,
+        gc_policy="greedy",
+        cache_designation="data",
+        cache_sectors=512,
+        mapping_tp_lpns=2048,
+        mapping_dirty_tp_limit=192,
+        mapping_sync_interval=8192,
+        allocation_scheme="CWDP",
+    )
+
+
+def vertex2_like(scale: int = 1) -> SsdConfig:
+    """OCZ Vertex II model (the §3.1 probe target).
+
+    An early-SATA-era drive: asynchronous ONFI bus at probeable signal
+    rates, one single-die package per channel (so the tap's single
+    R/B# lane is faithful), small pages.
+    """
+    scale = max(1, scale)
+    geometry = Geometry(
+        channels=4,
+        chips_per_channel=1,
+        dies_per_chip=1,
+        planes_per_die=2,
+        blocks_per_plane=max(16, 32 // scale),
+        pages_per_block=max(16, 64 // scale),
+        page_size=8192,
+        sector_size=4096,
+    )
+    return SsdConfig(
+        geometry=geometry,
+        timing_name="async",
+        op_ratio=0.12,
+        gc_policy="greedy",
+        cache_designation="data",
+        cache_sectors=64,
+        mapping_tp_lpns=1024,
+        mapping_dirty_tp_limit=64,
+        mapping_sync_interval=4096,
+        allocation_scheme="CWDP",
+    )
+
+
+def tiny(scale: int = 1) -> SsdConfig:
+    """A minimal device for unit tests: fast to construct and fill."""
+    geometry = Geometry(
+        channels=2,
+        chips_per_channel=1,
+        dies_per_chip=1,
+        planes_per_die=2,
+        blocks_per_plane=16,
+        pages_per_block=8,
+        page_size=8192,
+        sector_size=4096,
+    )
+    return SsdConfig(
+        geometry=geometry,
+        timing_name="mlc",
+        op_ratio=0.30,
+        gc_low_water_blocks=1,
+        gc_high_water_blocks=2,
+        cache_sectors=8,
+        mapping_tp_lpns=64,
+        mapping_dirty_tp_limit=8,
+        mapping_sync_interval=256,
+    )
+
+
+PRESETS = {
+    "mx500": mx500_like,
+    "evo840": evo840_like,
+    "mqsim": mqsim_baseline,
+    "ssd64": ssd64_like,
+    "ssd120": ssd120_like,
+    "vertex2": vertex2_like,
+    "tiny": tiny,
+}

@@ -1,0 +1,58 @@
+"""RAIN: redundant array of independent NAND.
+
+Micron-class drives (the Crucial MX500 among them) protect against die
+failure by grouping every ``k`` data page programs with one parity page
+program.  The paper's Fig 4a attributes the measured "~30 KB of host data
+per NAND page write" on the MX500 to exactly this: with 32 KB NAND pages
+and a 15+1 stripe, each page write carries on average
+``32 KB * 15/16 = 30 KB`` of host data.
+
+The accountant is deliberately simple: it counts data-page programs per
+open stripe and says when a parity page is due.  Parity pages are treated
+as immediately-invalid overhead (they are reconstructible and are never
+migrated by GC), which matches their write-amplification role.
+"""
+
+from __future__ import annotations
+
+
+class RainAccountant:
+    """Tracks stripe fill; one parity page per ``stripe`` data pages."""
+
+    def __init__(self, stripe: int) -> None:
+        if stripe != 0 and stripe < 2:
+            raise ValueError("stripe must be 0 (disabled) or >= 2")
+        self.stripe = stripe
+        self._fill = 0
+        self.parity_pages = 0
+        self.data_pages = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.stripe > 0
+
+    def on_data_page(self) -> bool:
+        """Record one data-page program; True when a parity page is due."""
+        self.data_pages += 1
+        if not self.enabled:
+            return False
+        self._fill += 1
+        if self._fill >= self.stripe:
+            self._fill = 0
+            self.parity_pages += 1
+            return True
+        return False
+
+    def flush(self) -> bool:
+        """Close a partial stripe (power-down path); True if parity due."""
+        if self.enabled and self._fill > 0:
+            self._fill = 0
+            self.parity_pages += 1
+            return True
+        return False
+
+    def overhead_ratio(self) -> float:
+        """Parity pages per data page so far."""
+        if not self.data_pages:
+            return 0.0
+        return self.parity_pages / self.data_pages

@@ -1,0 +1,148 @@
+"""Pseudo-SLC write buffer (Samsung "TurboWrite" class).
+
+Consumer drives reserve a handful of blocks and program them in SLC mode:
+bursts of host writes land there quickly and are drained to the main
+(MLC/TLC) area in the background.  The paper's JTAG study found the
+840 EVO keeps "an additional hashed index ... presumably to map addresses
+in the device's pseudo-SLC buffer" — the buffer's lookup structure here is
+deliberately a hash map (not an array) so the memory-layout RE experiment
+can rediscover that distinction.
+
+Capacity simplification: pSLC mode halves/thirds real cell capacity; this
+model keeps the nominal page size and instead reserves whole blocks, which
+preserves the behaviours that matter to the experiments (burst absorption,
+drain-induced background writes, a separate index structure).
+"""
+
+from __future__ import annotations
+
+from repro.flash.geometry import Geometry
+
+
+class PslcBuffer:
+    """Block-granular pSLC staging area with a hashed LPN index."""
+
+    def __init__(self, geometry: Geometry, block_indices: list[int]) -> None:
+        self.geometry = geometry
+        self.blocks = list(block_indices)
+        #: per-block write cursors; pages are handed out round-robin
+        #: across blocks so bursts land on as many dies as the buffer
+        #: spans (the blocks themselves are plane-striped).
+        self._cursor: dict[int, int] = {b: 0 for b in self.blocks}
+        self._rr = 0
+        #: the hashed index: lpn -> physical sector address within the buffer.
+        self.index: dict[int, int] = {}
+        self._valid_by_block: dict[int, int] = {b: 0 for b in self.blocks}
+        self.sector_writes = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.blocks)
+
+    def capacity_sectors(self) -> int:
+        g = self.geometry
+        return len(self.blocks) * g.pages_per_block * g.sectors_per_page
+
+    def used_fraction(self) -> float:
+        """Fraction of buffer pages already written (fill level)."""
+        if not self.blocks:
+            return 0.0
+        used = sum(self._cursor.values())
+        return used / (len(self.blocks) * self.geometry.pages_per_block)
+
+    def has_space(self) -> bool:
+        g = self.geometry
+        return any(c < g.pages_per_block for c in self._cursor.values())
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def stage_page(self, lpns: list[int]) -> tuple[int, list[tuple[int, int]]]:
+        """Stage up to one flash page worth of host sectors.
+
+        Returns ``(ppn, [(lpn, psa), ...])``: the caller programs *ppn*
+        once (with a full per-slot OOB record) and the index now maps
+        each LPN to its slot.  Staging whole pages keeps the buffer
+        recoverable after power loss.
+        """
+        g = self.geometry
+        if not lpns or len(lpns) > g.sectors_per_page:
+            raise ValueError(
+                f"stage_page takes 1..{g.sectors_per_page} sectors"
+            )
+        if not self.has_space():
+            raise RuntimeError("pSLC buffer full; drain before staging")
+        ppn = self._allocate_page()
+        pairs: list[tuple[int, int]] = []
+        for slot, lpn in enumerate(lpns):
+            psa = ppn * g.sectors_per_page + slot
+            old = self.index.get(lpn)
+            if old is not None:
+                self._valid_by_block[self._block_of_psa(old)] -= 1
+            self.index[lpn] = psa
+            self._valid_by_block[self._block_of_psa(psa)] += 1
+            pairs.append((lpn, psa))
+        self.sector_writes += len(lpns)
+        return ppn, pairs
+
+    def _allocate_page(self) -> int:
+        g = self.geometry
+        for _ in range(len(self.blocks)):
+            block = self.blocks[self._rr % len(self.blocks)]
+            self._rr += 1
+            cursor = self._cursor[block]
+            if cursor < g.pages_per_block:
+                self._cursor[block] = cursor + 1
+                return block * g.pages_per_block + cursor
+        raise RuntimeError("pSLC buffer out of blocks")
+
+    # ------------------------------------------------------------------
+    # Lookup / invalidation
+    # ------------------------------------------------------------------
+
+    def lookup(self, lpn: int) -> int | None:
+        """Physical sector address if *lpn* currently lives in the buffer."""
+        return self.index.get(lpn)
+
+    def invalidate(self, lpn: int) -> bool:
+        """Drop a buffered sector (overwritten via main path, or trimmed)."""
+        psa = self.index.pop(lpn, None)
+        if psa is None:
+            return False
+        self._valid_by_block[self._block_of_psa(psa)] -= 1
+        return True
+
+    def _block_of_psa(self, psa: int) -> int:
+        g = self.geometry
+        return psa // (g.sectors_per_page * g.pages_per_block)
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+
+    def pick_drain_block(self) -> int | None:
+        """The most-written buffer block (fullest first)."""
+        candidates = [b for b in self.blocks if self._cursor[b] > 0]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda b: self._cursor[b])
+
+    def evict_block(self, block_index: int) -> list[tuple[int, int]]:
+        """Remove *block_index* from the buffer for draining.
+
+        Returns the ``(lpn, psa)`` pairs still valid in that block — the
+        FTL migrates them to the main area and then erases the block.
+        """
+        victims = [
+            (lpn, psa)
+            for lpn, psa in self.index.items()
+            if self._block_of_psa(psa) == block_index
+        ]
+        for lpn, _ in victims:
+            del self.index[lpn]
+        self._valid_by_block[block_index] = 0
+        self._cursor[block_index] = 0
+        return victims

@@ -1,0 +1,140 @@
+"""S.M.A.R.T. statistics as the device exposes them.
+
+The paper's §2.2 relies on the Crucial MX500 being unusually forthcoming:
+it reports "Host Program Page Count" (attribute 246) and "FTL Program Page
+Count" (attribute 247), both in NAND pages.  This module maintains those
+counters plus the usual supporting attributes, and renders a
+smartmontools-style table so the black-box tooling consumes the device the
+same way ``smartctl -A`` output would be consumed.
+
+Counter semantics (matching the drive's documentation as the paper reads
+it): every NAND page program is attributed either to the host (pages whose
+content is host data) or to the FTL (GC migrations, mapping metadata,
+RAIN parity, pSLC traffic, wear leveling, refresh).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ssd.ops import FTL_REASONS, FlashOp, OpKind, OpReason
+
+
+@dataclass
+class SmartAttribute:
+    """One row of the attribute table."""
+
+    attr_id: int
+    name: str
+    raw: int
+
+
+@dataclass
+class SmartCounters:
+    """Running device statistics.
+
+    ``host_program_pages`` / ``ftl_program_pages`` are the two counters
+    the Fig 4 experiments are built on.
+    """
+
+    host_program_pages: int = 0
+    ftl_program_pages: int = 0
+    host_sectors_written: int = 0
+    host_sectors_read: int = 0
+    read_pages: int = 0
+    erase_count: int = 0
+    gc_program_pages: int = 0
+    meta_program_pages: int = 0
+    parity_program_pages: int = 0
+    pslc_program_pages: int = 0
+    wear_program_pages: int = 0
+    refresh_program_pages: int = 0
+    power_on_hours: int = 0
+    unexpected_power_loss: int = 0
+    #: derived attributes, synced by the device from FTL state.
+    percent_lifetime_remaining: int = 100
+    reported_uncorrectable: int = 0
+
+    _BY_REASON = {
+        OpReason.GC: "gc_program_pages",
+        OpReason.META: "meta_program_pages",
+        OpReason.PARITY: "parity_program_pages",
+        OpReason.PSLC: "pslc_program_pages",
+        OpReason.WEAR: "wear_program_pages",
+        OpReason.REFRESH: "refresh_program_pages",
+    }
+
+    def record(self, op: FlashOp) -> None:
+        """Attribute one flash operation."""
+        if op.kind is OpKind.PROGRAM:
+            if op.reason in FTL_REASONS:
+                self.ftl_program_pages += 1
+                detail = self._BY_REASON.get(op.reason)
+                if detail is not None:
+                    setattr(self, detail, getattr(self, detail) + 1)
+            else:
+                self.host_program_pages += 1
+        elif op.kind is OpKind.READ:
+            self.read_pages += 1
+        elif op.kind is OpKind.ERASE:
+            self.erase_count += 1
+
+    # ------------------------------------------------------------------
+    # Derived figures used throughout the paper
+    # ------------------------------------------------------------------
+
+    @property
+    def total_program_pages(self) -> int:
+        return self.host_program_pages + self.ftl_program_pages
+
+    def waf(self) -> float:
+        """The paper's Fig 4b metric: FTL pages per host page."""
+        if not self.host_program_pages:
+            return 0.0
+        return self.ftl_program_pages / self.host_program_pages
+
+    def host_bytes_per_nand_page(self, sector_size: int) -> float:
+        """The paper's Fig 4a metric: host bytes per NAND page program."""
+        if not self.total_program_pages:
+            return 0.0
+        return self.host_sectors_written * sector_size / self.total_program_pages
+
+    def snapshot(self) -> "SmartCounters":
+        """A copy, for delta computations between measurement windows."""
+        return SmartCounters(**{
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__
+        })
+
+    def delta(self, earlier: "SmartCounters") -> "SmartCounters":
+        """Counter deltas since *earlier* (both from the same device)."""
+        return SmartCounters(**{
+            name: getattr(self, name) - getattr(earlier, name)
+            for name in self.__dataclass_fields__
+        })
+
+    # ------------------------------------------------------------------
+    # smartctl-style rendering
+    # ------------------------------------------------------------------
+
+    def attributes(self) -> list[SmartAttribute]:
+        return [
+            SmartAttribute(12, "Power_Cycle_Count", 1),
+            SmartAttribute(173, "Ave_Block-Erase_Count", self.erase_count),
+            SmartAttribute(174, "Unexpect_Power_Loss_Ct", self.unexpected_power_loss),
+            SmartAttribute(187, "Reported_Uncorrect", self.reported_uncorrectable),
+            SmartAttribute(202, "Percent_Lifetime_Remain",
+                           self.percent_lifetime_remaining),
+            SmartAttribute(246, "Total_Host_Sector_Write", self.host_sectors_written),
+            SmartAttribute(247, "Host_Program_Page_Count", self.host_program_pages),
+            SmartAttribute(248, "FTL_Program_Page_Count", self.ftl_program_pages),
+        ]
+
+    def render(self) -> str:
+        """An ``smartctl -A``-shaped table."""
+        lines = [
+            "ID# ATTRIBUTE_NAME          RAW_VALUE",
+        ]
+        for attr in self.attributes():
+            lines.append(f"{attr.attr_id:>3} {attr.name:<24}{attr.raw}")
+        return "\n".join(lines)

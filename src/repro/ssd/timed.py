@@ -1,0 +1,317 @@
+"""Timed execution: the same FTL under a clock.
+
+Latency questions (the paper's Fig 3) need more than op counts: they need
+queueing.  :class:`TimedSSD` schedules the FTL's op stream onto the
+device's two resource classes —
+
+* **channels**, serializing command/data transfers of every package that
+  shares the bus, and
+* **dies**, busy for tR/tPROG/tBERS while the array works
+
+— using resource-timeline simulation: each resource holds the time it
+next becomes free, ops claim resources in FTL emission order, and a host
+request completes when the last op it *synchronously depends on*
+finishes.
+
+Synchronicity model (this is what produces realistic write tails): a
+host write completes once its sectors are *admitted* to the RAM write
+cache.  Cache space is returned when flush programs complete on the
+flash, so while the dies keep up, writes finish in
+``controller_overhead_ns``; when foreground GC or queueing backs the
+dies up, releases lag, the cache fills, and admissions stall for
+milliseconds — the GC-induced tail.  Reads always wait for flash.
+
+A :class:`BusTap` can be attached to render every op on one channel into
+ONFI pin signals — the hardware-probe substrate of §3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.flash.geometry import Geometry
+from repro.flash.onfi import (
+    OnfiOperation,
+    encode_erase,
+    encode_program,
+    encode_read,
+    operation_bus_ns,
+)
+from repro.flash.signals import SignalEmitter, SignalTrace
+from repro.flash.timing import PSLC, TimingProfile, profile
+from repro.ssd.config import SsdConfig
+from repro.ssd.ftl import Ftl
+from repro.ssd.ops import FlashOp, OpKind, OpReason
+from repro.ssd.smart import SmartCounters
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """One finished host request with its timing."""
+
+    kind: str
+    lba: int
+    nsectors: int
+    submit_ns: int
+    complete_ns: int
+
+    @property
+    def latency_ns(self) -> int:
+        return self.complete_ns - self.submit_ns
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency_ns / 1_000
+
+
+class BusTap:
+    """Probe wiring: renders ops on one channel to ONFI signals.
+
+    This is the simulated counterpart of soldering probes to a flash
+    package's pinouts: the tap sees bus traffic for a single channel and
+    nothing else.
+    """
+
+    def __init__(self, geometry: Geometry, timing: TimingProfile, channel: int = 0) -> None:
+        if geometry.chips_per_channel * geometry.dies_per_chip != 1:
+            raise ValueError(
+                "BusTap renders a single R/B# lane, so it models probing a "
+                "single-die package; probe a channel with one die (per-die "
+                "ready/busy pins are not modeled separately)"
+            )
+        self.geometry = geometry
+        self.timing = timing
+        self.channel = channel
+        self.emitter = SignalEmitter(timing)
+
+    @property
+    def trace(self) -> SignalTrace:
+        return self.emitter.trace
+
+    def observe(self, op: FlashOp, onfi_op: OnfiOperation, start_ns: int) -> None:
+        self.emitter.emit(onfi_op, start_ns)
+
+
+class TimedSSD:
+    """Resource-timeline simulation of a :class:`SimulatedSSD`."""
+
+    def __init__(
+        self,
+        config: SsdConfig,
+        model: str = "repro-ssd-timed",
+        controller_overhead_ns: int = 8_000,
+        bus_tap: BusTap | None = None,
+    ) -> None:
+        self.config = config
+        self.model = model
+        self.geometry = config.geometry
+        self.timing = profile(config.timing_name)
+        self.controller_overhead_ns = controller_overhead_ns
+        self.ftl = Ftl(config)
+        self.smart = SmartCounters()
+        self.bus_tap = bus_tap
+        #: blocks operated in pSLC mode program/erase at pSLC speed.
+        self._pslc_blocks = frozenset(config.pslc_block_ids())
+        self.die_free = np.zeros(self.geometry.dies_total, dtype=np.int64)
+        self.chan_free = np.zeros(self.geometry.channels, dtype=np.int64)
+        self.completed: list[CompletedRequest] = []
+        self.now = 0
+        # Write-cache admission state: sectors admitted occupy RAM until
+        # the flush program that carries them completes on flash.
+        self._cache_capacity = self.ftl.cache.capacity
+        self._cache_occupied = 0
+        self._releases: list[tuple[int, int]] = []  # (complete_ns, sectors)
+        self._absorbed_seen = 0
+
+    # ------------------------------------------------------------------
+    # Host interface
+    # ------------------------------------------------------------------
+
+    @property
+    def num_sectors(self) -> int:
+        return self.ftl.num_lpns
+
+    @property
+    def sector_size(self) -> int:
+        return self.geometry.sector_size
+
+    def submit(self, kind: str, lba: int, nsectors: int, at_ns: int) -> CompletedRequest:
+        """Process one host request submitted at *at_ns*.
+
+        Requests must be submitted in non-decreasing time order (the
+        workload engine guarantees this).
+        """
+        at_ns = max(at_ns, self.now)
+        self.now = at_ns
+        if kind == "write":
+            ops = self.ftl.write(lba, nsectors)
+            self.smart.host_sectors_written += nsectors
+        elif kind == "read":
+            ops = self.ftl.read(lba, nsectors)
+            self.smart.host_sectors_read += nsectors
+        elif kind == "trim":
+            ops = self.ftl.trim(lba, nsectors)
+        else:
+            raise ValueError(f"unknown request kind {kind!r}")
+
+        flash_done = at_ns
+        for op in ops:
+            self.smart.record(op)
+            end = self._schedule_op(op, at_ns)
+            flash_done = max(flash_done, end)
+            if (op.kind is OpKind.PROGRAM
+                    and op.reason in (OpReason.HOST, OpReason.PSLC)):
+                # This flush carries cached sectors back out of RAM.
+                self._releases.append((end, self.geometry.sectors_per_page))
+
+        if kind == "write":
+            complete = self._admit_write(at_ns, nsectors)
+        else:
+            complete = max(at_ns + self.controller_overhead_ns, flash_done)
+        request = CompletedRequest(kind, lba, nsectors, at_ns, complete)
+        self.completed.append(request)
+        return request
+
+    # ------------------------------------------------------------------
+    # Write-cache admission
+    # ------------------------------------------------------------------
+
+    def _admit_write(self, at_ns: int, nsectors: int) -> int:
+        """When do *nsectors* fit in the cache?  Absorbed sectors (write
+        hits) cost nothing; the rest occupy space until flush programs
+        release it."""
+        absorbed_total = self.ftl.stats.cache_absorbed
+        fresh = nsectors - (absorbed_total - self._absorbed_seen)
+        self._absorbed_seen = absorbed_total
+        self._drain_releases(at_ns)
+        self._cache_occupied += max(0, fresh)
+        when = at_ns
+        if self._cache_occupied > self._cache_capacity and self._releases:
+            # Stall until enough flushes complete to fit again.
+            self._releases.sort()
+            while (self._cache_occupied > self._cache_capacity
+                   and self._releases):
+                when, sectors = self._releases.pop(0)
+                self._cache_occupied = max(0, self._cache_occupied - sectors)
+        self._cache_occupied = min(self._cache_occupied,
+                                   self._cache_capacity + nsectors)
+        return max(at_ns, when) + self.controller_overhead_ns
+
+    def _drain_releases(self, now: int) -> None:
+        kept = []
+        for when, sectors in self._releases:
+            if when <= now:
+                self._cache_occupied = max(0, self._cache_occupied - sectors)
+            else:
+                kept.append((when, sectors))
+        self._releases = kept
+
+    def flush(self, at_ns: int | None = None) -> CompletedRequest:
+        """FLUSH CACHE as a timed request."""
+        at_ns = self.now if at_ns is None else max(at_ns, self.now)
+        self.now = at_ns
+        ops = self.ftl.flush()
+        complete = at_ns + self.controller_overhead_ns
+        for op in ops:
+            self.smart.record(op)
+            complete = max(complete, self._schedule_op(op, at_ns))
+        request = CompletedRequest("flush", 0, 0, at_ns, complete)
+        self.completed.append(request)
+        return request
+
+    def idle(self, at_ns: int | None = None, max_blocks: int = 8) -> int:
+        """A host-idle window: background maintenance runs and occupies
+        the dies (delaying whatever the host submits next — the
+        "unpredictable background operations" effect)."""
+        at_ns = self.now if at_ns is None else max(at_ns, self.now)
+        self.now = at_ns
+        end = at_ns
+        for op in self.ftl.idle_maintenance(max_blocks):
+            self.smart.record(op)
+            end = max(end, self._schedule_op(op, at_ns))
+        return end
+
+    def quiesce(self) -> int:
+        """Advance time past all outstanding flash work and cache
+        releases (an idle period after preconditioning)."""
+        horizon = int(max(int(self.die_free.max()), int(self.chan_free.max()),
+                          self.now))
+        self.now = horizon
+        self._drain_releases(horizon)
+        return horizon
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def _schedule_op(self, op: FlashOp, earliest: int) -> int:
+        geometry = self.geometry
+        timing = self.timing
+        if op.kind is OpKind.ERASE:
+            block = op.target
+            array_timing = PSLC if block in self._pslc_blocks else timing
+            die = geometry.die_of_block(block)
+            channel = geometry.channel_of_block(block)
+            onfi = encode_erase(geometry, timing, geometry.block_address(block))
+            bus = operation_bus_ns(onfi, timing)
+            start = max(earliest, int(self.chan_free[channel]), int(self.die_free[die]))
+            self.chan_free[channel] = start + bus
+            end = start + bus + array_timing.erase_ns
+            self.die_free[die] = end
+            self._tap(op, onfi, channel, start)
+            return end
+
+        ppn = op.target
+        die = geometry.die_of_ppn(ppn)
+        channel = geometry.channel_of_ppn(ppn)
+        addr = geometry.address(ppn)
+        block = ppn // geometry.pages_per_block
+        array_timing = PSLC if block in self._pslc_blocks else timing
+        if op.kind is OpKind.PROGRAM:
+            # ONFI: the controller cannot issue to a busy die, so the
+            # bus phase waits for both the channel and the die.
+            onfi = encode_program(geometry, timing, addr, op.nbytes or None)
+            bus = operation_bus_ns(onfi, timing)
+            start = max(earliest, int(self.chan_free[channel]),
+                        int(self.die_free[die]))
+            bus_end = start + bus
+            self.chan_free[channel] = bus_end
+            end = bus_end + array_timing.program_ns
+            self.die_free[die] = end
+            self._tap(op, onfi, channel, start)
+            return end
+
+        # Read: command cycles on the bus, array time (tR), then the
+        # data moves out over the bus.
+        onfi = encode_read(geometry, timing, addr, op.nbytes or None)
+        data_ns = timing.transfer_ns(op.nbytes or geometry.page_size)
+        cmd_ns = operation_bus_ns(onfi, timing) - data_ns
+        start = max(earliest, int(self.chan_free[channel]),
+                    int(self.die_free[die]))
+        self.chan_free[channel] = start + cmd_ns
+        array_end = start + cmd_ns + array_timing.read_ns
+        self.die_free[die] = array_end
+        bus_start = max(array_end, int(self.chan_free[channel]))
+        end = bus_start + data_ns
+        self.chan_free[channel] = end
+        self._tap(op, onfi, channel, start)
+        return end
+
+    def _tap(self, op: FlashOp, onfi: OnfiOperation, channel: int, start: int) -> None:
+        if self.bus_tap is not None and channel == self.bus_tap.channel:
+            self.bus_tap.observe(op, onfi, start)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def latencies_us(self, kind: str | None = None) -> np.ndarray:
+        """Latencies of completed requests, in microseconds."""
+        values = [
+            r.latency_us for r in self.completed
+            if kind is None or r.kind == kind
+        ]
+        return np.asarray(values, dtype=np.float64)

@@ -1,0 +1,85 @@
+"""Static wear leveling.
+
+Dynamic allocation alone lets cold data pin blocks at low erase counts
+while hot blocks wear out.  Static wear leveling periodically migrates
+the *coldest* populated block so its low-wear home returns to the free
+pool.  The paper lists wear leveling among the FTL mechanisms that
+black-box models cannot see; here it is an optional feature
+(``SsdConfig.wear_leveling``) whose traffic is attributed to
+``OpReason.WEAR`` so experiments can observe exactly what it costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flash.geometry import Geometry
+from repro.flash.nand import NandArray
+from repro.ssd.allocation import PageAllocator
+
+
+@dataclass
+class WearDecision:
+    """What the leveler wants migrated, if anything."""
+
+    victim_block: int
+
+
+class WearLeveler:
+    """Chooses cold blocks to rotate back into circulation.
+
+    Triggers when the erase-count spread (max - min over non-retired
+    blocks) exceeds ``delta``; the victim is the fully-written block
+    with the lowest erase count (the coldest data).
+    """
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        nand: NandArray,
+        allocator: PageAllocator,
+        delta: int = 100,
+    ) -> None:
+        if delta < 1:
+            raise ValueError("delta must be >= 1")
+        self.geometry = geometry
+        self.nand = nand
+        self.allocator = allocator
+        self.delta = delta
+        self.migrations = 0
+
+    def spread(self) -> int:
+        counts = self.nand.block_erase_count
+        retired = self.allocator.retired_blocks
+        if retired:
+            mask = np.ones(len(counts), dtype=bool)
+            mask[list(retired)] = False
+            counts = counts[mask]
+        if len(counts) == 0:
+            return 0
+        return int(counts.max() - counts.min())
+
+    def should_level(self) -> bool:
+        return self.spread() > self.delta
+
+    def pick_victim(self) -> WearDecision | None:
+        """The coldest fully-written, non-active block."""
+        geometry = self.geometry
+        active = self.allocator.active_blocks()
+        retired = self.allocator.retired_blocks
+        excluded = self.allocator.excluded_blocks
+        best: tuple[int, int] | None = None
+        for block in range(geometry.total_blocks):
+            if block in active or block in retired or block in excluded:
+                continue
+            if self.nand.block_write_ptr[block] < geometry.pages_per_block:
+                continue
+            erases = int(self.nand.block_erase_count[block])
+            if best is None or erases < best[0]:
+                best = (erases, block)
+        if best is None:
+            return None
+        self.migrations += 1
+        return WearDecision(victim_block=best[1])

@@ -1,0 +1,94 @@
+"""Synthetic data compressibility.
+
+The intra-SSD compression study (Fig 2) needs to know how small each
+4 KB sector compresses, not its actual bytes.  A
+:class:`CompressibilityModel` assigns per-class compression ratios with
+some spread, mimicking the structure of OLTP data: B-tree index pages and
+padded table rows compress very well, WAL/log records moderately, and
+any pre-compressed payload not at all.
+
+Ratios are expressed as ``compressed/raw`` (0.25 means 4:1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DataClass:
+    """One kind of data with its compressibility distribution."""
+
+    name: str
+    mean_ratio: float
+    spread: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.mean_ratio <= 1.5:
+            raise ValueError("mean_ratio must be in (0, 1.5]")
+        if self.spread < 0:
+            raise ValueError("spread must be non-negative")
+
+
+#: The paper's "highly compressible data" regime (Fig 2's x-axis point).
+HIGHLY_COMPRESSIBLE = {
+    "index": DataClass("index", 0.22, 0.04),
+    "table": DataClass("table", 0.25, 0.06),
+    "log": DataClass("log", 0.30, 0.05),
+}
+
+#: A realistic mixed regime for ablations.
+MODERATE = {
+    "index": DataClass("index", 0.45, 0.08),
+    "table": DataClass("table", 0.55, 0.10),
+    "log": DataClass("log", 0.50, 0.08),
+}
+
+#: Encrypted / pre-compressed payloads.
+INCOMPRESSIBLE = {
+    "index": DataClass("index", 1.0, 0.0),
+    "table": DataClass("table", 1.0, 0.0),
+    "log": DataClass("log", 1.0, 0.0),
+}
+
+REGIMES = {
+    "high": HIGHLY_COMPRESSIBLE,
+    "moderate": MODERATE,
+    "incompressible": INCOMPRESSIBLE,
+}
+
+
+class CompressibilityModel:
+    """Samples compressed sizes for sector writes, by data class."""
+
+    def __init__(
+        self,
+        classes: dict[str, DataClass] | None = None,
+        sector_size: int = 4096,
+        seed: int = 0,
+    ) -> None:
+        self.classes = dict(classes if classes is not None else HIGHLY_COMPRESSIBLE)
+        self.sector_size = sector_size
+        self._rng = np.random.default_rng(seed)
+
+    def compressed_size(self, data_class: str) -> int:
+        """Compressed byte size of one sector of *data_class* data."""
+        try:
+            cls = self.classes[data_class]
+        except KeyError:
+            known = ", ".join(sorted(self.classes))
+            raise KeyError(
+                f"unknown data class {data_class!r}; known: {known}"
+            ) from None
+        ratio = cls.mean_ratio
+        if cls.spread:
+            ratio = float(self._rng.normal(cls.mean_ratio, cls.spread))
+        ratio = min(max(ratio, 0.02), 1.0)
+        return max(64, int(self.sector_size * ratio))
+
+    def mean_ratio(self) -> float:
+        """Average configured ratio across classes (for reporting)."""
+        values = [c.mean_ratio for c in self.classes.values()]
+        return sum(values) / len(values)

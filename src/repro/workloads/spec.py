@@ -1,0 +1,76 @@
+"""fio-like job specifications.
+
+A :class:`JobSpec` describes one fio job: operation mix, block size,
+address pattern, target region, and how much work to do.  The engine
+(:mod:`repro.workloads.engine`) runs one or more jobs against a simulated
+device, separately or concurrently — the paper's Fig 4b protocol is three
+jobs in private regions run twice, once each and once together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.patterns import AddressPattern, Region, make_pattern
+
+#: request kinds a job may issue.
+RW_MODES = ("write", "randwrite", "read", "randread", "randrw", "trim")
+
+
+@dataclass
+class JobSpec:
+    """One fio-style job.
+
+    ``bs_sectors`` is the request size in logical sectors (fio ``bs=`` in
+    device sector units).  ``io_count`` bounds the number of requests.
+    ``read_fraction`` only matters for ``randrw``.  ``pattern_kwargs``
+    passes skew parameters to the address pattern (e.g.
+    ``{"space_fraction": 0.2, "traffic_fraction": 0.8}``).
+    """
+
+    name: str
+    rw: str
+    region: Region
+    bs_sectors: int = 1
+    io_count: int = 1000
+    iodepth: int = 1
+    read_fraction: float = 0.5
+    pattern: str | None = None
+    pattern_kwargs: dict = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rw not in RW_MODES:
+            raise ValueError(f"unknown rw mode {self.rw!r}; known: {RW_MODES}")
+        if self.io_count < 1:
+            raise ValueError("io_count must be >= 1")
+        if self.iodepth < 1:
+            raise ValueError("iodepth must be >= 1")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.rw in ("write", "read")
+
+    def default_pattern(self) -> str:
+        return "sequential" if self.is_sequential else "uniform"
+
+    def make_pattern(self) -> AddressPattern:
+        """Build this job's address pattern."""
+        name = self.pattern or self.default_pattern()
+        return make_pattern(name, self.region, self.bs_sectors, **self.pattern_kwargs)
+
+    def request_kind(self, rng) -> str:
+        """The I/O direction of the next request."""
+        if self.rw in ("write", "randwrite"):
+            return "write"
+        if self.rw in ("read", "randread"):
+            return "read"
+        if self.rw == "trim":
+            return "trim"
+        return "read" if rng.random() < self.read_fraction else "write"
+
+    @property
+    def total_sectors(self) -> int:
+        return self.io_count * self.bs_sectors

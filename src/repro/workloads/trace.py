@@ -1,0 +1,172 @@
+"""Block-trace recording and replay.
+
+Storage studies live and die by traces: record the request stream an
+application (or one of this repo's workload generators) produces, persist
+it, and replay it against any device configuration.  The format is a
+four-column CSV (``op,lba,sectors,at_us``) — trivially diffable and easy
+to produce from real blktrace output.
+
+Recording wraps a device's host interface; replay drives either device
+mode.  Timed replay honours the recorded inter-arrival times (open loop,
+optionally time-scaled), so a trace captured at one speed can stress a
+slower configuration.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+KINDS = ("write", "read", "trim", "flush")
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One host request."""
+
+    kind: str
+    lba: int
+    sectors: int
+    at_us: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown op kind {self.kind!r}")
+        if self.lba < 0 or self.sectors < 0:
+            raise ValueError("lba/sectors must be non-negative")
+
+
+class BlockTrace:
+    """An ordered sequence of host requests."""
+
+    def __init__(self, records: Iterable[TraceRecord] = ()) -> None:
+        self.records: list[TraceRecord] = list(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def append(self, record: TraceRecord) -> None:
+        if self.records and record.at_us < self.records[-1].at_us:
+            raise ValueError("trace timestamps must be non-decreasing")
+        self.records.append(record)
+
+    @property
+    def duration_us(self) -> float:
+        return self.records[-1].at_us if self.records else 0.0
+
+    def sectors_written(self) -> int:
+        return sum(r.sectors for r in self.records if r.kind == "write")
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def dumps(self) -> str:
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(["op", "lba", "sectors", "at_us"])
+        for record in self.records:
+            writer.writerow([record.kind, record.lba, record.sectors,
+                             f"{record.at_us:.3f}"])
+        return buf.getvalue()
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.dumps())
+        return path
+
+    @classmethod
+    def loads(cls, text: str) -> "BlockTrace":
+        reader = csv.reader(io.StringIO(text))
+        header = next(reader, None)
+        if header != ["op", "lba", "sectors", "at_us"]:
+            raise ValueError(f"not a block trace (header {header!r})")
+        trace = cls()
+        for row in reader:
+            if not row:
+                continue
+            trace.append(TraceRecord(row[0], int(row[1]), int(row[2]),
+                                     float(row[3])))
+        return trace
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BlockTrace":
+        return cls.loads(Path(path).read_text())
+
+
+class TraceRecorder:
+    """Wraps a counter-mode device, logging every host request.
+
+    Counter mode has no clock, so timestamps are synthesized at a fixed
+    ``rate_iops`` — the recorded trace then replays at that pace.
+    """
+
+    def __init__(self, device, rate_iops: float = 50_000.0) -> None:
+        self.device = device
+        self.trace = BlockTrace()
+        self._gap_us = 1e6 / rate_iops
+        self._clock_us = 0.0
+
+    @property
+    def num_sectors(self) -> int:
+        return self.device.num_sectors
+
+    def _log(self, kind: str, lba: int, sectors: int) -> None:
+        self.trace.append(TraceRecord(kind, lba, sectors, self._clock_us))
+        self._clock_us += self._gap_us
+
+    def write_sectors(self, lba: int, count: int = 1):
+        self._log("write", lba, count)
+        return self.device.write_sectors(lba, count)
+
+    def read_sectors(self, lba: int, count: int = 1):
+        self._log("read", lba, count)
+        return self.device.read_sectors(lba, count)
+
+    def trim_sectors(self, lba: int, count: int = 1):
+        self._log("trim", lba, count)
+        return self.device.trim_sectors(lba, count)
+
+    def flush(self):
+        self._log("flush", 0, 0)
+        return self.device.flush()
+
+
+def replay_counter(trace: BlockTrace, device) -> None:
+    """Replay onto a counter-mode device (timestamps ignored)."""
+    for record in trace:
+        if record.kind == "write":
+            device.write_sectors(record.lba, record.sectors)
+        elif record.kind == "read":
+            device.read_sectors(record.lba, record.sectors)
+        elif record.kind == "trim":
+            device.trim_sectors(record.lba, record.sectors)
+        else:
+            device.flush()
+
+
+def replay_timed(trace: BlockTrace, device, time_scale: float = 1.0):
+    """Open-loop replay onto a :class:`TimedSSD`, honouring arrival times.
+
+    Returns the completed requests.  ``time_scale > 1`` slows the trace
+    down, ``< 1`` speeds it up.
+    """
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    t0 = device.now
+    out = []
+    for record in trace:
+        at_ns = t0 + int(record.at_us * 1000 * time_scale)
+        if record.kind == "flush":
+            out.append(device.flush(at_ns=max(at_ns, device.now)))
+        else:
+            out.append(device.submit(record.kind, record.lba,
+                                     max(1, record.sectors), at_ns=at_ns))
+    return out

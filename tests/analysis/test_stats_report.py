@@ -1,0 +1,82 @@
+"""Statistics helpers and table/CSV reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_table, to_csv, write_csv
+from repro.analysis.stats import (
+    relative_difference,
+    summarize_latencies,
+    tail_curve,
+)
+
+
+class TestSummarize:
+    def test_empty(self):
+        summary = summarize_latencies(np.array([]))
+        assert summary.count == 0
+        assert summary.p99 == 0.0
+
+    def test_percentile_ordering(self):
+        data = np.random.default_rng(0).exponential(100, size=5000)
+        summary = summarize_latencies(data)
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.p999 <= summary.max
+        assert summary.count == 5000
+
+    def test_constant_sample(self):
+        summary = summarize_latencies(np.full(10, 7.0))
+        assert summary.mean == summary.p50 == summary.max == 7.0
+
+    def test_row_shape(self):
+        assert len(summarize_latencies(np.array([1.0])).row()) == 7
+
+
+class TestTailCurve:
+    def test_range_and_monotonicity(self):
+        data = np.random.default_rng(1).exponential(10, size=2000)
+        qs, values = tail_curve(data, points=20)
+        assert qs[0] == 99.0 and qs[-1] == 100.0
+        assert np.all(np.diff(values) >= 0)
+
+    def test_empty_data(self):
+        qs, values = tail_curve(np.array([]), points=5)
+        assert np.all(values == 0)
+
+    def test_points_validated(self):
+        with pytest.raises(ValueError):
+            tail_curve(np.array([1.0]), points=1)
+
+
+class TestRelativeDifference:
+    def test_symmetric(self):
+        assert relative_difference(10, 12) == relative_difference(12, 10)
+
+    def test_zero_pair(self):
+        assert relative_difference(0.0, 0.0) == 0.0
+
+    def test_known_value(self):
+        assert relative_difference(100, 118) == pytest.approx(18 / 109)
+
+
+class TestReport:
+    HEADERS = ["name", "value", "ok"]
+    ROWS = [["alpha", 1.23456, True], ["beta", 2, False]]
+
+    def test_table_alignment(self):
+        text = format_table(self.HEADERS, self.ROWS, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "alpha" in text and "1.235" in text
+        assert "yes" in text and "no" in text
+        # header separator matches widths
+        assert set(lines[2].replace("  ", "")) == {"-"}
+
+    def test_csv(self):
+        csv_text = to_csv(self.HEADERS, self.ROWS)
+        assert csv_text.splitlines()[0] == "name,value,ok"
+        assert "alpha" in csv_text
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(tmp_path / "sub" / "x.csv", self.HEADERS, self.ROWS)
+        assert path.exists()
+        assert "beta" in path.read_text()

@@ -1,0 +1,239 @@
+"""JTAG toolkit: TAP state machine, bit-banged probe, debugger, discovery."""
+
+import pytest
+
+from repro.core.jtag.dap import JtagProbe
+from repro.core.jtag.debugger import Debugger
+from repro.core.jtag.discovery import (
+    analyze_update_file,
+    attribute_core_roles,
+    candidate_map_bases,
+    discover_pslc_index,
+    discover_translation_map,
+)
+from repro.core.jtag.tap import Ir, TapController, TapState
+from repro.ssd.firmware.device import IDCODE, HackableSSD
+
+
+@pytest.fixture()
+def dev():
+    return HackableSSD(scale=2)
+
+
+@pytest.fixture()
+def probe(dev):
+    probe = JtagProbe(TapController(dev, IDCODE))
+    probe.reset()
+    return probe
+
+
+class TestTapStateMachine:
+    def test_reset_from_anywhere(self, dev):
+        tap = TapController(dev, IDCODE)
+        # Wander around, then 5 TMS=1 clocks must reach reset.
+        for tms in (0, 1, 0, 0, 0, 1, 1):
+            tap.clock(tms, 0)
+        for _ in range(5):
+            tap.clock(1, 0)
+        assert tap.state is TapState.TEST_LOGIC_RESET
+
+    def test_reset_selects_idcode(self, dev):
+        tap = TapController(dev, IDCODE)
+        assert tap.ir == int(Ir.IDCODE)
+
+    def test_ir_capture_lsb_is_one(self, dev):
+        """IEEE 1149.1 mandates IR capture pattern xxx1."""
+        probe = JtagProbe(TapController(dev, IDCODE))
+        probe.reset()
+        probe._to_shift_ir()
+        first_bit = probe.tap.clock(0, 0)
+        assert first_bit == 1
+
+    def test_full_state_walk(self, dev):
+        """DR path: idle -> select -> capture -> shift -> exit -> update."""
+        tap = TapController(dev, IDCODE)
+        tap.clock(0, 0)  # -> run-test/idle
+        for tms, expected in [
+            (1, TapState.SELECT_DR),
+            (0, TapState.CAPTURE_DR),
+            (0, TapState.SHIFT_DR),
+            (1, TapState.EXIT1_DR),
+            (0, TapState.PAUSE_DR),
+            (1, TapState.EXIT2_DR),
+            (1, TapState.UPDATE_DR),
+            (0, TapState.RUN_TEST_IDLE),
+        ]:
+            tap.clock(tms, 0)
+            assert tap.state is expected
+
+    def test_tck_counted(self, dev):
+        tap = TapController(dev, IDCODE)
+        tap.clock(0, 0)
+        tap.clock(1, 0)
+        assert tap.stats.tck_cycles == 2
+
+
+class TestProbeOperations:
+    def test_idcode(self, probe):
+        assert probe.idcode() == IDCODE
+
+    def test_memory_word_roundtrip(self, dev, probe):
+        sram = dev.memory_map.sram_base
+        probe.write_word(sram + 0x40, 0xCAFEBABE)
+        assert probe.read_word(sram + 0x40) == 0xCAFEBABE
+
+    def test_read_block_autoincrement(self, dev, probe):
+        sram = dev.memory_map.sram_base
+        for i in range(4):
+            probe.write_word(sram + i * 4, 0x100 + i)
+        assert probe.read_block(sram, 4) == [0x100, 0x101, 0x102, 0x103]
+
+    def test_read_bytes_unaligned(self, dev, probe):
+        sram = dev.memory_map.sram_base
+        probe.write_word(sram, 0x44332211)
+        probe.write_word(sram + 4, 0x88776655)
+        assert probe.read_bytes(sram + 1, 4) == bytes([0x22, 0x33, 0x44, 0x55])
+
+    def test_pc_sampling_tracks_activity(self, dev, probe):
+        idle = probe.sample_pc(1)
+        dev.write_sectors(2, 1)  # even LBA -> core 1 busy
+        assert probe.sample_pc(1) != idle
+
+    def test_halt_resume(self, dev, probe):
+        probe.halt(1)
+        assert probe.is_halted(1)
+        assert dev.is_halted(1)
+        probe.resume(1)
+        assert not probe.is_halted(1)
+
+    def test_rom_matches_over_jtag(self, dev, probe):
+        core0 = dev.firmware.section("core0")
+        dumped = probe.read_bytes(core0.load_addr, len(core0.data))
+        assert dumped == core0.data
+
+    def test_bitbanging_is_expensive(self, dev, probe):
+        before = probe.tck_cycles
+        probe.read_word(dev.memory_map.sram_base)
+        cost = probe.tck_cycles - before
+        assert cost > 50  # a single word costs dozens of TCKs
+
+
+class TestDebugger:
+    def test_check_connection(self, probe):
+        debugger = Debugger(probe)
+        assert debugger.check_connection(IDCODE) == IDCODE
+
+    def test_connection_mismatch(self, probe):
+        debugger = Debugger(probe)
+        with pytest.raises(ConnectionError):
+            debugger.check_connection(0x12345678)
+
+    def test_diff_region_detects_sram_change(self, dev, probe):
+        debugger = Debugger(probe)
+        sram = dev.memory_map.sram_base
+        changed = debugger.diff_region(
+            sram, 64, lambda: dev.write_mem(sram + 10, b"\x77")
+        )
+        assert changed == [10]
+
+    def test_find_strings(self, dev, probe):
+        debugger = Debugger(probe)
+        strings_section = dev.firmware.section("strings")
+        found = debugger.find_strings(strings_section.load_addr,
+                                      len(strings_section.data))
+        assert "TurboWrite" in found
+
+    def test_profile_pcs(self, dev, probe):
+        debugger = Debugger(probe)
+        profile = debugger.profile_pcs(
+            lambda i: dev.write_sectors(2 * i, 1), iterations=6
+        )
+        assert len(profile.samples[0]) == 6
+        assert profile.hot_range(0) is not None
+
+
+class TestFirmwareAnalysis:
+    def test_analysis_finds_structure(self, dev):
+        analysis = analyze_update_file(dev.firmware_update_file)
+        assert analysis.keystream_period == 64
+        assert set(analysis.section_names) >= {"core0", "core1", "core2"}
+        assert "core0" in analysis.lsb_dispatch_sections
+        assert any("TurboWrite" in s for s in analysis.strings)
+
+    def test_hash_idiom_recovered_from_code(self, dev):
+        """Static analysis lifts the pSLC hash function out of the
+        flash cores' disassembly."""
+        analysis = analyze_update_file(dev.firmware_update_file)
+        assert analysis.hash_idioms
+        idiom = analysis.hash_idioms[0]
+        assert idiom.shift == 5
+        assert idiom.buckets == dev.memory_map.pslc_buckets
+        # And it actually matches the device's bucket placement.
+        for lpn in (0, 17, 999):
+            assert ((lpn ^ (lpn >> idiom.shift)) & idiom.mask
+                    ) == dev.memory_map.pslc_bucket_of(lpn)
+
+    def test_dram_pointers_filtered(self, dev):
+        analysis = analyze_update_file(dev.firmware_update_file)
+        pointers = analysis.dram_pointers()
+        assert all(0x20000000 <= p < 0x40000000
+                   for ptrs in pointers.values() for p in ptrs)
+
+    def test_candidate_bases_match_device(self, dev):
+        analysis = analyze_update_file(dev.firmware_update_file)
+        arrays, others = candidate_map_bases(analysis)
+        assert arrays == list(dev.memory_map.map_array_bases)
+        assert dev.memory_map.pslc_index_base in others
+
+    def test_discovery_tracks_artifact_not_convention(self, dev):
+        """Scramble with a different key: the attack still recovers it,
+        proving the pipeline reads the artifact."""
+        from repro.ssd.firmware.obfuscation import obfuscate
+        rescrambled = obfuscate(dev.firmware_plain, seed=0x99, period=128)
+        analysis = analyze_update_file(rescrambled)
+        assert analysis.keystream_period == 128
+        arrays, _ = candidate_map_bases(analysis)
+        assert arrays == list(dev.memory_map.map_array_bases)
+
+
+class TestDynamicDiscovery:
+    @pytest.fixture(scope="class")
+    def study(self):
+        """One shared scale-2 study (discovery is JTAG-expensive)."""
+        dev = HackableSSD(scale=2)
+        probe = JtagProbe(TapController(dev, IDCODE))
+        probe.reset()
+        debugger = Debugger(probe)
+        analysis = analyze_update_file(dev.firmware_update_file)
+        arrays, others = candidate_map_bases(analysis)
+        roles = attribute_core_roles(debugger, dev, iterations=12)
+        map_disc = discover_translation_map(debugger, dev, arrays,
+                                            verify_probes=8, prefill=2048)
+        pslc = discover_pslc_index(debugger, dev, others)
+        return dev, roles, map_disc, pslc
+
+    def test_core_roles(self, study):
+        _, roles, _, _ = study
+        assert roles.host_interface_core == 0
+        assert roles.even_core == 1
+        assert roles.odd_core == 2
+        assert roles.split_by_lsb
+
+    def test_map_layout_recovered(self, study):
+        dev, _, map_disc, _ = study
+        assert map_disc.num_arrays == 8
+        assert map_disc.select_modulus == 8
+        assert map_disc.entry_bytes == 4
+        assert map_disc.entries_fit
+        assert map_disc.array_bases == list(dev.memory_map.map_array_bases)
+
+    def test_map_overhead_measured(self, study):
+        _, _, map_disc, _ = study
+        assert map_disc.measured_map_bytes > map_disc.theoretical_map_bytes > 0
+        assert map_disc.entry_bits_used < 32
+
+    def test_pslc_index_classified_hashed(self, study):
+        dev, _, _, pslc = study
+        assert pslc.found
+        assert pslc.base == dev.memory_map.pslc_index_base
+        assert pslc.looks_hashed

@@ -1,0 +1,213 @@
+"""Hardware-probe toolkit: analyzer limits, decoder, inference."""
+
+import numpy as np
+import pytest
+
+from repro.core.probe.analyzer import (
+    BENCH,
+    HOBBYIST,
+    TLA7000,
+    AnalyzerSpec,
+    LogicAnalyzer,
+)
+from repro.core.probe.decoder import decode_capture, decode_trace_windows
+from repro.core.probe.inference import (
+    HostOpRecord,
+    infer_ftl_features,
+    signal_activity,
+)
+from repro.flash.geometry import Geometry, PhysicalAddress
+from repro.flash.onfi import (
+    encode_erase,
+    encode_program,
+    encode_read,
+    encode_read_id,
+    encode_reset,
+)
+from repro.flash.signals import SignalEmitter
+from repro.flash.timing import profile
+
+GEOM = Geometry(
+    channels=1, chips_per_channel=1, dies_per_chip=1, planes_per_die=1,
+    blocks_per_plane=8, pages_per_block=16, page_size=4096, sector_size=4096,
+)
+ASYNC = profile("async")
+
+
+def emit_ops(ops):
+    emitter = SignalEmitter(ASYNC)
+    now = 0
+    for op in ops:
+        now = emitter.emit(op, now)
+    return emitter.trace
+
+
+@pytest.fixture(scope="module")
+def mixed_trace():
+    addr = PhysicalAddress(0, 0, 0, 0, 2, 0)
+    return emit_ops([
+        encode_program(GEOM, ASYNC, addr),
+        encode_program(GEOM, ASYNC, addr._replace(page=1)),
+        encode_read(GEOM, ASYNC, addr),
+        encode_erase(GEOM, ASYNC, addr._replace(block=3)),
+        encode_reset(),
+        encode_read_id(),
+    ])
+
+
+class TestAnalyzer:
+    def test_specs_ordered_by_capability(self):
+        assert TLA7000.sample_rate_hz > BENCH.sample_rate_hz > HOBBYIST.sample_rate_hz
+        assert TLA7000.price_usd == 20_000
+
+    def test_capture_respects_buffer(self, mixed_trace):
+        tiny = AnalyzerSpec("tiny", 100e6, buffer_samples=1000, price_usd=1)
+        capture = LogicAnalyzer(tiny).capture(mixed_trace)
+        assert capture.num_samples == 1000
+
+    def test_window_ns(self):
+        spec = AnalyzerSpec("x", 1e9, 1000, 1)
+        assert spec.window_ns() == 1000.0
+
+    def test_trigger_skips_idle(self):
+        addr = PhysicalAddress(0, 0, 0, 0, 1, 0)
+        emitter = SignalEmitter(ASYNC)
+        emitter.emit(encode_program(GEOM, ASYNC, addr), 5_000_000)
+        capture = LogicAnalyzer(TLA7000).capture_triggered(emitter.trace)
+        assert capture is not None
+        assert capture.samples["t"][0] >= 4_000_000  # skipped the idle 5 ms
+
+    def test_trigger_none_when_idle(self):
+        from repro.flash.signals import SignalTrace
+        assert LogicAnalyzer(TLA7000).capture_triggered(SignalTrace()) is None
+
+    def test_windows_cover_long_trace(self):
+        addr = PhysicalAddress(0, 0, 0, 0, 1, 0)
+        emitter = SignalEmitter(ASYNC)
+        now = 0
+        for page in range(8):
+            now = emitter.emit(
+                encode_program(GEOM, ASYNC, addr._replace(page=page)), now + 50_000
+            )
+        small = AnalyzerSpec("small", 200e6, buffer_samples=120_000, price_usd=1)
+        captures = LogicAnalyzer(small).windows(emitter.trace)
+        assert len(captures) >= 2
+
+
+class TestDecoder:
+    def test_decodes_all_op_kinds(self, mixed_trace):
+        result = decode_capture(LogicAnalyzer(TLA7000).capture(mixed_trace))
+        names = [op.name for op in result.ops]
+        assert names == ["program", "program", "read", "erase", "reset", "read_id"]
+        assert result.stats.clean
+
+    def test_program_details(self, mixed_trace):
+        result = decode_capture(LogicAnalyzer(TLA7000).capture(mixed_trace))
+        program = result.ops[0]
+        assert program.data_bytes == GEOM.page_size
+        assert program.row == 2 * GEOM.pages_per_block
+        assert program.busy_ns == pytest.approx(ASYNC.program_ns, rel=0.05)
+
+    def test_read_busy_is_tr(self, mixed_trace):
+        result = decode_capture(LogicAnalyzer(TLA7000).capture(mixed_trace))
+        read = [op for op in result.ops if op.name == "read"][0]
+        assert read.busy_ns == pytest.approx(ASYNC.read_ns, rel=0.05)
+
+    def test_erase_row_block_aligned(self, mixed_trace):
+        result = decode_capture(LogicAnalyzer(TLA7000).capture(mixed_trace))
+        erase = [op for op in result.ops if op.name == "erase"][0]
+        assert erase.row == 3 * GEOM.pages_per_block
+        assert erase.busy_ns == pytest.approx(ASYNC.erase_ns, rel=0.05)
+
+    def test_bench_analyzer_still_decodes(self, mixed_trace):
+        result = decode_capture(LogicAnalyzer(BENCH).capture(mixed_trace))
+        assert [op.name for op in result.ops][:4] == [
+            "program", "program", "read", "erase",
+        ]
+
+    def test_hobbyist_analyzer_fails(self, mixed_trace):
+        """The '$20,000 analyzer' point: a 10 MHz toy cannot decode."""
+        result = decode_capture(LogicAnalyzer(HOBBYIST).capture(mixed_trace))
+        assert not result.stats.clean or len(result.ops) < 6
+
+    def test_undersampled_data_burst_undercounted(self, mixed_trace):
+        bench = decode_capture(LogicAnalyzer(BENCH).capture(mixed_trace))
+        # 100 MHz on a 25 ns/byte bus: strobes at 40 MHz need >80 MHz,
+        # so byte counts survive, but a 4x slower instrument loses them.
+        slow = AnalyzerSpec("slow", 25e6, 4_000_000, 400)
+        slow_result = decode_capture(LogicAnalyzer(slow).capture(mixed_trace))
+        ok = [op.data_bytes for op in bench.ops if op.name == "program"]
+        bad = [op.data_bytes for op in slow_result.ops if op.name == "program"]
+        assert all(b == GEOM.page_size for b in ok)
+        assert all(b is None or b < GEOM.page_size for b in bad)
+
+
+class TestInference:
+    def make_ops(self, programs=20, reads=5, erases=3):
+        addr = PhysicalAddress(0, 0, 0, 0, 0, 0)
+        ops = []
+        for i in range(programs):
+            block, page = divmod(i, GEOM.pages_per_block)
+            ops.append(encode_program(GEOM, ASYNC,
+                                      addr._replace(block=block, page=page)))
+        for i in range(reads):
+            ops.append(encode_read(GEOM, ASYNC, addr._replace(page=i)))
+        for i in range(erases):
+            ops.append(encode_erase(GEOM, ASYNC, addr._replace(block=i + 2)))
+        # Long traces exceed one buffer: decode across re-armed windows.
+        return decode_trace_windows(
+            emit_ops(ops), LogicAnalyzer(TLA7000)
+        ).ops
+
+    def test_page_size_inferred(self):
+        report = infer_ftl_features(self.make_ops())
+        assert report.page_size_bytes == GEOM.page_size
+
+    def test_pages_per_block_from_erase_rows(self):
+        report = infer_ftl_features(self.make_ops(erases=4))
+        assert report.pages_per_block == GEOM.pages_per_block
+
+    def test_timings_recovered(self):
+        report = infer_ftl_features(self.make_ops())
+        assert report.t_prog_us == pytest.approx(ASYNC.program_ns / 1000, rel=0.05)
+        assert report.t_read_us == pytest.approx(ASYNC.read_ns / 1000, rel=0.05)
+        assert report.t_erase_us == pytest.approx(ASYNC.erase_ns / 1000, rel=0.05)
+
+    def test_sequential_fraction_high_for_sequential(self):
+        report = infer_ftl_features(self.make_ops(programs=16, reads=0, erases=0))
+        assert report.sequential_fraction > 0.9
+
+    def test_channel_write_amplification(self):
+        ops = self.make_ops(programs=10, reads=0, erases=0)
+        host = [HostOpRecord("write", 0, 1e12, sectors=5)]
+        report = infer_ftl_features(ops, host, sector_size=4096)
+        # 10 page programs (4 KB pages) for 5 host sectors -> WA = 2.
+        assert report.channel_write_amplification == pytest.approx(2.0)
+
+    def test_background_ops_detected(self):
+        ops = self.make_ops(programs=4, reads=0, erases=0)
+        # Host was only active before the flash ops started.
+        host = [HostOpRecord("write", 0, 1, sectors=1)]
+        report = infer_ftl_features(ops, host)
+        assert report.background_ops == 4
+
+    def test_report_rows_render(self):
+        report = infer_ftl_features(self.make_ops())
+        rows = report.rows()
+        assert any("page size" in k for k, _ in rows)
+
+
+class TestSignalActivity:
+    def test_lanes_shape_and_render(self, mixed_trace):
+        capture = LogicAnalyzer(BENCH).capture(mixed_trace)
+        activity = signal_activity(capture, bins=32)
+        assert len(activity.control) == 32
+        assert activity.busy.max() > 0.5  # long tPROG busy visible
+        text = activity.render()
+        assert "ctrl" in text and "busy" in text and "#" in text
+
+    def test_empty_capture(self):
+        from repro.flash.signals import SignalTrace
+        capture = LogicAnalyzer(BENCH).capture(SignalTrace())
+        activity = signal_activity(capture)
+        assert len(activity.control) == 0

@@ -1,0 +1,72 @@
+"""Property: any op sequence survives emit -> sample -> decode."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.probe.analyzer import AnalyzerSpec, LogicAnalyzer
+from repro.core.probe.decoder import decode_capture
+from repro.flash.geometry import Geometry, PhysicalAddress
+from repro.flash.onfi import encode_erase, encode_program, encode_read
+from repro.flash.timing import profile
+
+GEOM = Geometry(
+    channels=1, chips_per_channel=1, dies_per_chip=1, planes_per_die=1,
+    blocks_per_plane=8, pages_per_block=16, page_size=2048, sector_size=2048,
+)
+ASYNC = profile("async")
+
+#: generous instrument so the property tests the codec, not the sampler.
+LAB = AnalyzerSpec("lab", sample_rate_hz=400e6, buffer_samples=30_000_000,
+                   price_usd=0)
+
+op_strategy = st.tuples(
+    st.sampled_from(["program", "read", "erase"]),
+    st.integers(0, GEOM.blocks_per_plane - 1),
+    st.integers(0, GEOM.pages_per_block - 1),
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(op_strategy, min_size=1, max_size=5))
+def test_emit_sample_decode_roundtrip(ops):
+    from repro.flash.signals import SignalEmitter
+
+    emitter = SignalEmitter(ASYNC)
+    now = 0
+    expected = []
+    block_pages = {}  # respect sequential programming per block
+    for kind, block, page in ops:
+        addr = PhysicalAddress(0, 0, 0, 0, block, page)
+        if kind == "program":
+            page = block_pages.get(block, 0)
+            if page >= GEOM.pages_per_block:
+                continue
+            block_pages[block] = page + 1
+            addr = addr._replace(page=page)
+            onfi = encode_program(GEOM, ASYNC, addr)
+        elif kind == "read":
+            onfi = encode_read(GEOM, ASYNC, addr)
+        else:
+            onfi = encode_erase(GEOM, ASYNC, addr._replace(page=0))
+            block_pages[block] = 0
+        now = emitter.emit(onfi, now)
+        expected.append((kind, block, addr.page if kind != "erase" else 0))
+    result = decode_capture(LogicAnalyzer(LAB).capture(emitter.trace))
+    assert result.stats.clean
+    decoded = [
+        (op.name, op.row // GEOM.pages_per_block if op.row is not None else None,
+         op.row % GEOM.pages_per_block if op.row is not None else None)
+        for op in result.ops
+    ]
+    assert len(decoded) == len(expected)
+    for (kind, block, page), (name, dec_block, dec_page) in zip(expected, decoded):
+        assert name == kind
+        assert dec_block == block
+        if kind != "erase":
+            assert dec_page == page
+        # Busy durations match the timing profile.
+    for op in result.ops:
+        target = {"program": ASYNC.program_ns, "read": ASYNC.read_ns,
+                  "erase": ASYNC.erase_ns}[op.name]
+        assert abs(op.busy_ns - target) / target < 0.05

@@ -1,0 +1,79 @@
+"""SSDCheck-style latency probes track device configuration."""
+
+import pytest
+
+from repro.core.blackbox.ssdcheck import (
+    detect_checkpoint_interval,
+    detect_fast_buffer,
+    detect_write_buffer,
+)
+from repro.ssd.presets import vertex2_like
+from repro.ssd.timed import TimedSSD
+
+
+class TestWriteBufferProbe:
+    @pytest.mark.parametrize("capacity", [64, 128, 256])
+    def test_detects_configured_capacity(self, capacity):
+        config = vertex2_like(scale=2).with_changes(cache_sectors=capacity)
+        device = TimedSSD(config)
+        probe = detect_write_buffer(device)
+        assert probe.found
+        assert probe.estimated_sectors == pytest.approx(capacity, abs=4)
+
+    def test_evidence_returned(self):
+        device = TimedSSD(vertex2_like(scale=2).with_changes(cache_sectors=64))
+        probe = detect_write_buffer(device)
+        assert len(probe.latencies_us) == probe.estimated_sectors + 1
+        # Everything before the cliff completed at controller speed.
+        overhead_us = device.controller_overhead_ns / 1000
+        assert all(lat <= overhead_us * 4 for lat in probe.latencies_us[:-1])
+
+    def test_not_found_within_small_burst(self):
+        config = vertex2_like(scale=2).with_changes(cache_sectors=512)
+        device = TimedSSD(config)
+        probe = detect_write_buffer(device, max_burst=100)
+        assert not probe.found
+
+
+class TestCheckpointProbe:
+    @pytest.mark.parametrize("interval", [512, 2048])
+    def test_detects_interval(self, interval):
+        config = vertex2_like(scale=1).with_changes(
+            mapping_sync_interval=interval, cache_sectors=64,
+            mapping_dirty_tp_limit=256, mapping_tp_lpns=256,
+        )
+        device = TimedSSD(config)
+        probe = detect_checkpoint_interval(device, writes=8000)
+        assert probe.found
+        assert probe.estimated_interval == pytest.approx(interval, rel=0.05)
+
+    def test_spike_positions_reported(self):
+        config = vertex2_like(scale=1).with_changes(
+            mapping_sync_interval=1024, cache_sectors=64,
+            mapping_dirty_tp_limit=256, mapping_tp_lpns=256,
+        )
+        device = TimedSSD(config)
+        probe = detect_checkpoint_interval(device, writes=6000)
+        assert len(probe.spike_positions) >= 3
+
+
+class TestFastBufferProbe:
+    def test_detects_drain_onset(self):
+        config = vertex2_like(scale=2).with_changes(
+            pslc_blocks=8, pslc_drain_threshold=0.9, cache_sectors=16,
+        )
+        device = TimedSSD(config)
+        capacity = (8 * config.geometry.pages_per_block
+                    * config.geometry.sectors_per_page)
+        onset = int(capacity * config.pslc_drain_threshold)
+        probe = detect_fast_buffer(device, max_sectors=6000)
+        assert probe.found
+        assert probe.estimated_sectors == pytest.approx(onset, rel=0.2)
+        assert probe.early_mean_us < probe.late_mean_us
+
+    def test_no_buffer_no_regime_change(self):
+        config = vertex2_like(scale=2).with_changes(pslc_blocks=0,
+                                                    cache_sectors=16)
+        device = TimedSSD(config)
+        probe = detect_fast_buffer(device, max_sectors=4000)
+        assert not probe.found

@@ -1,0 +1,73 @@
+"""Reliability model and failure injection."""
+
+import pytest
+
+from repro.flash.errors import (
+    MLC_RELIABILITY,
+    PSLC_RELIABILITY,
+    TLC_RELIABILITY,
+    FailureInjector,
+    ReliabilityModel,
+)
+
+
+class TestRber:
+    def test_rber_grows_with_wear(self):
+        model = MLC_RELIABILITY
+        assert model.rber(3000) > model.rber(100) > model.rber(0)
+
+    def test_rber_grows_with_retention(self):
+        model = MLC_RELIABILITY
+        assert model.rber(0, retention_days=30) > model.rber(0, retention_days=0)
+
+    def test_fresh_block_correctable(self):
+        assert MLC_RELIABILITY.is_correctable(0)
+
+    def test_extreme_wear_plus_retention_uncorrectable(self):
+        model = ReliabilityModel(base_rber=1e-5, rated_cycles=100)
+        assert not model.is_correctable(5000, retention_days=365)
+
+    def test_pslc_more_robust_than_tlc(self):
+        cycles = 1000
+        assert PSLC_RELIABILITY.rber(cycles) < TLC_RELIABILITY.rber(cycles)
+
+    def test_refresh_deadline_shrinks_with_wear(self):
+        model = MLC_RELIABILITY
+        assert model.refresh_deadline_days(2000) < model.refresh_deadline_days(0)
+
+    def test_refresh_deadline_zero_when_already_over(self):
+        model = ReliabilityModel(base_rber=1.0)
+        assert model.refresh_deadline_days(0) == 0.0
+
+
+class TestFailureInjector:
+    def test_no_failures_by_default(self):
+        injector = FailureInjector()
+        assert not any(injector.program_fails(p) for p in range(100))
+        assert not any(injector.erase_fails(b) for b in range(100))
+
+    def test_forced_program_failure_fires_once(self):
+        injector = FailureInjector()
+        injector.force_program_failure(5)
+        assert injector.program_fails(5)
+        assert not injector.program_fails(5)
+        assert injector.program_failures == 1
+
+    def test_forced_erase_failure(self):
+        injector = FailureInjector()
+        injector.force_erase_failure(3)
+        assert injector.erase_fails(3)
+        assert injector.erase_failures == 1
+
+    def test_probabilistic_failures_deterministic_by_seed(self):
+        a = FailureInjector(seed=7, program_fail_prob=0.5)
+        b = FailureInjector(seed=7, program_fail_prob=0.5)
+        outcomes_a = [a.program_fails(i) for i in range(50)]
+        outcomes_b = [b.program_fails(i) for i in range(50)]
+        assert outcomes_a == outcomes_b
+        assert any(outcomes_a) and not all(outcomes_a)
+
+    def test_probability_one_always_fails(self):
+        injector = FailureInjector(program_fail_prob=1.0, erase_fail_prob=1.0)
+        assert injector.program_fails(0)
+        assert injector.erase_fails(0)

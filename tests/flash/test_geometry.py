@@ -1,0 +1,162 @@
+"""Geometry addressing: packing, unpacking, and derived sizes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.flash.geometry import Geometry, PhysicalAddress
+
+SMALL = Geometry(
+    channels=2,
+    chips_per_channel=2,
+    dies_per_chip=2,
+    planes_per_die=2,
+    blocks_per_plane=4,
+    pages_per_block=8,
+    page_size=8192,
+    sector_size=4096,
+)
+
+
+class TestDerivedSizes:
+    def test_dies_total(self):
+        assert SMALL.dies_total == 2 * 2 * 2
+
+    def test_total_blocks(self):
+        assert SMALL.total_blocks == SMALL.planes_total * 4
+
+    def test_total_pages(self):
+        assert SMALL.total_pages == SMALL.total_blocks * 8
+
+    def test_capacity_bytes(self):
+        assert SMALL.capacity_bytes == SMALL.total_pages * 8192
+
+    def test_sectors_per_page(self):
+        assert SMALL.sectors_per_page == 2
+
+    def test_block_bytes(self):
+        assert SMALL.block_bytes == 8 * 8192
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", [
+        "channels", "chips_per_channel", "dies_per_chip", "planes_per_die",
+        "blocks_per_plane", "pages_per_block", "page_size",
+    ])
+    def test_rejects_nonpositive(self, field):
+        with pytest.raises(ValueError):
+            Geometry(**{field: 0})
+
+    def test_rejects_page_not_multiple_of_sector(self):
+        with pytest.raises(ValueError):
+            Geometry(page_size=10000, sector_size=4096)
+
+    def test_rejects_negative_oob(self):
+        with pytest.raises(ValueError):
+            Geometry(oob_size=-1)
+
+
+class TestAddressPacking:
+    def test_ppn_zero(self):
+        assert SMALL.ppn(PhysicalAddress(0, 0, 0, 0, 0, 0)) == 0
+
+    def test_ppn_consecutive_pages(self):
+        a0 = SMALL.ppn(PhysicalAddress(0, 0, 0, 0, 0, 0))
+        a1 = SMALL.ppn(PhysicalAddress(0, 0, 0, 0, 0, 1))
+        assert a1 == a0 + 1
+
+    def test_ppn_block_stride(self):
+        a = SMALL.ppn(PhysicalAddress(0, 0, 0, 0, 1, 0))
+        assert a == SMALL.pages_per_block
+
+    def test_last_ppn(self):
+        addr = PhysicalAddress(1, 1, 1, 1, 3, 7)
+        assert SMALL.ppn(addr) == SMALL.total_pages - 1
+
+    def test_roundtrip_examples(self):
+        for addr in [
+            PhysicalAddress(0, 0, 0, 0, 0, 0),
+            PhysicalAddress(1, 0, 1, 0, 2, 5),
+            PhysicalAddress(1, 1, 1, 1, 3, 7),
+        ]:
+            assert SMALL.address(SMALL.ppn(addr)) == addr
+
+    def test_out_of_range_field_rejected(self):
+        with pytest.raises(ValueError):
+            SMALL.ppn(PhysicalAddress(2, 0, 0, 0, 0, 0))
+        with pytest.raises(ValueError):
+            SMALL.ppn(PhysicalAddress(0, 0, 0, 0, 0, 8))
+
+    def test_ppn_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SMALL.address(SMALL.total_pages)
+        with pytest.raises(ValueError):
+            SMALL.address(-1)
+
+    def test_block_index_roundtrip(self):
+        for index in range(SMALL.total_blocks):
+            addr = SMALL.block_address(index)
+            assert SMALL.block_index(addr) == index
+            assert addr.page == 0
+
+    def test_block_address_out_of_range(self):
+        with pytest.raises(ValueError):
+            SMALL.block_address(SMALL.total_blocks)
+
+
+class TestLocalityHelpers:
+    def test_die_of_block_matches_address(self):
+        for index in range(SMALL.total_blocks):
+            addr = SMALL.block_address(index)
+            assert SMALL.die_of_block(index) == SMALL.die_index(addr)
+
+    def test_channel_of_block_matches_address(self):
+        for index in range(SMALL.total_blocks):
+            addr = SMALL.block_address(index)
+            assert SMALL.channel_of_block(index) == addr.channel
+
+    def test_die_of_ppn(self):
+        ppn = SMALL.ppn(PhysicalAddress(1, 0, 1, 1, 2, 3))
+        assert SMALL.die_of_ppn(ppn) == SMALL.die_index(
+            PhysicalAddress(1, 0, 1, 1, 2, 3)
+        )
+
+    def test_channel_of_ppn(self):
+        ppn = SMALL.ppn(PhysicalAddress(1, 1, 0, 0, 0, 0))
+        assert SMALL.channel_of_ppn(ppn) == 1
+
+    def test_iter_plane_coords_count(self):
+        coords = list(SMALL.iter_plane_coords())
+        assert len(coords) == SMALL.planes_total
+        assert len(set(coords)) == SMALL.planes_total
+
+
+@given(ppn=st.integers(min_value=0, max_value=SMALL.total_pages - 1))
+def test_ppn_roundtrip_property(ppn):
+    assert SMALL.ppn(SMALL.address(ppn)) == ppn
+
+
+@given(
+    channels=st.integers(1, 4),
+    chips=st.integers(1, 2),
+    dies=st.integers(1, 2),
+    planes=st.integers(1, 2),
+    blocks=st.integers(1, 8),
+    pages=st.integers(1, 16),
+)
+def test_sizes_consistent_property(channels, chips, dies, planes, blocks, pages):
+    g = Geometry(
+        channels=channels,
+        chips_per_channel=chips,
+        dies_per_chip=dies,
+        planes_per_die=planes,
+        blocks_per_plane=blocks,
+        pages_per_block=pages,
+        page_size=4096,
+        sector_size=4096,
+    )
+    assert g.total_pages == g.total_blocks * pages
+    assert g.address(g.total_pages - 1) is not None
+    # Every block index maps to a distinct address.
+    addrs = {g.block_address(i) for i in range(g.total_blocks)}
+    assert len(addrs) == g.total_blocks

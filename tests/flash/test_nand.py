@@ -1,0 +1,190 @@
+"""NAND array physics: erase-before-write, sequential programming, wear."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash.geometry import Geometry
+from repro.flash.nand import NO_LPN, FlashViolation, NandArray, PageState
+
+GEOM = Geometry(
+    channels=1,
+    chips_per_channel=1,
+    dies_per_chip=1,
+    planes_per_die=1,
+    blocks_per_plane=4,
+    pages_per_block=8,
+    page_size=4096,
+    sector_size=4096,
+)
+
+
+@pytest.fixture
+def nand():
+    return NandArray(GEOM)
+
+
+class TestProgram:
+    def test_program_marks_page(self, nand):
+        nand.program(0, lpn=42)
+        assert nand.page_state[0] == PageState.PROGRAMMED
+        assert nand.page_lpn[0] == 42
+
+    def test_program_counts(self, nand):
+        nand.program(0)
+        nand.program(1)
+        assert nand.counters.programs == 2
+
+    def test_double_program_rejected(self, nand):
+        nand.program(0)
+        with pytest.raises(FlashViolation):
+            nand.program(0)
+
+    def test_out_of_order_program_rejected(self, nand):
+        with pytest.raises(FlashViolation, match="sequential"):
+            nand.program(1)  # page 1 before page 0
+
+    def test_sequential_across_block_boundary_independent(self, nand):
+        # Each block has its own write pointer.
+        nand.program(0)
+        nand.program(GEOM.pages_per_block)  # page 0 of block 1
+        assert nand.block_write_ptr[0] == 1
+        assert nand.block_write_ptr[1] == 1
+
+    def test_out_of_range_rejected(self, nand):
+        with pytest.raises(FlashViolation):
+            nand.program(GEOM.total_pages)
+
+    def test_oversized_payload_rejected(self):
+        nand = NandArray(GEOM, store_data=True)
+        with pytest.raises(FlashViolation):
+            nand.program(0, data=b"x" * (GEOM.page_size + 1))
+
+
+class TestRead:
+    def test_read_free_page(self, nand):
+        lpn, data = nand.read(0)
+        assert lpn == NO_LPN
+        assert data is None
+
+    def test_read_programmed_page_lpn(self, nand):
+        nand.program(0, lpn=7)
+        lpn, _ = nand.read(0)
+        assert lpn == 7
+
+    def test_read_counts(self, nand):
+        nand.read(0)
+        nand.read(0)
+        assert nand.counters.reads == 2
+
+    def test_data_round_trip_when_stored(self):
+        nand = NandArray(GEOM, store_data=True)
+        nand.program(0, lpn=1, data=b"hello")
+        lpn, data = nand.read(0)
+        assert (lpn, data) == (1, b"hello")
+
+    def test_data_not_stored_by_default(self, nand):
+        nand.program(0, lpn=1, data=b"hello")
+        _, data = nand.read(0)
+        assert data is None
+
+    def test_read_out_of_range(self, nand):
+        with pytest.raises(FlashViolation):
+            nand.read(-1)
+
+
+class TestErase:
+    def test_erase_frees_pages(self, nand):
+        for page in range(GEOM.pages_per_block):
+            nand.program(page, lpn=page)
+        nand.erase(0)
+        assert np.all(nand.page_state[: GEOM.pages_per_block] == PageState.FREE)
+        assert np.all(nand.page_lpn[: GEOM.pages_per_block] == NO_LPN)
+
+    def test_erase_resets_write_pointer(self, nand):
+        nand.program(0)
+        nand.erase(0)
+        assert nand.block_write_ptr[0] == 0
+        nand.program(0)  # programmable again from page 0
+
+    def test_erase_increments_wear(self, nand):
+        nand.erase(0)
+        nand.erase(0)
+        assert nand.block_erase_count[0] == 2
+
+    def test_erase_only_target_block(self, nand):
+        nand.program(0)
+        other_first = GEOM.pages_per_block
+        nand.program(other_first)
+        nand.erase(0)
+        assert nand.page_state[other_first] == PageState.PROGRAMMED
+
+    def test_erase_out_of_range(self, nand):
+        with pytest.raises(FlashViolation):
+            nand.erase(GEOM.total_blocks)
+
+    def test_erase_clears_stored_data(self):
+        nand = NandArray(GEOM, store_data=True)
+        nand.program(0, data=b"x")
+        nand.erase(0)
+        _, data = nand.read(0)
+        assert data is None
+
+
+class TestInspection:
+    def test_block_stats(self, nand):
+        nand.program(0)
+        nand.program(1)
+        stats = nand.block_stats(0)
+        assert stats.programmed_pages == 2
+        assert stats.write_pointer == 2
+        assert stats.erase_count == 0
+
+    def test_lpns_in_block(self, nand):
+        nand.program(0, lpn=10)
+        nand.program(1, lpn=11)
+        lpns = nand.lpns_in_block(0)
+        assert lpns[0] == 10 and lpns[1] == 11
+        assert lpns[2] == NO_LPN
+
+    def test_wear_summary(self, nand):
+        nand.erase(0)
+        nand.erase(0)
+        nand.erase(1)
+        summary = nand.wear_summary()
+        assert summary["max"] == 2
+        assert summary["total"] == 3
+
+    def test_is_free(self, nand):
+        assert nand.is_free(0)
+        nand.program(0)
+        assert not nand.is_free(0)
+
+
+@settings(max_examples=30)
+@given(st.lists(st.sampled_from(["program", "erase0", "erase1"]), max_size=40))
+def test_write_pointer_invariant_property(ops):
+    """After any op sequence, write pointer == programmed page count per block,
+    and programmed pages are exactly the prefix below the pointer."""
+    nand = NandArray(GEOM)
+    next_page = [0, 0]
+    for op in ops:
+        if op == "program":
+            block = 0 if next_page[0] <= next_page[1] else 1
+            if next_page[block] >= GEOM.pages_per_block:
+                continue
+            nand.program(block * GEOM.pages_per_block + next_page[block])
+            next_page[block] += 1
+        elif op == "erase0":
+            nand.erase(0)
+            next_page[0] = 0
+        else:
+            nand.erase(1)
+            next_page[1] = 0
+    for block in (0, 1):
+        start = block * GEOM.pages_per_block
+        states = nand.page_state[start : start + GEOM.pages_per_block]
+        ptr = int(nand.block_write_ptr[block])
+        assert np.all(states[:ptr] == PageState.PROGRAMMED)
+        assert np.all(states[ptr:] == PageState.FREE)

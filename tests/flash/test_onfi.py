@@ -1,0 +1,158 @@
+"""ONFI encoding: cycle sequences, row addressing, bus timing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.flash.geometry import Geometry, PhysicalAddress
+from repro.flash.onfi import (
+    BusCycle,
+    CycleKind,
+    Opcode,
+    encode_erase,
+    encode_program,
+    encode_read,
+    encode_read_id,
+    encode_read_status,
+    encode_reset,
+    operation_bus_ns,
+    row_address,
+    split_row,
+)
+from repro.flash.timing import MLC
+
+GEOM = Geometry(
+    channels=2,
+    chips_per_channel=1,
+    dies_per_chip=1,
+    planes_per_die=2,
+    blocks_per_plane=16,
+    pages_per_block=32,
+    page_size=8192,
+    sector_size=4096,
+)
+ADDR = PhysicalAddress(0, 0, 0, 1, 5, 17)
+
+
+class TestRowAddress:
+    def test_roundtrip(self):
+        row = row_address(GEOM, ADDR)
+        assert split_row(GEOM, row) == (1, 5, 17)
+
+    def test_page_zero_block_zero(self):
+        addr = PhysicalAddress(0, 0, 0, 0, 0, 0)
+        assert row_address(GEOM, addr) == 0
+
+    def test_page_is_low_bits(self):
+        base = PhysicalAddress(0, 0, 0, 0, 3, 0)
+        assert row_address(GEOM, base._replace(page=5)) == row_address(GEOM, base) + 5
+
+    @given(
+        plane=st.integers(0, 1),
+        block=st.integers(0, 15),
+        page=st.integers(0, 31),
+    )
+    def test_roundtrip_property(self, plane, block, page):
+        addr = PhysicalAddress(0, 0, 0, plane, block, page)
+        assert split_row(GEOM, row_address(GEOM, addr)) == (plane, block, page)
+
+
+class TestReadEncoding:
+    def test_cycle_structure(self):
+        op = encode_read(GEOM, MLC, ADDR)
+        kinds = [c.kind for c in op.cycles]
+        assert kinds == [
+            CycleKind.CMD,
+            CycleKind.ADDR, CycleKind.ADDR, CycleKind.ADDR, CycleKind.ADDR, CycleKind.ADDR,
+            CycleKind.CMD,
+            CycleKind.DATA_OUT,
+        ]
+        assert op.cycles[0].value == Opcode.READ_1ST
+        assert op.cycles[6].value == Opcode.READ_2ND
+
+    def test_busy_before_data_out(self):
+        op = encode_read(GEOM, MLC, ADDR)
+        assert op.busy_after == 6  # after READ_2ND, before DATA_OUT
+        assert op.busy_ns == MLC.read_ns
+
+    def test_default_data_length_is_page(self):
+        op = encode_read(GEOM, MLC, ADDR)
+        assert op.cycles[-1].nbytes == GEOM.page_size
+
+    def test_partial_read_length(self):
+        op = encode_read(GEOM, MLC, ADDR, nbytes=512)
+        assert op.cycles[-1].nbytes == 512
+
+    def test_address_bytes_encode_row(self):
+        op = encode_read(GEOM, MLC, ADDR)
+        row = row_address(GEOM, ADDR)
+        addr_bytes = [c.value for c in op.cycles if c.kind is CycleKind.ADDR]
+        assert addr_bytes[0] == 0 and addr_bytes[1] == 0  # column = 0
+        recovered = addr_bytes[2] | (addr_bytes[3] << 8) | (addr_bytes[4] << 16)
+        assert recovered == row
+
+
+class TestProgramEncoding:
+    def test_cycle_structure(self):
+        op = encode_program(GEOM, MLC, ADDR)
+        kinds = [c.kind for c in op.cycles]
+        assert kinds[0] == CycleKind.CMD
+        assert kinds[-2] == CycleKind.DATA_IN
+        assert kinds[-1] == CycleKind.CMD
+        assert op.cycles[0].value == Opcode.PROGRAM_1ST
+        assert op.cycles[-1].value == Opcode.PROGRAM_2ND
+
+    def test_busy_after_launch(self):
+        op = encode_program(GEOM, MLC, ADDR)
+        assert op.busy_after == len(op.cycles) - 1
+        assert op.busy_ns == MLC.program_ns
+
+
+class TestEraseEncoding:
+    def test_cycle_structure(self):
+        op = encode_erase(GEOM, MLC, ADDR)
+        kinds = [c.kind for c in op.cycles]
+        # 60h + 3 row cycles + D0h: erase has no column address.
+        assert kinds == [CycleKind.CMD] + [CycleKind.ADDR] * 3 + [CycleKind.CMD]
+        assert op.busy_ns == MLC.erase_ns
+
+    def test_row_bytes(self):
+        op = encode_erase(GEOM, MLC, ADDR)
+        row = row_address(GEOM, ADDR)
+        addr_bytes = [c.value for c in op.cycles if c.kind is CycleKind.ADDR]
+        assert addr_bytes[0] | (addr_bytes[1] << 8) | (addr_bytes[2] << 16) == row
+
+
+class TestMiscOps:
+    def test_reset(self):
+        op = encode_reset()
+        assert op.cycles[0].value == Opcode.RESET
+        assert len(op.cycles) == 1
+
+    def test_read_status_returns_one_byte(self):
+        op = encode_read_status()
+        assert op.cycles[-1].kind is CycleKind.DATA_OUT
+        assert op.cycles[-1].nbytes == 1
+
+    def test_read_id_shape(self):
+        op = encode_read_id()
+        assert [c.kind for c in op.cycles] == [
+            CycleKind.CMD, CycleKind.ADDR, CycleKind.DATA_OUT,
+        ]
+        assert op.cycles[-1].nbytes == 5
+
+
+class TestBusTiming:
+    def test_program_bus_time_dominated_by_data(self):
+        op = encode_program(GEOM, MLC, ADDR)
+        total = operation_bus_ns(op, MLC)
+        data_time = MLC.transfer_ns(GEOM.page_size)
+        overhead = 7 * MLC.cycle_ns  # 2 cmd + 5 addr
+        assert total == data_time + overhead
+
+    def test_erase_bus_time_is_cycles_only(self):
+        op = encode_erase(GEOM, MLC, ADDR)
+        assert operation_bus_ns(op, MLC) == 5 * MLC.cycle_ns
+
+    def test_transfer_scales_with_bytes(self):
+        assert MLC.transfer_ns(2000) == 2 * MLC.transfer_ns(1000)

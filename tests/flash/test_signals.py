@@ -1,0 +1,124 @@
+"""Signal emission: traces, busy windows, and sampled waveforms."""
+
+import numpy as np
+import pytest
+
+from repro.flash.geometry import Geometry, PhysicalAddress
+from repro.flash.onfi import encode_erase, encode_program, encode_read
+from repro.flash.signals import SignalEmitter, SignalTrace, render_samples
+from repro.flash.timing import MLC
+
+GEOM = Geometry(
+    channels=1, chips_per_channel=1, dies_per_chip=1, planes_per_die=1,
+    blocks_per_plane=8, pages_per_block=16, page_size=4096, sector_size=4096,
+)
+ADDR = PhysicalAddress(0, 0, 0, 0, 2, 3)
+
+
+@pytest.fixture
+def emitter():
+    return SignalEmitter(MLC)
+
+
+class TestEmission:
+    def test_program_emits_segments_and_busy(self, emitter):
+        end = emitter.emit(encode_program(GEOM, MLC, ADDR), 0)
+        trace = emitter.trace
+        assert len(trace.segments) == 8  # cmd + 5 addr + data + cmd
+        assert len(trace.busy) == 1
+        assert trace.busy[0].t1 - trace.busy[0].t0 == MLC.program_ns
+        assert end == trace.t_end
+
+    def test_read_busy_precedes_data_out(self, emitter):
+        emitter.emit(encode_read(GEOM, MLC, ADDR), 0)
+        trace = emitter.trace
+        data_seg = [s for s in trace.segments if s.reading][0]
+        busy = trace.busy[0]
+        assert busy.t1 <= data_seg.t0
+        assert busy.t1 - busy.t0 == MLC.read_ns
+
+    def test_erase_busy_duration(self, emitter):
+        emitter.emit(encode_erase(GEOM, MLC, ADDR), 0)
+        busy = emitter.trace.busy[0]
+        assert busy.t1 - busy.t0 == MLC.erase_ns
+
+    def test_sequential_ops_do_not_overlap(self, emitter):
+        end1 = emitter.emit(encode_program(GEOM, MLC, ADDR), 0)
+        emitter.emit(
+            encode_program(GEOM, MLC, ADDR._replace(page=4)), end1
+        )
+        times = [(s.t0, s.t1) for s in emitter.trace.segments]
+        for (a0, a1), (b0, b1) in zip(times, times[1:]):
+            assert b0 >= a1 or b0 >= a0  # monotone non-overlapping starts
+
+    def test_segment_strobe_counts(self, emitter):
+        emitter.emit(encode_program(GEOM, MLC, ADDR), 0)
+        data_seg = [s for s in emitter.trace.segments if s.dq == -1][0]
+        assert data_seg.strobes == GEOM.page_size
+
+    def test_window_clips(self, emitter):
+        end = emitter.emit(encode_program(GEOM, MLC, ADDR), 0)
+        sub = emitter.trace.window(0, 100)
+        assert all(s.t0 < 100 for s in sub.segments)
+        assert sub.t_end <= min(end, 100)
+
+
+class TestRenderSamples:
+    def test_arrays_share_length(self, emitter):
+        emitter.emit(encode_program(GEOM, MLC, ADDR), 0)
+        samples = render_samples(emitter.trace, sample_period_ns=10)
+        lengths = {len(v) for v in samples.values()}
+        assert len(lengths) == 1
+
+    def test_cle_high_during_commands(self, emitter):
+        emitter.emit(encode_program(GEOM, MLC, ADDR), 0)
+        samples = render_samples(emitter.trace, sample_period_ns=5)
+        # First segment is the 80h command cycle (25 ns) => CLE high early.
+        assert samples["cle"][0] == 1
+        assert samples["dq"][0] == 0x80
+
+    def test_rb_low_during_busy(self, emitter):
+        emitter.emit(encode_program(GEOM, MLC, ADDR), 0)
+        trace = emitter.trace
+        busy = trace.busy[0]
+        samples = render_samples(trace, sample_period_ns=1000)
+        t = samples["t"]
+        inside = (t >= busy.t0) & (t < busy.t1)
+        assert np.all(samples["rb"][inside] == 0)
+        before = t < busy.t0
+        assert np.all(samples["rb"][before] == 1)
+
+    def test_idle_bus_reads_ff(self, emitter):
+        end = emitter.emit(encode_erase(GEOM, MLC, ADDR), 1000)
+        samples = render_samples(emitter.trace, sample_period_ns=50, t1=end)
+        assert np.all(samples["dq"][samples["t"] < 1000] == 0xFF)
+
+    def test_we_toggles_during_data_in(self, emitter):
+        emitter.emit(encode_program(GEOM, MLC, ADDR), 0)
+        data_seg = [s for s in emitter.trace.segments if s.strobes > 1][0]
+        samples = render_samples(
+            emitter.trace, sample_period_ns=data_seg.strobe_period_ns / 4,
+            t0=int(data_seg.t0), t1=int(data_seg.t1),
+        )
+        transitions = np.count_nonzero(np.diff(samples["we"]))
+        # Adequately sampled: roughly two transitions per strobe.
+        assert transitions > data_seg.strobes
+
+    def test_undersampling_loses_strobes(self, emitter):
+        emitter.emit(encode_program(GEOM, MLC, ADDR), 0)
+        data_seg = [s for s in emitter.trace.segments if s.strobes > 1][0]
+        samples = render_samples(
+            emitter.trace, sample_period_ns=data_seg.strobe_period_ns * 8,
+            t0=int(data_seg.t0), t1=int(data_seg.t1),
+        )
+        transitions = np.count_nonzero(np.diff(samples["we"]))
+        assert transitions < data_seg.strobes / 2
+
+    def test_max_samples_caps_buffer(self, emitter):
+        emitter.emit(encode_program(GEOM, MLC, ADDR), 0)
+        samples = render_samples(emitter.trace, sample_period_ns=1, max_samples=100)
+        assert len(samples["t"]) == 100
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            render_samples(SignalTrace(), sample_period_ns=0)

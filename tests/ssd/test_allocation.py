@@ -1,0 +1,160 @@
+"""Page allocation: scheme orderings, pools, retirement."""
+
+import pytest
+
+from repro.flash.geometry import Geometry
+from repro.flash.nand import NandArray
+from repro.ssd.allocation import OutOfSpace, PageAllocator
+
+GEOM = Geometry(
+    channels=2, chips_per_channel=1, dies_per_chip=2, planes_per_die=2,
+    blocks_per_plane=4, pages_per_block=4, page_size=8192, sector_size=4096,
+)
+
+
+def make(scheme="CWDP", excluded=frozenset()):
+    nand = NandArray(GEOM)
+    return PageAllocator(GEOM, nand, scheme, excluded_blocks=excluded)
+
+
+class TestSchemeOrdering:
+    def test_cwdp_varies_channel_first(self):
+        alloc = make("CWDP")
+        planes = [alloc.plane_for_index(i) for i in range(4)]
+        # Consecutive writes land on different channels (plane stride is
+        # the per-channel plane count).
+        channels = [p // (GEOM.chips_per_channel * GEOM.dies_per_chip
+                          * GEOM.planes_per_die) for p in planes]
+        assert channels[:2] == [0, 1]
+        assert channels[0] != channels[1]
+
+    def test_pdwc_varies_plane_first(self):
+        alloc = make("PDWC")
+        planes = [alloc.plane_for_index(i) for i in range(4)]
+        # First two picks differ only in plane (same channel/die).
+        assert planes[0] == 0
+        assert planes[1] == 1  # plane 1 of die 0, channel 0
+
+    def test_all_planes_covered(self):
+        alloc = make("CWDP")
+        total = GEOM.planes_total
+        seen = {alloc.plane_for_index(i) for i in range(total)}
+        assert seen == set(range(total))
+
+    def test_pdwc_and_cwdp_orders_differ(self):
+        a = make("CWDP")
+        b = make("PDWC")
+        order_a = [a.plane_for_index(i) for i in range(GEOM.planes_total)]
+        order_b = [b.plane_for_index(i) for i in range(GEOM.planes_total)]
+        assert order_a != order_b
+        assert sorted(order_a) == sorted(order_b)
+
+    def test_invalid_scheme_letter(self):
+        with pytest.raises(ValueError):
+            make("CWDX")
+
+    def test_repeated_letter(self):
+        with pytest.raises(ValueError):
+            make("CCWD")
+
+
+class TestAllocation:
+    def test_pages_unique_until_full(self):
+        alloc = make()
+        seen = set()
+        for _ in range(GEOM.total_pages):
+            ppn = alloc.allocate_page("host")
+            assert ppn not in seen
+            seen.add(ppn)
+        assert seen == set(range(GEOM.total_pages))
+
+    def test_out_of_space(self):
+        alloc = make()
+        for _ in range(GEOM.total_pages):
+            alloc.allocate_page("host")
+        with pytest.raises(OutOfSpace):
+            alloc.allocate_page("host")
+
+    def test_pages_sequential_within_block(self):
+        alloc = make("CWDP")
+        by_block = {}
+        for _ in range(GEOM.total_pages):
+            ppn = alloc.allocate_page("host")
+            block, page = divmod(ppn, GEOM.pages_per_block)
+            by_block.setdefault(block, []).append(page)
+        for pages in by_block.values():
+            assert pages == sorted(pages)
+            assert pages == list(range(len(pages)))
+
+    def test_streams_use_distinct_blocks(self):
+        alloc = make()
+        a = alloc.allocate_page("host") // GEOM.pages_per_block
+        b = alloc.allocate_page("gc") // GEOM.pages_per_block
+        c = alloc.allocate_page("meta") // GEOM.pages_per_block
+        assert len({a, b, c}) == 3
+
+    def test_unknown_stream(self):
+        with pytest.raises(ValueError):
+            make().allocate_page("turbo")
+
+    def test_excluded_blocks_never_allocated(self):
+        excluded = frozenset({0, 1})
+        alloc = make(excluded=excluded)
+        blocks = set()
+        for _ in range(GEOM.total_pages - len(excluded) * GEOM.pages_per_block):
+            blocks.add(alloc.allocate_page("host") // GEOM.pages_per_block)
+        assert not blocks & excluded
+
+
+class TestLifecycle:
+    def test_release_makes_block_reusable(self):
+        alloc = make()
+        first_block = alloc.allocate_page("host") // GEOM.pages_per_block
+        for _ in range(GEOM.total_pages - 1):
+            alloc.allocate_page("host")
+        alloc.release_block(first_block)
+        ppn = alloc.allocate_page("host")
+        assert ppn // GEOM.pages_per_block == first_block
+
+    def test_retired_block_not_reused(self):
+        alloc = make()
+        block = alloc.allocate_page("host") // GEOM.pages_per_block
+        alloc.retire_block(block)
+        alloc.release_block(block)  # release of retired block is ignored
+        blocks = set()
+        while True:
+            try:
+                blocks.add(alloc.allocate_page("host") // GEOM.pages_per_block)
+            except OutOfSpace:
+                break
+        assert block not in blocks
+
+    def test_active_blocks_reported(self):
+        alloc = make()
+        ppn = alloc.allocate_page("host")
+        assert ppn // GEOM.pages_per_block in alloc.active_blocks()
+
+    def test_free_block_counters(self):
+        alloc = make()
+        total = alloc.total_free_blocks()
+        assert total == GEOM.total_blocks
+        alloc.allocate_page("host")
+        assert alloc.total_free_blocks() == total - 1
+
+    def test_alloc_seq_monotone(self):
+        alloc = make()
+        b1 = alloc.allocate_page("host") // GEOM.pages_per_block
+        # Exhaust block b1 so the next allocation opens a new block.
+        for _ in range(GEOM.pages_per_block - 1):
+            alloc.allocate_page("host")
+        b2 = alloc.allocate_page("host") // GEOM.pages_per_block
+        assert alloc.block_alloc_seq[b2] > alloc.block_alloc_seq[b1]
+
+    def test_abandon_active(self):
+        alloc = make()
+        ppn = alloc.allocate_page("host")
+        block = ppn // GEOM.pages_per_block
+        plane = block // GEOM.blocks_per_plane
+        alloc.abandon_active("host", plane)
+        nxt = alloc.allocate_page("host")
+        assert nxt // GEOM.pages_per_block != block

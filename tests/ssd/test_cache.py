@@ -1,0 +1,103 @@
+"""Write cache: absorption, flush batching, draining."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ssd.cache import WriteCache
+
+
+class TestInsert:
+    def test_miss_then_hit(self):
+        cache = WriteCache(8)
+        assert not cache.insert(5)
+        assert cache.insert(5)
+        assert cache.hits == 1
+        assert len(cache) == 1
+
+    def test_contains(self):
+        cache = WriteCache(8)
+        cache.insert(3)
+        assert 3 in cache
+        assert 4 not in cache
+
+    def test_needs_flush_above_capacity(self):
+        cache = WriteCache(2)
+        cache.insert(0)
+        cache.insert(1)
+        assert not cache.needs_flush
+        cache.insert(2)
+        assert cache.needs_flush
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            WriteCache(0)
+
+    def test_hit_rate(self):
+        cache = WriteCache(8)
+        cache.insert(1)
+        cache.insert(1)
+        assert cache.hit_rate == 0.5
+        assert WriteCache(4).hit_rate == 0.0
+
+
+class TestFlushBatches:
+    def test_batch_is_oldest_first(self):
+        cache = WriteCache(8)
+        for lpn in (9, 3, 7):
+            cache.insert(lpn)
+        batch = cache.take_flush_batch(2)
+        assert sorted(batch) == batch
+        assert set(batch) == {9, 3}  # the two oldest
+
+    def test_batch_sorted_by_lpn(self):
+        cache = WriteCache(8)
+        for lpn in (9, 3, 7, 1):
+            cache.insert(lpn)
+        assert cache.take_flush_batch(4) == [1, 3, 7, 9]
+
+    def test_rewrite_refreshes_age(self):
+        cache = WriteCache(8)
+        cache.insert(1)
+        cache.insert(2)
+        cache.insert(1)  # refresh: 2 becomes oldest
+        assert cache.take_flush_batch(1) == [2]
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            WriteCache(4).take_flush_batch(0)
+
+    def test_drop_removes_pending(self):
+        cache = WriteCache(8)
+        cache.insert(1)
+        assert cache.drop(1)
+        assert not cache.drop(1)
+        assert len(cache) == 0
+
+    def test_drain_batches_empties(self):
+        cache = WriteCache(8)
+        for lpn in range(5):
+            cache.insert(lpn)
+        batches = cache.drain_batches(2)
+        assert [len(b) for b in batches] == [2, 2, 1]
+        assert len(cache) == 0
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(0, 50), max_size=200))
+def test_every_write_flushed_or_absorbed_property(lpns):
+    """Sectors leave the cache exactly once per distinct pending LPN."""
+    cache = WriteCache(4)
+    flushed = []
+    absorbed = 0
+    for lpn in lpns:
+        if cache.insert(lpn):
+            absorbed += 1
+        while cache.needs_flush:
+            flushed.extend(cache.take_flush_batch(2))
+    for batch in cache.drain_batches(2):
+        flushed.extend(batch)
+    assert len(flushed) + absorbed == len(lpns)
+    # Flushed multiset can repeat LPNs (re-inserted after flush) but the
+    # total count is conserved, and nothing pending remains.
+    assert len(cache) == 0

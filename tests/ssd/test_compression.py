@@ -1,0 +1,161 @@
+"""Intra-SSD compression schemes (Fig 2 substrate)."""
+
+import pytest
+
+from repro.ssd.compression import (
+    HEADER_BYTES,
+    Chunk4,
+    Compact,
+    FixedSlot,
+    NoCompression,
+    ReBp32,
+    make_scheme,
+)
+
+PAGE = 16384
+SECTOR = 4096
+
+
+class TestLogWriter:
+    def test_none_scheme_four_sectors_per_page(self):
+        scheme = NoCompression(PAGE, SECTOR)
+        programs = sum(scheme.update(lpn, 1000) for lpn in range(8))
+        assert programs == 2
+        assert scheme.stats.bytes_appended == 8 * SECTOR
+
+    def test_negative_append_rejected(self):
+        scheme = Compact(PAGE, SECTOR)
+        with pytest.raises(ValueError):
+            scheme._log.append(-1)
+
+
+class TestCompact:
+    def test_appends_compressed_plus_header(self):
+        scheme = Compact(PAGE, SECTOR)
+        scheme.update(0, 1000)
+        assert scheme.stats.bytes_appended == 1000 + HEADER_BYTES
+
+    def test_incompressible_stored_raw(self):
+        scheme = Compact(PAGE, SECTOR)
+        scheme.update(0, 9000)  # "compressed" larger than raw
+        assert scheme.stats.bytes_appended == SECTOR + HEADER_BYTES
+
+    def test_many_compressible_sectors_few_pages(self):
+        scheme = Compact(PAGE, SECTOR)
+        for lpn in range(64):
+            scheme.update(lpn, 1024)
+        none = NoCompression(PAGE, SECTOR)
+        for lpn in range(64):
+            none.update(lpn, 1024)
+        assert scheme.stats.page_programs < none.stats.page_programs
+
+
+class TestFixedSlot:
+    def test_rounds_to_slot(self):
+        scheme = FixedSlot(PAGE, SECTOR, slot_bytes=2048)
+        scheme.update(0, 100)
+        assert scheme.stats.bytes_appended == 2048
+
+    def test_wastes_more_than_compact(self):
+        fixed = FixedSlot(PAGE, SECTOR)
+        compact = Compact(PAGE, SECTOR)
+        for lpn in range(32):
+            fixed.update(lpn, 900)
+            compact.update(lpn, 900)
+        assert fixed.stats.bytes_appended > compact.stats.bytes_appended
+
+    def test_slot_must_divide_page(self):
+        with pytest.raises(ValueError):
+            FixedSlot(PAGE, SECTOR, slot_bytes=3000)
+
+
+class TestChunk4:
+    def test_first_write_no_rmw(self):
+        scheme = Chunk4(PAGE, SECTOR)
+        scheme.update(0, 1000)
+        assert scheme.stats.rmw_reads == 0
+
+    def test_update_in_populated_chunk_rmw(self):
+        scheme = Chunk4(PAGE, SECTOR)
+        scheme.update(0, 1000)
+        scheme.update(1, 1000)  # same chunk -> read-modify-rewrite
+        assert scheme.stats.rmw_reads == 1
+
+    def test_rewrite_costs_whole_chunk(self):
+        scheme = Chunk4(PAGE, SECTOR, grouping_factor=1.0)
+        for slot in range(4):
+            scheme.update(slot, 1000)
+        before = scheme.stats.bytes_appended
+        scheme.update(0, 1000)  # rewrite whole 4-sector chunk
+        appended = scheme.stats.bytes_appended - before
+        assert appended == 4 * 1000 + HEADER_BYTES
+
+    def test_partial_chunk_still_costs_whole_chunk(self):
+        """Slots never written still hold device data that must be
+        recompressed along with the update."""
+        scheme = Chunk4(PAGE, SECTOR, grouping_factor=1.0)
+        scheme.update(0, 1000)  # one slot of a 4-slot chunk
+        assert scheme.stats.bytes_appended == 4 * 1000 + HEADER_BYTES
+
+    def test_grouping_factor_shrinks(self):
+        loose = Chunk4(PAGE, SECTOR, grouping_factor=1.0)
+        tight = Chunk4(PAGE, SECTOR, grouping_factor=0.5)
+        for scheme in (loose, tight):
+            for slot in range(4):
+                scheme.update(slot, 1000)
+        assert tight.stats.bytes_appended < loose.stats.bytes_appended
+
+
+class TestReBp32:
+    def test_batches_of_32(self):
+        scheme = ReBp32(PAGE, SECTOR)
+        for lpn in range(31):
+            assert scheme.update(lpn, 1000) == 0
+        programs = scheme.update(31, 1000)
+        assert programs >= 1
+
+    def test_flush_partial_batch(self):
+        scheme = ReBp32(PAGE, SECTOR)
+        scheme.update(0, 1000)
+        assert scheme.flush() >= 0
+        assert scheme.stats.bytes_appended > 0
+        assert scheme.flush() == 0
+
+    def test_packs_tighter_than_compact(self):
+        rebp = ReBp32(PAGE, SECTOR)
+        compact = Compact(PAGE, SECTOR)
+        for lpn in range(320):
+            rebp.update(lpn, 1000)
+            compact.update(lpn, 1000)
+        rebp.flush()
+        assert rebp.stats.bytes_appended <= compact.stats.bytes_appended
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["none", "fixed", "compact", "chunk4", "re-bp32"])
+    def test_make_scheme(self, name):
+        scheme = make_scheme(name)
+        assert scheme.name == name
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            make_scheme("zstd-magic")
+
+
+class TestOrderingUnderCompressibleUpdates:
+    def test_relative_cost_ordering(self):
+        """The Fig 2 ordering for highly compressible random updates:
+        re-bp32 <= compact < fixed, chunk4; chunk4 pays RMW."""
+        import numpy as np
+        rng = np.random.default_rng(0)
+        schemes = {name: make_scheme(name) for name in
+                   ("compact", "fixed", "chunk4", "re-bp32")}
+        lpns = rng.integers(0, 256, size=2000)
+        for lpn in lpns:
+            for scheme in schemes.values():
+                scheme.update(int(lpn), 1024)  # 4:1 compressible
+        schemes["re-bp32"].flush()
+        cost = {name: s.stats.bytes_appended for name, s in schemes.items()}
+        assert cost["re-bp32"] <= cost["compact"]
+        assert cost["compact"] < cost["fixed"]
+        assert cost["compact"] < cost["chunk4"]

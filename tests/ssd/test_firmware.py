@@ -1,0 +1,413 @@
+"""Firmware substrate: ISA, obfuscation, builder, CPU, hackable device."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ssd.firmware.builder import (
+    MMIO_BASE,
+    MMIO_LBA,
+    NUM_MAP_ARRAYS,
+    ImageFormatError,
+    build_firmware,
+    memory_map_for,
+    parse_image,
+)
+from repro.ssd.firmware.cpu import Cpu, CpuFault
+from repro.ssd.firmware.device import ENTRY_UNMAPPED, HackableSSD
+from repro.ssd.firmware.isa import (
+    AsmError,
+    Insn,
+    Op,
+    assemble,
+    decode_word,
+    disassemble,
+    find_pointer_loads,
+)
+from repro.ssd.firmware.obfuscation import (
+    deobfuscate,
+    keystream,
+    obfuscate,
+    recover_keystream,
+)
+from repro.ssd.presets import evo840_like
+
+
+class TestIsa:
+    def test_assemble_disassemble_roundtrip(self):
+        source = """
+        start:
+            movi r1, 0x1234
+            movt r1, 0x2000
+            ldr r2, [r1, 0x8]
+            and r3, r2, 0x1
+            cmp r3, 0x0
+            beq start
+            addx r2, r3
+            xorx r2, r3
+            str r2, [r1, 0xc]
+            wfi
+            halt
+        """
+        code = assemble(source)
+        lines = disassemble(code)
+        assert all(line.insn is not None for line in lines)
+        texts = [line.insn.text() for line in lines]
+        assert texts[0] == "movi r1, 0x1234"
+        assert texts[1] == "movt r1, 0x2000"
+        assert "beq" in texts[5]
+
+    def test_labels_resolve_backward_and_forward(self):
+        code = assemble("""
+        a:  b c
+        b:  nop
+        c:  b a
+        """)
+        lines = disassemble(code)
+        assert lines[0].insn.simm == 2  # a -> c
+        assert lines[2].insn.simm == -2  # c -> a
+
+    def test_unknown_label(self):
+        with pytest.raises(AsmError):
+            assemble("b nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AsmError):
+            assemble("x: nop\nx: nop")
+
+    def test_bad_register(self):
+        with pytest.raises(AsmError):
+            assemble("movi r15, 1")
+
+    def test_imm_range(self):
+        with pytest.raises(AsmError):
+            assemble("movi r1, 0x10000")
+
+    def test_garbage_line(self):
+        with pytest.raises(AsmError):
+            assemble("frobnicate r1")
+
+    def test_comments_ignored(self):
+        assert len(assemble("nop ; a comment\n; whole line")) == 4
+
+    def test_decode_invalid_opcode(self):
+        assert decode_word(0xEE000000) is None
+
+    def test_find_pointer_loads(self):
+        code = assemble("""
+            movi r6, 0x4000
+            movt r6, 0x2000
+            movi r7, 0x1
+        """)
+        found = find_pointer_loads(disassemble(code, base=0x100))
+        assert found == [(0x100, 6, 0x20004000)]
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 14), st.integers(0, 14))
+    def test_encode_decode_property(self, imm, rd, rn):
+        insn = Insn(Op.LDR, rd=rd, rn=rn, imm=imm)
+        decoded = decode_word(insn.encode())
+        assert decoded == insn
+
+
+class TestCpu:
+    def make_cpu(self, source, mem=None):
+        mem = mem if mem is not None else {}
+        code = assemble(source)
+
+        def read(addr):
+            return mem.get(addr, 0)
+
+        def write(addr, value):
+            mem[addr] = value
+
+        return Cpu(code, 0, read, write), mem
+
+    def test_mov_and_arith(self):
+        cpu, _ = self.make_cpu("""
+            movi r1, 0x10
+            add r2, r1, 0x5
+            sub r3, r2, 0x1
+            lsl r4, r3, 0x2
+            lsr r5, r4, 0x1
+            halt
+        """)
+        cpu.run()
+        assert cpu.regs[2] == 0x15
+        assert cpu.regs[3] == 0x14
+        assert cpu.regs[4] == 0x50
+        assert cpu.regs[5] == 0x28
+
+    def test_mem_access(self):
+        cpu, mem = self.make_cpu("""
+            movi r1, 0x100
+            movi r2, 0x2a
+            str r2, [r1, 0x4]
+            ldr r3, [r1, 0x4]
+            halt
+        """)
+        cpu.run()
+        assert mem[0x104] == 0x2A
+        assert cpu.regs[3] == 0x2A
+        assert cpu.trace.stores == [(0x104, 0x2A)]
+
+    def test_branching_loop(self):
+        cpu, _ = self.make_cpu("""
+            movi r1, 0x0
+        loop:
+            add r1, r1, 0x1
+            cmp r1, 0x5
+            bne loop
+            halt
+        """)
+        cpu.run()
+        assert cpu.regs[1] == 5
+
+    def test_bl_ret(self):
+        cpu, _ = self.make_cpu("""
+            bl sub
+            movi r2, 0x2
+            halt
+        sub:
+            movi r1, 0x1
+            ret
+        """)
+        cpu.run()
+        assert cpu.regs[1] == 1 and cpu.regs[2] == 2
+
+    def test_wfi_stops_and_resumes(self):
+        cpu, _ = self.make_cpu("""
+            movi r1, 0x1
+            wfi
+            movi r1, 0x2
+            halt
+        """)
+        cpu.run()
+        assert cpu.waiting and cpu.regs[1] == 1
+        cpu.resume()
+        cpu.run()
+        assert cpu.regs[1] == 2
+
+    def test_runaway_detected(self):
+        cpu, _ = self.make_cpu("loop: b loop")
+        with pytest.raises(CpuFault):
+            cpu.run(max_steps=100)
+
+    def test_pc_out_of_code(self):
+        cpu, _ = self.make_cpu("nop")
+        cpu.step()
+        with pytest.raises(CpuFault):
+            cpu.step()  # fell off the end
+
+
+class TestObfuscation:
+    # Shaped like a real image: one dominant pad byte (0xFF fill), some
+    # zero padding, and structured content.
+    PLAIN = (b"SSDFW840" + bytes(range(256)) * 8 + b"\x00" * 700
+             + b"\xff" * 3200)
+
+    def test_involution(self):
+        cipher = obfuscate(self.PLAIN, seed=9, period=32)
+        assert cipher != self.PLAIN
+        assert obfuscate(cipher, seed=9, period=32) == self.PLAIN
+
+    def test_keystream_deterministic(self):
+        assert keystream(5, 16) == keystream(5, 16)
+        assert keystream(5, 16) != keystream(6, 16)
+
+    def test_attack_recovers_plain(self):
+        for seed, period in ((0x5A, 64), (0x11, 32), (0xC3, 128)):
+            cipher = obfuscate(self.PLAIN, seed=seed, period=period)
+            plain, guess = deobfuscate(cipher)
+            assert plain == self.PLAIN
+            assert guess.period == period
+
+    def test_attack_needs_length(self):
+        with pytest.raises(ValueError):
+            recover_keystream(b"short")
+
+    def test_attack_requires_crib(self):
+        with pytest.raises(ValueError):
+            recover_keystream(b"x" * 4096, crib=b"")
+
+
+class TestBuilder:
+    MAP = memory_map_for(evo840_like(scale=4))
+
+    def test_memory_map_shape(self):
+        mm = self.MAP
+        assert len(mm.map_array_bases) == NUM_MAP_ARRAYS
+        strides = {b - a for a, b in zip(mm.map_array_bases,
+                                         mm.map_array_bases[1:])}
+        assert len(strides) == 1
+        # pSLC index does not continue the array stride (guard gap).
+        assert (mm.pslc_index_base - mm.map_array_bases[-1]) not in strides
+
+    def test_entry_address_interleaving(self):
+        mm = self.MAP
+        assert mm.entry_address(0) == mm.map_array_bases[0]
+        assert mm.entry_address(1) == mm.map_array_bases[1]
+        assert mm.entry_address(8) == mm.map_array_bases[0] + 4
+        assert mm.entry_address(17) == mm.map_array_bases[1] + 8
+
+    def test_image_roundtrip(self):
+        image = build_firmware(self.MAP)
+        blob = image.to_bytes()
+        sections = parse_image(blob)
+        assert [s.name for s in sections] == [s.name for s in image.sections]
+        for built, parsed in zip(image.sections, sections):
+            assert parsed.data == built.data
+            assert parsed.load_addr == built.load_addr
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ImageFormatError):
+            parse_image(b"NOTANIMAGE" + b"\x00" * 100)
+        with pytest.raises(ImageFormatError):
+            parse_image(b"xx")
+
+    def test_cores_reference_their_arrays(self):
+        image = build_firmware(self.MAP)
+        even = {self.MAP.map_array_bases[a] for a in (0, 2, 4, 6)}
+        odd = {self.MAP.map_array_bases[a] for a in (1, 3, 5, 7)}
+        core1_ptrs = {
+            v for _, _, v in find_pointer_loads(
+                disassemble(image.section("core1").data))
+        }
+        core2_ptrs = {
+            v for _, _, v in find_pointer_loads(
+                disassemble(image.section("core2").data))
+        }
+        assert even <= core1_ptrs and not (odd & core1_ptrs)
+        assert odd <= core2_ptrs and not (even & core2_ptrs)
+
+    def test_sata_core_routes_by_lsb(self):
+        """Dynamic proof: execute core0 against a fake MMIO and observe
+        the doorbell it rings for even and odd LBAs."""
+        image = build_firmware(self.MAP)
+        code = image.section("core0").data
+        for lba, expected_core in ((10, 1), (11, 2)):
+            mem = {MMIO_BASE + MMIO_LBA: lba}
+            cpu = Cpu(code, image.section("core0").load_addr,
+                      lambda a, m=mem: m.get(a, 0),
+                      lambda a, v, m=mem: m.__setitem__(a, v))
+            cpu.run()
+            doorbell = [v for a, v in cpu.trace.stores if a >= MMIO_BASE]
+            assert doorbell == [expected_core]
+
+    def test_flash_core_looks_up_correct_entry(self):
+        """Dynamic proof: core1's map lookup lands exactly on the
+        documented entry address for its LBAs."""
+        image = build_firmware(self.MAP)
+        section = image.section("core1")
+        for lba in (0, 2, 4, 6, 8, 24, 1000):
+            mem = {MMIO_BASE + MMIO_LBA: lba}
+            cpu = Cpu(section.data, section.load_addr,
+                      lambda a, m=mem: m.get(a, 0),
+                      lambda a, v, m=mem: m.__setitem__(a, v))
+            cpu.run()
+            map_loads = [
+                addr for addr, _ in cpu.trace.loads
+                if addr >= self.MAP.dram_base
+                and addr < self.MAP.pslc_index_base
+            ]
+            assert map_loads == [self.MAP.entry_address(lba)]
+
+    def test_flash_core_probes_hashed_bucket(self):
+        image = build_firmware(self.MAP)
+        section = image.section("core2")
+        lba = 1001
+        mem = {MMIO_BASE + MMIO_LBA: lba}
+        cpu = Cpu(section.data, section.load_addr,
+                  lambda a, m=mem: m.get(a, 0),
+                  lambda a, v, m=mem: m.__setitem__(a, v))
+        cpu.run()
+        pslc_loads = [
+            addr for addr, _ in cpu.trace.loads
+            if self.MAP.pslc_index_base <= addr
+            < self.MAP.pslc_index_base + self.MAP.pslc_index_bytes
+        ]
+        expected = self.MAP.pslc_bucket_address(self.MAP.pslc_bucket_of(lba))
+        assert pslc_loads == [expected]
+
+
+class TestHackableSSD:
+    @pytest.fixture(scope="class")
+    def dev(self):
+        return HackableSSD(scale=4)
+
+    def test_firmware_update_differs_from_plain(self, dev):
+        assert dev.firmware_update_file != dev.firmware_plain
+        assert len(dev.firmware_update_file) == len(dev.firmware_plain)
+
+    def test_rom_readable(self, dev):
+        # Address 0 holds core0's *loaded* code (the image header is a
+        # file-format artifact, not part of the memory image).
+        core0 = dev.firmware.section("core0")
+        assert dev.read_mem(core0.load_addr, len(core0.data)) == core0.data
+
+    def test_sram_read_write(self, dev):
+        base = dev.memory_map.sram_base
+        dev.write_mem(base + 16, b"\xde\xad\xbe\xef")
+        assert dev.read_mem(base + 16, 4) == b"\xde\xad\xbe\xef"
+        assert dev.read_mem(base + 20, 2) == b"\x00\x00"
+
+    def test_code_region_not_writable(self, dev):
+        with pytest.raises(PermissionError):
+            dev.write_mem(0, b"\x00")
+
+    def test_map_entry_tracks_ftl_state(self):
+        dev = HackableSSD(scale=4)
+        lba = 40
+        dev.write_sectors(lba, 1)
+        # Push it out of the staging buffer so it lands in the map.
+        for i in range(4096):
+            dev.write_sectors((1000 + i) % dev.num_sectors, 1)
+        dev.flush()
+        addr = dev.memory_map.entry_address(lba)
+        value = dev.read_word(addr)
+        assert value == int(dev.ssd.ftl.mapping.l2p[lba])
+
+    def test_unmapped_entry_code(self):
+        dev = HackableSSD(scale=4)
+        dev.read_sectors(8, 1)  # make the chunk resident
+        assert dev.read_word(dev.memory_map.entry_address(8)) == ENTRY_UNMAPPED
+
+    def test_pc_idle_then_active(self):
+        dev = HackableSSD(scale=4)
+        idle = [dev.core_pc(c) for c in range(3)]
+        for c, core in enumerate(dev.cores):
+            assert idle[c] == core.wfi_addr
+        dev.write_sectors(2, 1)  # even lba -> core 1
+        assert dev.core_pc(0) != dev.cores[0].wfi_addr
+        assert dev.core_pc(1) != dev.cores[1].wfi_addr
+        assert dev.core_pc(2) == dev.cores[2].wfi_addr
+
+    def test_halted_core_pc_frozen(self):
+        dev = HackableSSD(scale=4)
+        dev.halt_core(1)
+        frozen = dev.core_pc(1)
+        dev.write_sectors(2, 1)
+        assert dev.core_pc(1) == frozen
+        dev.resume_core(1)
+        dev.write_sectors(2, 1)
+        assert dev.core_pc(1) != frozen
+
+    def test_mmio_reflects_last_request(self):
+        dev = HackableSSD(scale=4)
+        dev.write_sectors(123, 2)
+        from repro.ssd.firmware.builder import MMIO_LEN
+        assert dev.read_word(MMIO_BASE + MMIO_LBA) == 123
+        assert dev.read_word(MMIO_BASE + MMIO_LEN) == 2
+
+    def test_pslc_index_serialization(self):
+        dev = HackableSSD(scale=2)
+        lba = dev.num_sectors // 2
+        for i in range(12):
+            dev.write_sectors(lba + i, 1)
+        mm = dev.memory_map
+        blob = dev.read_mem(mm.pslc_index_base, mm.pslc_index_bytes)
+        tags = struct.unpack(f"<{len(blob)//4}I", blob)[0::2]
+        staged = set(dev.ssd.ftl.pslc.index)
+        assert staged  # something is actually buffered
+        assert staged <= {t for t in tags if t != 0xFFFFFFFF}

@@ -1,0 +1,352 @@
+"""FTL behaviour: write/read/trim paths, GC, RAIN, pSLC, failures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash.errors import FailureInjector
+from repro.flash.geometry import Geometry
+from repro.ssd.config import SsdConfig
+from repro.ssd.ftl import Ftl
+from repro.ssd.ops import OpKind, OpReason
+from repro.ssd.presets import tiny
+
+
+def small_config(**overrides):
+    base = tiny()
+    return base.with_changes(**overrides) if overrides else base
+
+
+def fill_randomly(ftl, writes, seed=0):
+    rng = np.random.default_rng(seed)
+    for _ in range(writes):
+        ftl.write(int(rng.integers(ftl.num_lpns)))
+    ftl.flush()
+
+
+class TestWritePath:
+    def test_cached_write_emits_no_ops(self):
+        ftl = Ftl(small_config())
+        ops = ftl.write(0)
+        assert ops == []  # absorbed by the cache
+
+    def test_flush_programs_data(self):
+        ftl = Ftl(small_config())
+        ftl.write(0)
+        ops = ftl.flush()
+        programs = [op for op in ops if op.kind is OpKind.PROGRAM]
+        assert len(programs) >= 1
+        assert programs[0].reason is OpReason.HOST
+
+    def test_write_beyond_capacity_rejected(self):
+        ftl = Ftl(small_config())
+        with pytest.raises(ValueError):
+            ftl.write(ftl.num_lpns)
+        with pytest.raises(ValueError):
+            ftl.write(ftl.num_lpns - 1, 2)
+        with pytest.raises(ValueError):
+            ftl.write(0, 0)
+
+    def test_overwrite_invalidates_old_copy(self):
+        ftl = Ftl(small_config())
+        ftl.write(5)
+        ftl.flush()
+        psa1 = int(ftl.mapping.l2p[5])
+        ftl.write(5)
+        ftl.flush()
+        psa2 = int(ftl.mapping.l2p[5])
+        assert psa1 != psa2
+        assert not ftl.sector_valid[psa1]
+        assert ftl.sector_valid[psa2]
+
+    def test_sectors_packed_into_pages(self):
+        config = small_config()
+        ftl = Ftl(config)
+        spp = config.geometry.sectors_per_page
+        ftl.write(0, spp * 4)
+        ops = ftl.flush()
+        host_programs = [
+            op for op in ops
+            if op.kind is OpKind.PROGRAM and op.reason is OpReason.HOST
+        ]
+        # Perfect packing: one program per sectors_per_page sectors
+        # (metadata programs are counted separately).
+        assert len(host_programs) == 4
+
+    def test_invariants_after_churn(self):
+        ftl = Ftl(small_config())
+        fill_randomly(ftl, 4000)
+        ftl.check_invariants()
+
+    def test_gc_triggered_under_pressure(self):
+        ftl = Ftl(small_config())
+        fill_randomly(ftl, 4000)
+        assert ftl.stats.gc_invocations > 0
+        assert ftl.stats.gc_migrated_sectors > 0
+
+    def test_data_readable_after_gc(self):
+        ftl = Ftl(small_config())
+        fill_randomly(ftl, 4000)
+        # Every mapped LPN resolves to a valid sector that maps back.
+        mapped = np.nonzero(ftl.mapping.l2p != -1)[0]
+        assert len(mapped) > 0
+        for lpn in mapped:
+            psa = int(ftl.mapping.l2p[lpn])
+            assert int(ftl.p2l[psa]) == lpn
+
+
+class TestReadPath:
+    def test_unwritten_read_no_flash_op(self):
+        ftl = Ftl(small_config())
+        assert ftl.read(0) == []
+
+    def test_cache_hit_read_no_flash_op(self):
+        ftl = Ftl(small_config())
+        ftl.write(0)
+        assert ftl.read(0) == []
+
+    def test_flash_read_after_flush(self):
+        ftl = Ftl(small_config())
+        ftl.write(0)
+        ftl.flush()
+        ops = ftl.read(0)
+        assert len(ops) == 1
+        assert ops[0].kind is OpKind.READ
+        spp = ftl.geometry.sectors_per_page
+        assert ops[0].target == int(ftl.mapping.l2p[0]) // spp
+
+    def test_read_range_validation(self):
+        ftl = Ftl(small_config())
+        with pytest.raises(ValueError):
+            ftl.read(-1)
+
+
+class TestTrim:
+    def test_trim_unmaps_and_invalidates(self):
+        ftl = Ftl(small_config())
+        ftl.write(3)
+        ftl.flush()
+        psa = int(ftl.mapping.l2p[3])
+        ftl.trim(3)
+        assert int(ftl.mapping.l2p[3]) == -1
+        assert not ftl.sector_valid[psa]
+        assert ftl.read(3) == []
+
+    def test_trim_pending_cache_write(self):
+        ftl = Ftl(small_config())
+        ftl.write(3)
+        ftl.trim(3)
+        ops = ftl.flush()
+        host_programs = [
+            op for op in ops
+            if op.kind is OpKind.PROGRAM and op.reason is OpReason.HOST
+        ]
+        assert host_programs == []
+
+    def test_trim_reduces_gc_work(self):
+        config = small_config()
+        with_trim = Ftl(config)
+        without_trim = Ftl(config)
+        rng = np.random.default_rng(1)
+        lbas = [int(rng.integers(config.logical_sectors)) for _ in range(3000)]
+        for i, lba in enumerate(lbas):
+            with_trim.write(lba)
+            without_trim.write(lba)
+            if i % 4 == 3:
+                with_trim.trim(lbas[i - 1])
+        with_trim.flush()
+        without_trim.flush()
+        assert (
+            with_trim.stats.gc_migrated_sectors
+            <= without_trim.stats.gc_migrated_sectors
+        )
+
+
+class TestMetadataPath:
+    def test_meta_programs_emitted(self):
+        config = small_config(mapping_sync_interval=64)
+        ftl = Ftl(config)
+        metas = 0
+        for lpn in range(200):
+            for op in ftl.write(lpn % ftl.num_lpns):
+                if op.reason is OpReason.META:
+                    metas += 1
+        assert metas > 0
+
+    def test_checkpoint_persists_dirty_tps(self):
+        ftl = Ftl(small_config())
+        ftl.write(0)
+        ftl.flush()
+        assert ftl.mapping.dirty_tp_count > 0
+        ops = ftl.checkpoint()
+        assert any(op.reason is OpReason.META for op in ops)
+        assert ftl.mapping.dirty_tp_count == 0
+
+    def test_tp_reflush_invalidates_old_meta_page(self):
+        ftl = Ftl(small_config())
+        ftl.write(0)
+        ftl.flush()
+        ftl.checkpoint()
+        ppn1 = int(ftl.mapping.tp_stored_ppn[0])
+        ftl.write(1)
+        ftl.flush()
+        ftl.checkpoint()
+        ppn2 = int(ftl.mapping.tp_stored_ppn[0])
+        assert ppn1 != ppn2
+        slot0 = ppn1 * ftl.geometry.sectors_per_page
+        assert not ftl.sector_valid[slot0]
+
+
+class TestRainIntegration:
+    def test_parity_pages_written(self):
+        config = small_config(rain_stripe=4)
+        ftl = Ftl(config)
+        parity = 0
+        for lpn in range(100):
+            ftl.write(lpn % ftl.num_lpns)
+        for op in ftl.flush():
+            if op.reason is OpReason.PARITY:
+                parity += 1
+        assert ftl.rain.parity_pages > 0
+
+    def test_parity_never_valid(self):
+        config = small_config(rain_stripe=2)
+        ftl = Ftl(config)
+        for lpn in range(min(200, ftl.num_lpns)):
+            ftl.write(lpn)
+        ftl.flush()
+        ftl.check_invariants()
+        # All valid sectors belong to host data or metadata, never parity:
+        # parity pages carry no p2l entry, so validity implies p2l != -1.
+        valid = np.nonzero(ftl.sector_valid)[0]
+        assert np.all(ftl.p2l[valid] != -1)
+
+
+class TestPslcIntegration:
+    def test_writes_land_in_pslc_first(self):
+        config = small_config(pslc_blocks=4)
+        ftl = Ftl(config)
+        ftl.write(0)
+        ftl.flush()
+        assert ftl.pslc.lookup(0) is not None
+        assert ftl.stats.pslc_staged_sectors > 0
+
+    def test_read_served_from_pslc(self):
+        config = small_config(pslc_blocks=4)
+        ftl = Ftl(config)
+        ftl.write(0)
+        ftl.flush()
+        ops = ftl.read(0)
+        assert len(ops) == 1
+        spp = config.geometry.sectors_per_page
+        pslc_psa = ftl.pslc.lookup(0)
+        assert ops[0].target == pslc_psa // spp
+
+    def test_drain_moves_data_to_main_area(self):
+        config = small_config(pslc_blocks=2, pslc_drain_threshold=0.5)
+        ftl = Ftl(config)
+        for lpn in range(min(300, ftl.num_lpns)):
+            ftl.write(lpn)
+        ftl.flush()
+        assert ftl.stats.pslc_drains > 0
+        drained = [
+            lpn for lpn in range(min(300, ftl.num_lpns))
+            if ftl.pslc.lookup(lpn) is None and int(ftl.mapping.l2p[lpn]) != -1
+        ]
+        assert drained
+        ftl.check_invariants()
+
+    def test_invariants_with_pslc_churn(self):
+        config = small_config(pslc_blocks=4)
+        ftl = Ftl(config)
+        fill_randomly(ftl, 3000, seed=3)
+        ftl.check_invariants()
+
+
+class TestFailureHandling:
+    def test_program_failure_retires_block(self):
+        injector = FailureInjector()
+        ftl = Ftl(small_config(), injector=injector)
+        ftl.write(0)
+        # Force the next allocation's program to fail.
+        injector.program_fail_prob = 1.0
+        with pytest.raises(Exception):
+            # With every program failing the FTL keeps retiring blocks
+            # until it runs out -- ensure it fails loudly, not silently.
+            for lpn in range(2000):
+                ftl.write(lpn % ftl.num_lpns)
+                ftl.flush()
+
+    def test_single_program_failure_recovers(self):
+        injector = FailureInjector()
+        ftl = Ftl(small_config(), injector=injector)
+        ftl.write(0)
+        ops = ftl.flush()
+        target = [op for op in ops if op.kind is OpKind.PROGRAM][0].target
+        # Fail one specific upcoming program: pick the next page the host
+        # stream will use.
+        before_retired = ftl.stats.blocks_retired
+        injector.program_fail_prob = 0.0
+        # Write enough to allocate more pages, forcing one failure.
+        next_ppn = None
+        for candidate in range(ftl.geometry.total_pages):
+            if ftl.nand.is_free(candidate):
+                next_ppn = candidate
+                break
+        assert next_ppn is not None
+        injector.forced_program_failures.update(
+            range(ftl.geometry.total_pages)
+        )
+        injector.forced_program_failures = {  # fail exactly one block's page
+            next_ppn
+        }
+        for lpn in range(50):
+            ftl.write(lpn % ftl.num_lpns)
+        ftl.flush()
+        assert ftl.stats.blocks_retired >= before_retired
+        ftl.check_invariants()
+
+    def test_erase_failure_retires_block(self):
+        injector = FailureInjector(erase_fail_prob=0.002, seed=5)
+        ftl = Ftl(small_config(), injector=injector)
+        fill_randomly(ftl, 2000, seed=5)
+        assert injector.erase_failures > 0
+        assert ftl.stats.blocks_retired >= injector.erase_failures
+        assert len(ftl.allocator.retired_blocks) >= injector.erase_failures
+        ftl.check_invariants()
+
+
+class TestCacheDesignation:
+    def test_mapping_designation_boosts_dirty_budget(self):
+        data = Ftl(small_config(cache_designation="data", cache_sectors=64))
+        mapping = Ftl(small_config(cache_designation="mapping", cache_sectors=64))
+        assert mapping.mapping.dirty_tp_limit > data.mapping.dirty_tp_limit
+        assert mapping.cache.capacity < data.cache.capacity
+
+    def test_data_designation_absorbs_hot_writes(self):
+        ftl = Ftl(small_config(cache_designation="data", cache_sectors=64))
+        for _ in range(100):
+            ftl.write(0)
+        assert ftl.stats.cache_absorbed > 90
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    writes=st.integers(100, 800),
+)
+def test_invariants_hold_under_random_workloads(seed, writes):
+    ftl = Ftl(tiny())
+    rng = np.random.default_rng(seed)
+    for _ in range(writes):
+        action = rng.random()
+        lpn = int(rng.integers(ftl.num_lpns))
+        if action < 0.75:
+            ftl.write(lpn)
+        elif action < 0.9:
+            ftl.read(lpn)
+        else:
+            ftl.trim(lpn)
+    ftl.flush()
+    ftl.check_invariants()

@@ -1,0 +1,195 @@
+"""Mapping table: TP dirty tracking, checkpoints, chunk demand loading."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ssd.mapping import UNMAPPED, MappingTable
+
+
+def make(num_lpns=1024, tp_lpns=64, dirty=4, sync=10_000, chunk=0, resident=2):
+    return MappingTable(
+        num_lpns=num_lpns,
+        tp_lpns=tp_lpns,
+        dirty_tp_limit=dirty,
+        sync_interval=sync,
+        chunk_lpns=chunk,
+        resident_chunks=resident,
+    )
+
+
+class TestBasics:
+    def test_initially_unmapped(self):
+        table = make()
+        psa, events = table.lookup(0)
+        assert psa == UNMAPPED
+        assert events.empty
+
+    def test_update_then_lookup(self):
+        table = make()
+        old, _ = table.update(5, 100)
+        assert old == UNMAPPED
+        psa, _ = table.lookup(5)
+        assert psa == 100
+
+    def test_update_returns_old(self):
+        table = make()
+        table.update(5, 100)
+        old, _ = table.update(5, 200)
+        assert old == 100
+
+    def test_trim_unmaps(self):
+        table = make()
+        table.update(5, 100)
+        old, _ = table.trim(5)
+        assert old == 100
+        assert table.lookup(5)[0] == UNMAPPED
+
+    def test_out_of_range(self):
+        table = make(num_lpns=10)
+        with pytest.raises(IndexError):
+            table.lookup(10)
+        with pytest.raises(IndexError):
+            table.update(-1, 0)
+
+    def test_mapped_count(self):
+        table = make()
+        table.update(0, 1)
+        table.update(1, 2)
+        table.update(0, 3)
+        assert table.mapped_count() == 2
+
+    def test_silent_update_no_dirty(self):
+        table = make()
+        table.silent_update(5, 100)
+        assert table.dirty_tp_count == 0
+        assert table.lookup(5)[0] == 100
+
+
+class TestDirtyTracking:
+    def test_updates_dirty_their_tp(self):
+        table = make(tp_lpns=64)
+        table.update(0, 1)
+        assert table.is_dirty(0)
+        table.update(64, 2)
+        assert table.is_dirty(1)
+        assert table.dirty_tp_count == 2
+
+    def test_rewrite_same_tp_no_new_dirty(self):
+        table = make()
+        table.update(0, 1)
+        table.update(1, 2)
+        assert table.dirty_tp_count == 1
+
+    def test_eviction_at_limit(self):
+        table = make(tp_lpns=64, dirty=2)
+        e1 = table.update(0, 1)[1]
+        e2 = table.update(64, 2)[1]
+        assert not e1.flush_tps and not e2.flush_tps
+        e3 = table.update(128, 3)[1]
+        assert e3.flush_tps == [0]  # LRU dirty TP flushed
+        assert table.stats.eviction_flushes == 1
+
+    def test_lru_refresh_on_redirty(self):
+        table = make(tp_lpns=64, dirty=2)
+        table.update(0, 1)     # TP0
+        table.update(64, 2)    # TP1
+        table.update(1, 3)     # TP0 again -> TP1 is now LRU
+        events = table.update(128, 4)[1]
+        assert events.flush_tps == [1]
+
+    def test_checkpoint_flushes_all_dirty(self):
+        table = make(tp_lpns=64, dirty=8)
+        table.update(0, 1)
+        table.update(64, 2)
+        events = table.checkpoint()
+        assert sorted(events.flush_tps) == [0, 1]
+        assert table.dirty_tp_count == 0
+        assert table.stats.checkpoint_flushes == 2
+
+    def test_sync_interval_triggers_checkpoint(self):
+        table = make(tp_lpns=64, dirty=8, sync=3)
+        table.update(0, 1)
+        table.update(1, 2)
+        events = table.update(2, 3)[1]
+        assert events.flush_tps == [0]
+        assert table.dirty_tp_count == 0
+
+    def test_note_flushed_records_location(self):
+        table = make()
+        table.update(0, 1)
+        table.note_flushed(0, 777)
+        assert table.tp_stored_ppn[0] == 777
+
+
+class TestChunkResidency:
+    def test_chunk_requires_tp_multiple(self):
+        with pytest.raises(ValueError):
+            make(chunk=100, tp_lpns=64)
+
+    def test_first_access_loads_chunk(self):
+        table = make(num_lpns=1024, tp_lpns=64, chunk=256)
+        _, events = table.lookup(0)
+        assert events.loaded_chunks == [0]
+        assert table.stats.chunk_loads == 1
+
+    def test_resident_chunk_not_reloaded(self):
+        table = make(chunk=256)
+        table.lookup(0)
+        _, events = table.lookup(10)
+        assert not events.loaded_chunks
+
+    def test_lru_chunk_evicted(self):
+        table = make(num_lpns=1024, tp_lpns=64, chunk=256, resident=2)
+        table.lookup(0)    # chunk 0
+        table.lookup(256)  # chunk 1
+        table.lookup(512)  # chunk 2 -> chunk 0 evicted
+        assert 0 not in table.resident_chunk_ids()
+        _, events = table.lookup(0)  # reload
+        assert events.loaded_chunks == [0]
+
+    def test_eviction_flushes_chunk_dirty_tps(self):
+        table = make(num_lpns=1024, tp_lpns=64, chunk=256, resident=2, dirty=64)
+        table.update(0, 1)      # dirties TP0 in chunk 0
+        table.lookup(256)       # chunk 1 resident
+        _, events = table.lookup(512)  # evicts chunk 0
+        assert 0 in events.flush_tps
+
+    def test_chunk_load_reads_stored_tps(self):
+        table = make(num_lpns=1024, tp_lpns=64, chunk=256, resident=2)
+        table.update(0, 1)
+        table.note_flushed(0, 555)
+        table.lookup(256)
+        table.lookup(512)  # evict chunk 0
+        _, events = table.lookup(0)
+        assert 555 in events.load_tp_ppns
+
+    def test_unstored_tps_cost_no_reads(self):
+        table = make(num_lpns=1024, tp_lpns=64, chunk=256, resident=1)
+        _, events = table.lookup(0)
+        assert events.load_tp_ppns == []
+
+    def test_num_chunks(self):
+        table = make(num_lpns=1000, tp_lpns=50, chunk=250)
+        assert table.num_chunks == 4
+
+
+@settings(max_examples=25)
+@given(st.lists(st.tuples(st.integers(0, 1023), st.integers(0, 10_000)), max_size=200))
+def test_lookup_matches_last_update_property(updates):
+    table = make(num_lpns=1024, tp_lpns=64, dirty=3, sync=37)
+    expected = {}
+    for lpn, psa in updates:
+        table.update(lpn, psa)
+        expected[lpn] = psa
+    for lpn, psa in expected.items():
+        assert table.lookup(lpn)[0] == psa
+
+
+@settings(max_examples=25)
+@given(st.lists(st.integers(0, 1023), min_size=1, max_size=300))
+def test_dirty_never_exceeds_limit_property(lpns):
+    table = make(num_lpns=1024, tp_lpns=32, dirty=4, sync=10_000)
+    for i, lpn in enumerate(lpns):
+        table.update(lpn, i)
+        assert table.dirty_tp_count <= 4

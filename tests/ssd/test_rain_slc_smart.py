@@ -1,0 +1,168 @@
+"""RAIN accounting, pSLC buffer, SMART counters."""
+
+import pytest
+
+from repro.flash.geometry import Geometry
+from repro.ssd.ops import FlashOp, OpKind, OpReason
+from repro.ssd.rain import RainAccountant
+from repro.ssd.slc import PslcBuffer
+from repro.ssd.smart import SmartCounters
+
+
+class TestRain:
+    def test_disabled_never_due(self):
+        rain = RainAccountant(0)
+        assert not any(rain.on_data_page() for _ in range(100))
+        assert rain.parity_pages == 0
+
+    def test_parity_every_k_pages(self):
+        rain = RainAccountant(4)
+        due = [rain.on_data_page() for _ in range(12)]
+        assert due == [False, False, False, True] * 3
+        assert rain.parity_pages == 3
+
+    def test_flush_closes_partial_stripe(self):
+        rain = RainAccountant(4)
+        rain.on_data_page()
+        assert rain.flush()
+        assert rain.parity_pages == 1
+        assert not rain.flush()  # nothing pending
+
+    def test_overhead_ratio(self):
+        rain = RainAccountant(15)
+        for _ in range(30):
+            rain.on_data_page()
+        assert rain.overhead_ratio() == pytest.approx(2 / 30)
+
+    def test_invalid_stripe(self):
+        with pytest.raises(ValueError):
+            RainAccountant(1)
+
+
+GEOM = Geometry(
+    channels=1, chips_per_channel=1, dies_per_chip=1, planes_per_die=1,
+    blocks_per_plane=8, pages_per_block=4, page_size=8192, sector_size=4096,
+)
+
+
+class TestPslc:
+    def test_disabled_when_no_blocks(self):
+        buf = PslcBuffer(GEOM, [])
+        assert not buf.enabled
+        assert buf.used_fraction() == 0.0
+
+    def test_stage_page_assigns_slots(self):
+        buf = PslcBuffer(GEOM, [0, 1])
+        ppn, pairs = buf.stage_page([10, 11])
+        assert [lpn for lpn, _ in pairs] == [10, 11]
+        assert [psa for _, psa in pairs] == [ppn * 2, ppn * 2 + 1]
+
+    def test_stage_page_size_validated(self):
+        buf = PslcBuffer(GEOM, [0])
+        with pytest.raises(ValueError):
+            buf.stage_page([])
+        with pytest.raises(ValueError):
+            buf.stage_page([1, 2, 3])  # > sectors_per_page (2)
+
+    def test_lookup_and_overwrite(self):
+        buf = PslcBuffer(GEOM, [0, 1])
+        _, pairs1 = buf.stage_page([42])
+        assert buf.lookup(42) == pairs1[0][1]
+        _, pairs2 = buf.stage_page([42])
+        assert buf.lookup(42) == pairs2[0][1]
+        assert pairs1[0][1] != pairs2[0][1]
+
+    def test_invalidate(self):
+        buf = PslcBuffer(GEOM, [0])
+        buf.stage_page([7])
+        assert buf.invalidate(7)
+        assert buf.lookup(7) is None
+        assert not buf.invalidate(7)
+
+    def test_used_fraction_grows(self):
+        buf = PslcBuffer(GEOM, [0, 1])
+        assert buf.used_fraction() == 0.0
+        buf.stage_page([0, 1])
+        # Page-granular fill: 1 of (2 blocks x 4 pages) written.
+        assert buf.used_fraction() == pytest.approx(1 / 8)
+        buf.stage_page([2, 3])
+        assert buf.used_fraction() == pytest.approx(2 / 8)
+
+    def test_fills_then_rejects(self):
+        buf = PslcBuffer(GEOM, [0])
+        for page in range(GEOM.pages_per_block):
+            buf.stage_page([2 * page, 2 * page + 1])
+        assert not buf.has_space()
+        with pytest.raises(RuntimeError):
+            buf.stage_page([999])
+
+    def test_evict_block_returns_valid_pairs(self):
+        buf = PslcBuffer(GEOM, [0, 1])
+        buf.stage_page([0, 1])
+        buf.stage_page([2, 3])
+        buf.invalidate(1)
+        block = buf.pick_drain_block()
+        assert block is not None
+        victims = buf.evict_block(block)
+        lpns = {lpn for lpn, _ in victims}
+        assert 1 not in lpns
+        assert lpns  # something was still valid
+        for lpn in lpns:
+            assert buf.lookup(lpn) is None
+
+    def test_evicted_block_reusable(self):
+        buf = PslcBuffer(GEOM, [0])
+        for page in range(GEOM.pages_per_block):
+            buf.stage_page([2 * page, 2 * page + 1])
+        block = buf.pick_drain_block()
+        buf.evict_block(block)
+        assert buf.has_space()
+        buf.stage_page([1000])
+
+
+class TestSmart:
+    def test_host_vs_ftl_attribution(self):
+        smart = SmartCounters()
+        smart.record(FlashOp(OpKind.PROGRAM, 0, OpReason.HOST, 100))
+        smart.record(FlashOp(OpKind.PROGRAM, 1, OpReason.GC, 100))
+        smart.record(FlashOp(OpKind.PROGRAM, 2, OpReason.META, 100))
+        smart.record(FlashOp(OpKind.PROGRAM, 3, OpReason.PARITY, 100))
+        assert smart.host_program_pages == 1
+        assert smart.ftl_program_pages == 3
+        assert smart.gc_program_pages == 1
+        assert smart.meta_program_pages == 1
+        assert smart.parity_program_pages == 1
+
+    def test_reads_and_erases(self):
+        smart = SmartCounters()
+        smart.record(FlashOp(OpKind.READ, 0, OpReason.HOST, 100))
+        smart.record(FlashOp(OpKind.ERASE, 0, OpReason.GC))
+        assert smart.read_pages == 1
+        assert smart.erase_count == 1
+
+    def test_waf(self):
+        smart = SmartCounters(host_program_pages=10, ftl_program_pages=9)
+        assert smart.waf() == pytest.approx(0.9)
+        assert SmartCounters().waf() == 0.0
+
+    def test_host_bytes_per_nand_page(self):
+        smart = SmartCounters(
+            host_program_pages=10, ftl_program_pages=0, host_sectors_written=80
+        )
+        assert smart.host_bytes_per_nand_page(4096) == pytest.approx(32768.0)
+
+    def test_snapshot_and_delta(self):
+        smart = SmartCounters(host_program_pages=5)
+        before = smart.snapshot()
+        smart.host_program_pages += 3
+        delta = smart.delta(before)
+        assert delta.host_program_pages == 3
+        before.host_program_pages = 99  # snapshot is independent
+        assert smart.host_program_pages == 8
+
+    def test_render_contains_counters(self):
+        smart = SmartCounters(host_program_pages=7, ftl_program_pages=3)
+        text = smart.render()
+        assert "Host_Program_Page_Count" in text
+        assert "FTL_Program_Page_Count" in text
+        assert "247" in text and "248" in text

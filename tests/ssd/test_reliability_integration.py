@@ -1,0 +1,72 @@
+"""Retention/ECC on the read path, and refresh as its cure."""
+
+import pytest
+
+from repro.flash.errors import ReliabilityModel
+from repro.ssd.ftl import Ftl
+from repro.ssd.presets import tiny
+
+#: a deliberately fragile flash: data rots after ~5 simulated days.
+FRAGILE = ReliabilityModel(
+    base_rber=1e-7,
+    rated_cycles=200,
+    retention_rber_per_day=1e-3,
+    ecc_correctable=40,
+)
+
+
+def aged_ftl(refresh_after_ops=0, ops_per_day=100):
+    config = tiny().with_changes(
+        ops_per_day=ops_per_day,
+        refresh_after_ops=refresh_after_ops,
+    )
+    ftl = Ftl(config, reliability=FRAGILE)
+    # Cold data written once...
+    for lpn in range(32):
+        ftl.write(lpn)
+    ftl.flush()
+    # ...then the device ages under unrelated churn (10 simulated days).
+    for i in range(1000):
+        ftl.write(32 + i % (ftl.num_lpns - 32))
+    ftl.flush()
+    return ftl
+
+
+class TestRetentionReads:
+    def test_modeling_disabled_by_default(self):
+        ftl = aged_ftl(ops_per_day=0)
+        for lpn in range(32):
+            ftl.read(lpn)
+        assert ftl.stats.uncorrectable_reads == 0
+
+    def test_aged_cold_data_becomes_uncorrectable(self):
+        ftl = aged_ftl()
+        for lpn in range(32):
+            ftl.read(lpn)
+        assert ftl.stats.uncorrectable_reads > 0
+
+    def test_fresh_data_reads_clean(self):
+        ftl = aged_ftl()
+        before = ftl.stats.uncorrectable_reads
+        ftl.write(40)
+        ftl.flush()
+        ftl.read(40)
+        assert ftl.stats.uncorrectable_reads == before
+
+    def test_refresh_cures_retention(self):
+        """Flash correct-and-refresh: periodic rewrites keep old data
+        inside the ECC budget."""
+        ftl = aged_ftl(refresh_after_ops=300)
+        for _ in range(20):
+            ftl.idle_maintenance(max_blocks=8)
+        assert ftl.stats.refreshed_blocks > 0
+        for lpn in range(32):
+            ftl.read(lpn)
+        assert ftl.stats.uncorrectable_reads == 0
+
+    def test_reads_not_fatal(self):
+        """Uncorrectable reads are counted, not raised — black-box
+        observers only see the SMART-style counter move."""
+        ftl = aged_ftl()
+        ops = ftl.read(0)
+        assert len(ops) == 1  # the read still happens

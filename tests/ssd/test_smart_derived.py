@@ -1,0 +1,47 @@
+"""Derived SMART attributes: lifetime percentage, reported uncorrectable."""
+
+import numpy as np
+
+from repro.flash.errors import ReliabilityModel
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.presets import tiny
+
+
+class TestDerivedAttributes:
+    def test_fresh_drive_full_lifetime(self):
+        device = SimulatedSSD(tiny())
+        snapshot = device.smart_snapshot()
+        assert snapshot.percent_lifetime_remaining == 100
+        assert "Percent_Lifetime_Remain" in device.smart_render()
+
+    def test_lifetime_decreases_with_wear(self):
+        config = tiny().with_changes(erase_limit=60)
+        device = SimulatedSSD(config)
+        rng = np.random.default_rng(0)
+        for _ in range(12_000):
+            device.write_sectors(int(rng.integers(device.num_sectors)), 1)
+        device.flush()
+        snapshot = device.smart_snapshot()
+        assert snapshot.percent_lifetime_remaining < 100
+
+    def test_reported_uncorrectable_synced(self):
+        fragile = ReliabilityModel(base_rber=1e-7, rated_cycles=200,
+                                   retention_rber_per_day=1e-3)
+        config = tiny().with_changes(ops_per_day=50)
+        device = SimulatedSSD(config)
+        device.ftl.reliability = fragile
+        for lpn in range(16):
+            device.write_sectors(lpn, 1)
+        device.flush()
+        rng = np.random.default_rng(1)
+        # Light churn: ages the cold data ~6 simulated days without the
+        # GC churn that would implicitly rewrite (refresh) it.
+        for i in range(300):
+            device.write_sectors(16 + int(rng.integers(
+                device.num_sectors - 16)), 1)
+        device.flush()
+        for lpn in range(16):
+            device.read_sectors(lpn, 1)
+        snapshot = device.smart_snapshot()
+        assert snapshot.reported_uncorrectable > 0
+        assert "Reported_Uncorrect" in device.smart_render()

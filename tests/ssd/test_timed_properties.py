@@ -1,0 +1,110 @@
+"""Timed-scheduler properties: protocol rules and mode equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash.timing import PSLC, profile
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.ops import OpKind
+from repro.ssd.presets import tiny, vertex2_like
+from repro.ssd.timed import TimedSSD
+
+
+class RecordingTimedSSD(TimedSSD):
+    """Capture every scheduled op with its resource windows."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.windows: list[tuple[str, int, int, int]] = []  # kind, die, s, e
+
+    def _schedule_op(self, op, earliest):
+        die_before = self.die_free.copy()
+        end = super()._schedule_op(op, earliest)
+        changed = np.nonzero(self.die_free != die_before)[0]
+        for die in changed:
+            self.windows.append(
+                (op.kind.value, int(die), int(die_before[die]),
+                 int(self.die_free[die]))
+            )
+        return end
+
+
+class TestProtocolRules:
+    def run_workload(self, config, writes=1500, seed=0):
+        device = RecordingTimedSSD(config)
+        rng = np.random.default_rng(seed)
+        for _ in range(writes):
+            device.submit("write", int(rng.integers(device.num_sectors)), 1,
+                          at_ns=device.now)
+        device.flush()
+        return device
+
+    def test_die_busy_windows_never_overlap(self):
+        device = self.run_workload(tiny())
+        by_die: dict[int, list[tuple[int, int]]] = {}
+        for _, die, start, end in device.windows:
+            by_die.setdefault(die, []).append((start, end))
+        assert by_die
+        for die, spans in by_die.items():
+            spans.sort()
+            for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+                assert b0 >= a0  # monotone claims
+                # die_free only ever moves forward
+                assert b1 >= a1
+
+    def test_resource_timelines_monotone(self):
+        device = self.run_workload(tiny(), writes=800, seed=1)
+        assert int(device.die_free.min()) >= 0
+        assert int(device.chan_free.min()) >= 0
+
+    def test_request_completion_after_submission(self):
+        device = self.run_workload(tiny(), writes=500, seed=2)
+        for request in device.completed:
+            assert request.complete_ns >= request.submit_ns
+
+    def test_pslc_blocks_charge_pslc_program_time(self):
+        config = vertex2_like(scale=2).with_changes(
+            pslc_blocks=8, cache_sectors=4, pslc_drain_threshold=0.99,
+        )
+        device = RecordingTimedSSD(config)
+        for lba in range(16):
+            device.submit("write", lba, 1, at_ns=device.now)
+        timing = profile(config.timing_name)
+        program_windows = [
+            (end - start) for kind, _, start, end in device.windows
+            if kind == "program"
+        ]
+        assert program_windows
+        # Buffer-block programs take pSLC time, far below the async
+        # profile's 900 us.
+        assert min(program_windows) < timing.program_ns
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 200), writes=st.integers(100, 600))
+def test_counter_timed_smart_equivalence_property(seed, writes):
+    """Any request stream yields identical program/erase accounting in
+    both execution modes — they are the same FTL."""
+    config = tiny()
+    counter = SimulatedSSD(config)
+    timed = TimedSSD(config)
+    rng = np.random.default_rng(seed)
+    for _ in range(writes):
+        action = rng.random()
+        lba = int(rng.integers(counter.num_sectors))
+        if action < 0.8:
+            counter.write_sectors(lba, 1)
+            timed.submit("write", lba, 1, at_ns=timed.now)
+        elif action < 0.9:
+            counter.read_sectors(lba, 1)
+            timed.submit("read", lba, 1, at_ns=timed.now)
+        else:
+            counter.trim_sectors(lba, 1)
+            timed.submit("trim", lba, 1, at_ns=timed.now)
+    counter.flush()
+    timed.flush()
+    assert counter.smart.host_program_pages == timed.smart.host_program_pages
+    assert counter.smart.ftl_program_pages == timed.smart.ftl_program_pages
+    assert counter.smart.erase_count == timed.smart.erase_count

@@ -1,0 +1,73 @@
+"""CLI smoke tests: every subcommand runs and prints its table."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_preset_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--preset", "warpdrive", "--writes", "10"])
+
+    @pytest.mark.parametrize("command", [
+        "presets", "simulate", "latency", "nand-page", "waf-study",
+        "fidelity", "compression", "jtag-study", "probe-features",
+    ])
+    def test_help_available(self, command):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args([command, "--help"])
+        assert excinfo.value.code == 0
+
+
+class TestCommands:
+    def test_presets(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        assert "mx500" in out and "evo840" in out and "vertex2" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--preset", "tiny", "--scale", "1",
+                     "--writes", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "FTL_Program_Page_Count" in out
+        assert "WAF" in out
+
+    def test_latency(self, capsys):
+        assert main(["latency", "--preset", "tiny", "--scale", "1",
+                     "--writes", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "p99 (us)" in out
+
+    def test_nand_page(self, capsys):
+        assert main(["nand-page", "--preset", "mx500", "--scale", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "bytes/page" in out
+        assert "converged" in out
+
+    def test_compression(self, capsys):
+        assert main(["compression", "--transactions", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "re-bp32" in out and "chunk4" in out
+
+    def test_jtag_study(self, capsys):
+        assert main(["jtag-study", "--scale", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "map arrays" in out
+        assert "IDCODE" in out
+
+    def test_waf_study(self, capsys):
+        assert main(["waf-study", "--preset", "mx500", "--scale", "4",
+                     "--io-count", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "measured mixed" in out
+
+    def test_probe_features(self, capsys):
+        assert main(["probe-features", "--scale", "2",
+                     "--cache-sectors", "64", "--writes", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "write buffer" in out

@@ -1,0 +1,118 @@
+"""OLTP workload and the compressibility model."""
+
+import pytest
+
+from repro.ssd.compression import make_scheme
+from repro.workloads.compressibility import (
+    REGIMES,
+    CompressibilityModel,
+    DataClass,
+)
+from repro.workloads.oltp import (
+    OltpConfig,
+    OltpWorkload,
+    flash_writes_per_transaction,
+)
+
+
+class TestCompressibility:
+    def test_high_regime_small_sizes(self):
+        model = CompressibilityModel(REGIMES["high"], seed=1)
+        sizes = [model.compressed_size("table") for _ in range(200)]
+        assert all(64 <= s <= 4096 for s in sizes)
+        assert sum(sizes) / len(sizes) < 0.35 * 4096
+
+    def test_incompressible_full_size(self):
+        model = CompressibilityModel(REGIMES["incompressible"])
+        assert model.compressed_size("table") == 4096
+
+    def test_unknown_class(self):
+        model = CompressibilityModel()
+        with pytest.raises(KeyError):
+            model.compressed_size("video")
+
+    def test_dataclass_validation(self):
+        with pytest.raises(ValueError):
+            DataClass("x", mean_ratio=0.0)
+        with pytest.raises(ValueError):
+            DataClass("x", mean_ratio=0.5, spread=-1)
+
+    def test_mean_ratio(self):
+        model = CompressibilityModel(REGIMES["incompressible"])
+        assert model.mean_ratio() == pytest.approx(1.0)
+
+    def test_seeded_determinism(self):
+        a = CompressibilityModel(seed=7)
+        b = CompressibilityModel(seed=7)
+        assert [a.compressed_size("index") for _ in range(20)] == [
+            b.compressed_size("index") for _ in range(20)
+        ]
+
+
+class TestOltpWorkload:
+    def test_transaction_shape(self):
+        config = OltpConfig()
+        workload = OltpWorkload(config)
+        txn = workload.transaction()
+        assert len(txn) == config.writes_per_txn
+        classes = [w.data_class for w in txn]
+        assert classes.count("table") == config.table_updates_per_txn
+        assert classes.count("index") == config.index_updates_per_txn
+        assert classes.count("log") == config.log_appends_per_txn
+
+    def test_address_regions_disjoint(self):
+        config = OltpConfig()
+        workload = OltpWorkload(config)
+        for txn in workload.stream(50):
+            for write in txn:
+                if write.data_class == "table":
+                    assert write.lpn < config.table_pages
+                elif write.data_class == "index":
+                    assert config.table_pages <= write.lpn < (
+                        config.table_pages + config.index_pages
+                    )
+                else:
+                    assert write.lpn >= config.table_pages + config.index_pages
+
+    def test_log_is_append_ring(self):
+        config = OltpConfig(log_pages=4, log_appends_per_txn=1)
+        workload = OltpWorkload(config)
+        base = config.table_pages + config.index_pages
+        lpns = [workload.transaction()[-1].lpn for _ in range(6)]
+        assert lpns == [base, base + 1, base + 2, base + 3, base, base + 1]
+
+    def test_stream_count(self):
+        workload = OltpWorkload()
+        assert len(list(workload.stream(7))) == 7
+        assert workload.transactions_generated == 7
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            OltpConfig(table_pages=0)
+
+
+class TestFlashWritesPerTransaction:
+    def test_positive_for_all_schemes(self):
+        for name in ("none", "fixed", "compact", "chunk4", "re-bp32"):
+            scheme = make_scheme(name)
+            rate = flash_writes_per_transaction(
+                scheme, OltpWorkload(seed=1), CompressibilityModel(seed=1), 200
+            )
+            assert rate > 0
+
+    def test_compression_beats_none(self):
+        none_rate = flash_writes_per_transaction(
+            make_scheme("none"), OltpWorkload(seed=1),
+            CompressibilityModel(seed=1), 300,
+        )
+        compact_rate = flash_writes_per_transaction(
+            make_scheme("compact"), OltpWorkload(seed=1),
+            CompressibilityModel(seed=1), 300,
+        )
+        assert compact_rate < none_rate
+
+    def test_transactions_validated(self):
+        with pytest.raises(ValueError):
+            flash_writes_per_transaction(
+                make_scheme("none"), OltpWorkload(), CompressibilityModel(), 0
+            )

@@ -1,0 +1,146 @@
+"""JobSpec validation and the counter/timed workload engines."""
+
+import numpy as np
+import pytest
+
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.presets import tiny
+from repro.ssd.timed import TimedSSD
+from repro.workloads.engine import run_counter, run_timed
+from repro.workloads.patterns import Region
+from repro.workloads.spec import JobSpec
+
+
+def region_for(device, start_frac=0.0, frac=1.0):
+    start = int(device.num_sectors * start_frac)
+    length = max(8, int(device.num_sectors * frac))
+    length = min(length, device.num_sectors - start)
+    return Region(start, length)
+
+
+class TestJobSpec:
+    def test_valid(self):
+        JobSpec("j", "randwrite", Region(0, 100))
+
+    def test_bad_rw(self):
+        with pytest.raises(ValueError):
+            JobSpec("j", "randscrub", Region(0, 100))
+
+    def test_bad_counts(self):
+        with pytest.raises(ValueError):
+            JobSpec("j", "randwrite", Region(0, 100), io_count=0)
+        with pytest.raises(ValueError):
+            JobSpec("j", "randwrite", Region(0, 100), iodepth=0)
+        with pytest.raises(ValueError):
+            JobSpec("j", "randrw", Region(0, 100), read_fraction=1.5)
+
+    def test_default_patterns(self):
+        assert JobSpec("j", "write", Region(0, 100)).default_pattern() == "sequential"
+        assert JobSpec("j", "randwrite", Region(0, 100)).default_pattern() == "uniform"
+
+    def test_request_kind(self):
+        rng = np.random.default_rng(0)
+        assert JobSpec("j", "randwrite", Region(0, 8)).request_kind(rng) == "write"
+        assert JobSpec("j", "randread", Region(0, 8)).request_kind(rng) == "read"
+        assert JobSpec("j", "trim", Region(0, 8)).request_kind(rng) == "trim"
+        mixed = JobSpec("j", "randrw", Region(0, 8), read_fraction=0.5)
+        kinds = {mixed.request_kind(rng) for _ in range(50)}
+        assert kinds == {"read", "write"}
+
+    def test_total_sectors(self):
+        job = JobSpec("j", "randwrite", Region(0, 100), bs_sectors=4, io_count=10)
+        assert job.total_sectors == 40
+
+
+class TestRunCounter:
+    def test_single_job_counts(self):
+        device = SimulatedSSD(tiny())
+        job = JobSpec("w", "randwrite", region_for(device), io_count=200)
+        result = run_counter(device, [job])
+        assert result.jobs["w"].requests == 200
+        assert result.smart_delta.host_sectors_written == 200
+
+    def test_jobs_interleaved(self):
+        device = SimulatedSSD(tiny())
+        half = device.num_sectors // 2
+        jobs = [
+            JobSpec("a", "randwrite", Region(0, half), io_count=100),
+            JobSpec("b", "randwrite", Region(half, half), io_count=100),
+        ]
+        result = run_counter(device, jobs)
+        assert result.jobs["a"].requests == 100
+        assert result.jobs["b"].requests == 100
+        assert result.smart_delta.host_sectors_written == 200
+
+    def test_uneven_io_counts(self):
+        device = SimulatedSSD(tiny())
+        half = device.num_sectors // 2
+        jobs = [
+            JobSpec("a", "randwrite", Region(0, half), io_count=50),
+            JobSpec("b", "randwrite", Region(half, half), io_count=150),
+        ]
+        result = run_counter(device, jobs)
+        assert result.jobs["b"].requests == 150
+
+    def test_waf_computed_from_delta(self):
+        device = SimulatedSSD(tiny())
+        job = JobSpec("w", "randwrite", region_for(device), io_count=3000)
+        result = run_counter(device, [job])
+        assert result.waf > 0
+
+    def test_no_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_counter(SimulatedSSD(tiny()), [])
+
+    def test_read_job_no_programs(self):
+        device = SimulatedSSD(tiny())
+        write = JobSpec("w", "write", region_for(device), io_count=50)
+        run_counter(device, [write])
+        before = device.smart_snapshot()
+        read = JobSpec("r", "randread", region_for(device), io_count=50)
+        run_counter(device, [read], flush_at_end=False)
+        delta = device.smart.delta(before)
+        assert delta.host_program_pages == 0
+        assert delta.host_sectors_read == 50
+
+
+class TestRunTimed:
+    def test_latencies_collected(self):
+        device = TimedSSD(tiny())
+        job = JobSpec("w", "randwrite", Region(0, device.num_sectors), io_count=100)
+        result = run_timed(device, [job])
+        assert len(result.jobs["w"].latencies_us) == 100
+        assert result.jobs["w"].iops > 0
+        assert result.elapsed_ns > 0
+
+    def test_io_count_respected_with_iodepth(self):
+        device = TimedSSD(tiny())
+        job = JobSpec("w", "randwrite", Region(0, device.num_sectors),
+                      io_count=50, iodepth=4)
+        result = run_timed(device, [job])
+        assert result.jobs["w"].requests == 50
+
+    def test_concurrent_jobs_interfere(self):
+        """A job runs slower sharing the device than alone."""
+        config = tiny()
+        alone = TimedSSD(config)
+        half = alone.num_sectors // 2
+        job_a = JobSpec("a", "randwrite", Region(0, half), io_count=400)
+        solo = run_timed(alone, [job_a])
+
+        shared = TimedSSD(config)
+        job_b = JobSpec("b", "randwrite", Region(half, half), io_count=400)
+        both = run_timed(shared, [job_a, job_b])
+        assert both.jobs["a"].elapsed_ns > solo.jobs["a"].elapsed_ns
+
+    def test_percentile_helper(self):
+        device = TimedSSD(tiny())
+        job = JobSpec("w", "randwrite", Region(0, device.num_sectors), io_count=200)
+        result = run_timed(device, [job])
+        p50 = result.jobs["w"].percentile_us(50)
+        p99 = result.jobs["w"].percentile_us(99)
+        assert p99 >= p50 > 0
+
+    def test_no_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_timed(TimedSSD(tiny()), [])

@@ -1,0 +1,112 @@
+"""Block-trace recording, persistence, and replay."""
+
+import numpy as np
+import pytest
+
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.presets import tiny
+from repro.ssd.timed import TimedSSD
+from repro.workloads.trace import (
+    BlockTrace,
+    TraceRecord,
+    TraceRecorder,
+    replay_counter,
+    replay_timed,
+)
+
+
+class TestTraceRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecord("scrub", 0, 1, 0.0)
+        with pytest.raises(ValueError):
+            TraceRecord("write", -1, 1, 0.0)
+
+
+class TestBlockTrace:
+    def test_append_monotone(self):
+        trace = BlockTrace()
+        trace.append(TraceRecord("write", 0, 1, 0.0))
+        trace.append(TraceRecord("write", 1, 1, 5.0))
+        with pytest.raises(ValueError):
+            trace.append(TraceRecord("write", 2, 1, 1.0))
+
+    def test_roundtrip_text(self):
+        trace = BlockTrace([
+            TraceRecord("write", 10, 4, 0.0),
+            TraceRecord("read", 10, 4, 20.5),
+            TraceRecord("trim", 10, 4, 40.0),
+            TraceRecord("flush", 0, 0, 60.0),
+        ])
+        loaded = BlockTrace.loads(trace.dumps())
+        assert loaded.records == trace.records
+        assert loaded.duration_us == 60.0
+        assert loaded.sectors_written() == 4
+
+    def test_roundtrip_file(self, tmp_path):
+        trace = BlockTrace([TraceRecord("write", 1, 1, 0.0)])
+        path = trace.save(tmp_path / "t" / "trace.csv")
+        assert BlockTrace.load(path).records == trace.records
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            BlockTrace.loads("nope,nope\n1,2\n")
+
+
+class TestRecorder:
+    def test_records_and_passes_through(self):
+        device = SimulatedSSD(tiny())
+        recorder = TraceRecorder(device, rate_iops=10_000)
+        recorder.write_sectors(0, 2)
+        recorder.read_sectors(0, 1)
+        recorder.trim_sectors(0, 1)
+        recorder.flush()
+        assert [r.kind for r in recorder.trace] == [
+            "write", "read", "trim", "flush",
+        ]
+        assert device.smart.host_sectors_written == 2
+        # Synthesized timestamps advance at the configured rate.
+        times = [r.at_us for r in recorder.trace]
+        assert times == sorted(times)
+        assert times[1] - times[0] == pytest.approx(100.0)
+
+
+class TestReplay:
+    def make_trace(self, device, requests=300, seed=5):
+        recorder = TraceRecorder(device, rate_iops=20_000)
+        rng = np.random.default_rng(seed)
+        for _ in range(requests):
+            recorder.write_sectors(int(rng.integers(device.num_sectors)), 1)
+        recorder.flush()
+        return recorder.trace
+
+    def test_counter_replay_reproduces_smart(self):
+        source = SimulatedSSD(tiny())
+        trace = self.make_trace(source)
+        target = SimulatedSSD(tiny())
+        replay_counter(trace, target)
+        assert target.smart.host_program_pages == source.smart.host_program_pages
+        assert target.smart.ftl_program_pages == source.smart.ftl_program_pages
+
+    def test_timed_replay_honours_arrivals(self):
+        device = SimulatedSSD(tiny())
+        trace = self.make_trace(device, requests=100)
+        timed = TimedSSD(tiny())
+        completed = replay_timed(trace, timed)
+        assert len(completed) == len(trace)
+        # Open loop: submissions match the recorded timeline.
+        writes = [r for r in completed if r.kind == "write"]
+        assert writes[1].submit_ns - writes[0].submit_ns == pytest.approx(
+            50_000, rel=0.01
+        )
+
+    def test_time_scale(self):
+        device = SimulatedSSD(tiny())
+        trace = self.make_trace(device, requests=50)
+        fast = replay_timed(trace, TimedSSD(tiny()), time_scale=1.0)
+        slow = replay_timed(trace, TimedSSD(tiny()), time_scale=4.0)
+        assert slow[-1].submit_ns > fast[-1].submit_ns
+
+    def test_time_scale_validated(self):
+        with pytest.raises(ValueError):
+            replay_timed(BlockTrace(), TimedSSD(tiny()), time_scale=0)
