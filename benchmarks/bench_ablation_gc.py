@@ -7,6 +7,9 @@ should produce the least write amplification, random the most, with
 randomized-greedy approaching greedy as d grows.
 """
 
+import os
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -15,10 +18,21 @@ from repro.ssd.config import GC_POLICIES
 from repro.ssd.device import SimulatedSSD
 from repro.ssd.presets import tiny
 
+#: Set REPRO_TRACE_DIR to stream each policy's GC events (victim picks,
+#: per-block migration costs) as JSONL — the per-event record behind the
+#: aggregate WAF numbers this figure reports.
+TRACE_DIR = os.environ.get("REPRO_TRACE_DIR")
+
 
 def churn(policy: str, writes: int = 12_000, seed: int = 3):
     config = tiny().with_changes(gc_policy=policy)
     device = SimulatedSSD(config)
+    if TRACE_DIR:
+        from repro.obs import JsonlSink
+
+        device.attach_sink(JsonlSink(
+            Path(TRACE_DIR) / f"ablation_gc_{policy}.jsonl"
+        ))
     rng = np.random.default_rng(seed)
     # 80/20 skew so victim quality varies across blocks.
     hot = max(1, device.num_sectors // 5)
@@ -29,6 +43,8 @@ def churn(policy: str, writes: int = 12_000, seed: int = 3):
             lba = hot + int(rng.integers(device.num_sectors - hot))
         device.write_sectors(lba, 1)
     device.flush()
+    if TRACE_DIR:
+        device.obs.close()
     return device
 
 

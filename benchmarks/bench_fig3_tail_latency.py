@@ -8,6 +8,9 @@ margin (18 %), while 99th-percentile latencies spread by up to an order
 of magnitude.
 """
 
+import os
+from pathlib import Path
+
 import pytest
 
 from benchmarks.conftest import run_once
@@ -19,15 +22,39 @@ from repro.ssd.presets import mqsim_baseline
 
 BLOCK_SIZES = (1, 2, 4)  # 4, 8, 16 KB requests
 
+#: Set REPRO_TRACE_DIR to a directory to have every measurement point
+#: stream a JSONL event trace there (see repro.obs) — the trace explains
+#: the tails the figure reports (GC-stall attribution per percentile).
+TRACE_DIR = os.environ.get("REPRO_TRACE_DIR")
+
+
+def _trace_path(variant: str, bs: int) -> Path:
+    safe = variant.replace("=", "-")
+    return Path(TRACE_DIR) / f"fig3_{safe}_bs{bs}.jsonl"
+
 
 @pytest.fixture(scope="module")
 def study():
-    return run_fidelity_study(
+    sinks = []
+    on_device = None
+    if TRACE_DIR:
+        from repro.obs import JsonlSink
+
+        def on_device(device, variant, bs):
+            sink = JsonlSink(_trace_path(variant, bs))
+            sinks.append(sink)
+            device.attach_sink(sink)
+
+    result = run_fidelity_study(
         mqsim_baseline(scale=2),
         block_sizes_sectors=BLOCK_SIZES,
         io_count=3000,
         precondition_fraction=0.75,
+        on_device=on_device,
     )
+    for sink in sinks:
+        sink.close()
+    return result
 
 
 @pytest.mark.benchmark(group="fig3")
@@ -96,3 +123,36 @@ def test_fig3_means_near_mqsim_margin(benchmark, figure_output, study):
     )
     # At least some fundamentally-different FTLs hide inside the margin.
     assert near_margin >= 2
+
+
+@pytest.mark.skipif(not TRACE_DIR, reason="set REPRO_TRACE_DIR to enable")
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_stall_attribution(benchmark, figure_output, study):
+    """Opt-in companion figure: *why* the tails differ.  Each variant's
+    trace decomposes write latency into controller overhead plus
+    cache-admission stall (time waiting for GC/flush programs to free
+    cache space); the stall share per percentile bucket is the paper's
+    missing explanation."""
+    from repro.obs import attribute_tail, load_trace, stall_reconciliation
+
+    run_once(benchmark, lambda: study)
+    rows = []
+    for bs in BLOCK_SIZES:
+        for variant in study.variants():
+            records = load_trace(_trace_path(variant, bs))
+            recon = stall_reconciliation(records)
+            # The decomposition must reconcile exactly: stall recorded
+            # per-request equals stall recorded per-event, and
+            # latency - stall is the uniform controller overhead.
+            assert recon["request_stall_ns"] == recon["event_stall_ns"]
+            assert recon["overhead_uniform"]
+            for bucket in attribute_tail(records):
+                rows.append([f"{bs * 4}K", variant] + bucket.row())
+    figure_output(
+        "fig3_stall_attribution",
+        "Fig 3 (companion) — write-tail stall attribution by percentile",
+        ["request", "FTL variant", "bucket", "requests", "latency (ms)",
+         "stall (ms)", "stall share"],
+        rows,
+    )
+    assert rows

@@ -5,6 +5,7 @@ library — useful for demos, quick sweeps, and as executable
 documentation of the public API::
 
     repro-ssd simulate --preset mx500 --writes 20000
+    repro-ssd trace --preset tiny --writes 4000 --out trace.jsonl
     repro-ssd nand-page --preset mx500
     repro-ssd waf-study --io-count 12000
     repro-ssd fidelity --io-count 2000
@@ -79,6 +80,75 @@ def cmd_simulate(args) -> int:
     print(device.smart_render())
     print(f"\nWAF (FTL pages / host pages): {result.waf:.3f}")
     print(f"GC invocations: {device.ftl.stats.gc_invocations}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run a workload with the observability layer attached: write a
+    JSONL event trace and print per-event summaries (and, in timed
+    mode, the tail's stall attribution)."""
+    from repro.obs import (
+        CounterSink,
+        HistogramSink,
+        JsonlSink,
+        TeeSink,
+        attribute_tail,
+        load_trace,
+    )
+    from repro.workloads.patterns import Region
+    from repro.workloads.spec import JobSpec
+
+    if args.writes < 1:
+        print("trace: --writes must be >= 1")
+        return 1
+
+    counter = CounterSink()
+    histogram = HistogramSink()
+    jsonl = JsonlSink(args.out)
+    sink = TeeSink(jsonl, counter, histogram)
+
+    if args.mode == "timed":
+        from repro.ssd.timed import TimedSSD
+        from repro.workloads.engine import run_timed
+
+        device = TimedSSD(_preset(args.preset, args.scale))
+        job = JobSpec("trace", "randwrite", Region(0, device.num_sectors),
+                      bs_sectors=args.bs, io_count=args.writes,
+                      iodepth=args.iodepth, seed=args.seed)
+        run_timed(device, [job], sink=sink)
+    else:
+        from repro.ssd.device import SimulatedSSD
+        from repro.workloads.engine import run_counter
+
+        device = SimulatedSSD(_preset(args.preset, args.scale))
+        job = JobSpec("trace", "randwrite", Region(0, device.num_sectors),
+                      bs_sectors=args.bs, io_count=args.writes,
+                      seed=args.seed)
+        run_counter(device, [job], sink=sink)
+    sink.close()
+
+    print(format_table(
+        ["event", "count", "metric sum"],
+        counter.summarize(),
+        title=f"trace event counts ({args.mode} mode, {args.writes} requests)",
+    ))
+    print()
+    print(format_table(
+        ["event", "count", "mean", "p50", "p99", "max"],
+        histogram.summarize(),
+        title="per-event metric distributions",
+    ))
+    if args.mode == "timed":
+        buckets = attribute_tail(load_trace(args.out))
+        if buckets:
+            print()
+            print(format_table(
+                ["bucket", "requests", "latency (ms)", "stall (ms)",
+                 "stall share"],
+                [b.row() for b in buckets],
+                title="write-tail attribution (cache-admission stall)",
+            ))
+    print(f"\ntrace: {jsonl.events_written} events -> {args.out}")
     return 0
 
 
@@ -254,6 +324,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pattern", default="uniform",
                    choices=["uniform", "sequential", "hotcold", "zipf"])
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("trace",
+                       help="run a workload with the observability layer "
+                            "attached; write a JSONL event trace")
+    common(p, preset_default="tiny")
+    p.add_argument("--writes", type=int, default=4_000)
+    p.add_argument("--bs", type=int, default=1, help="request size in sectors")
+    p.add_argument("--mode", default="timed", choices=["timed", "counter"])
+    p.add_argument("--iodepth", type=int, default=4)
+    p.add_argument("--out", default="trace.jsonl",
+                   help="JSONL trace output path (default trace.jsonl)")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("latency", help="timed workload, latency percentiles")
     common(p)

@@ -19,6 +19,7 @@ tail behaviour is far beyond what the validation establishes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -131,12 +132,18 @@ def run_fidelity_study(
     precondition_fraction: float = 0.75,
     tail_points: int = 40,
     variants: list[FtlVariant] | None = None,
+    on_device: Callable[[TimedSSD, str, int], None] | None = None,
 ) -> FidelityStudy:
     """Measure every variant at every request size.
 
     Devices are preconditioned with a full sequential pass plus random
     overwrites (the standard protocol before measuring SSD latency) so
     GC is active during measurement.
+
+    ``on_device(device, variant_name, bs_sectors)`` is called after
+    preconditioning and before measurement of each point — the hook
+    where observability sinks are attached (see :mod:`repro.obs`), so a
+    figure run can explain *why* its tail moved.
     """
     variants = variants if variants is not None else paper_variants(base)
     study = FidelityStudy()
@@ -144,6 +151,8 @@ def run_fidelity_study(
         for bs in block_sizes_sectors:
             device = TimedSSD(variant.config)
             _precondition(device, precondition_fraction)
+            if on_device is not None:
+                on_device(device, variant.name, bs)
             job = JobSpec(
                 name=f"{variant.name}/bs{bs}",
                 rw="randwrite",

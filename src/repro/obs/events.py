@@ -1,0 +1,220 @@
+"""Typed trace events emitted by the simulator's hot paths.
+
+The paper's complaint is that SSDs hide the internal events — GC victim
+picks, cache flushes, pSLC migrations — that explain their performance.
+The simulator used to hide them too: everything surfaced as end-of-run
+aggregates.  These events are the missing per-occurrence record.  Each
+is a frozen dataclass with
+
+* ``NAME`` — the stable wire name used in JSONL traces and summaries,
+* ``METRIC`` — the headline numeric field (if any) that
+  :class:`~repro.obs.sinks.HistogramSink` builds distributions over.
+
+Events deliberately carry plain ints/strings (no enums, no numpy
+scalars) so a JSONL trace round-trips through ``json`` without custom
+encoders and is byte-identical for identical seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class: every event serializes to a flat dict."""
+
+    NAME: ClassVar[str] = "event"
+    #: field holding the event's headline magnitude, or None.
+    METRIC: ClassVar[str | None] = None
+
+    def to_record(self) -> dict:
+        record = {"event": self.NAME}
+        for f in fields(self):
+            record[f.name] = getattr(self, f.name)
+        return record
+
+    def metric_value(self) -> float | None:
+        if self.METRIC is None:
+            return None
+        return float(getattr(self, self.METRIC))
+
+
+# ----------------------------------------------------------------------
+# Host / workload layer
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HostRequest(TraceEvent):
+    """One host command as the device saw it.
+
+    Counter-mode devices emit it with the timing fields at their
+    defaults; :class:`~repro.ssd.timed.TimedSSD` fills ``submit_ns``,
+    ``latency_ns`` and, for writes, ``stall_ns`` (the portion of the
+    latency spent waiting for cache space — the GC-induced tail).
+    """
+
+    NAME: ClassVar[str] = "host_request"
+    METRIC: ClassVar[str] = "latency_ns"
+
+    kind: str
+    lba: int
+    nsectors: int
+    submit_ns: int = -1
+    latency_ns: int = -1
+    stall_ns: int = 0
+
+    def metric_value(self) -> float | None:
+        # Counter-mode devices leave the timing fields at the -1
+        # sentinel; a sum/percentile over sentinels is not a metric.
+        if self.latency_ns < 0:
+            return None
+        return float(self.latency_ns)
+
+
+# ----------------------------------------------------------------------
+# Write cache
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheAdmit(TraceEvent):
+    """A host sector entered the RAM write cache.
+
+    ``absorbed`` marks a write hit: an older pending copy of the same
+    LPN was superseded, so one flash write was saved.
+    """
+
+    NAME: ClassVar[str] = "cache_admit"
+
+    lpn: int
+    absorbed: bool
+
+
+@dataclass(frozen=True)
+class CacheFlush(TraceEvent):
+    """The cache handed a batch of sectors to the FTL for programming."""
+
+    NAME: ClassVar[str] = "cache_flush"
+    METRIC: ClassVar[str] = "sectors"
+
+    sectors: int
+    pending: int  #: sectors still buffered after the batch left
+
+
+@dataclass(frozen=True)
+class CacheStall(TraceEvent):
+    """A timed write blocked on cache admission.
+
+    Emitted only when the stall is non-zero: the cache was full and the
+    request had to wait ``stall_ns`` for flush programs to complete on
+    flash and release space.  This is the paper's §2.1 tail mechanism
+    made visible.
+    """
+
+    NAME: ClassVar[str] = "cache_stall"
+    METRIC: ClassVar[str] = "stall_ns"
+
+    stall_ns: int
+    occupied: int
+    capacity: int
+
+
+# ----------------------------------------------------------------------
+# Garbage collection
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GcVictimSelected(TraceEvent):
+    """The victim selector picked a block (before migration starts)."""
+
+    NAME: ClassVar[str] = "gc_victim_selected"
+    METRIC: ClassVar[str] = "valid_sectors"
+
+    plane: int
+    victim: int
+    pool_size: int
+    valid_sectors: int
+    policy: str
+
+
+@dataclass(frozen=True)
+class GcStarted(TraceEvent):
+    """Block collection began. ``trigger`` is ``foreground`` (the host
+    write path hit the low watermark) or ``idle`` (background GC)."""
+
+    NAME: ClassVar[str] = "gc_started"
+    METRIC: ClassVar[str] = "valid_sectors"
+
+    victim: int
+    valid_sectors: int
+    trigger: str
+
+
+@dataclass(frozen=True)
+class GcFinished(TraceEvent):
+    """Block collection completed (migration + erase or retirement)."""
+
+    NAME: ClassVar[str] = "gc_finished"
+    METRIC: ClassVar[str] = "migrated_sectors"
+
+    victim: int
+    migrated_sectors: int
+    flash_ops: int
+    erased: bool
+
+
+# ----------------------------------------------------------------------
+# Flash / maintenance layer
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FlashOpIssued(TraceEvent):
+    """One physical flash operation left the FTL."""
+
+    NAME: ClassVar[str] = "flash_op"
+    METRIC: ClassVar[str] = "nbytes"
+
+    kind: str  #: read / program / erase
+    target: int  #: ppn (reads/programs) or block (erases)
+    reason: str  #: host / gc / meta / parity / pslc / wear / refresh
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class WearRebalance(TraceEvent):
+    """Static wear leveling chose a cold block to rotate back into
+    circulation."""
+
+    NAME: ClassVar[str] = "wear_rebalance"
+    METRIC: ClassVar[str] = "spread"
+
+    victim: int
+    erase_count: int
+    spread: int
+
+
+@dataclass(frozen=True)
+class SlcMigration(TraceEvent):
+    """A pSLC buffer block was drained to the main (MLC/TLC) area."""
+
+    NAME: ClassVar[str] = "slc_migration"
+    METRIC: ClassVar[str] = "sectors"
+
+    block: int
+    sectors: int
+
+
+#: Every event type, keyed by wire name (useful for decoding traces).
+EVENT_TYPES: dict[str, type[TraceEvent]] = {
+    cls.NAME: cls
+    for cls in (
+        HostRequest, CacheAdmit, CacheFlush, CacheStall,
+        GcVictimSelected, GcStarted, GcFinished,
+        FlashOpIssued, WearRebalance, SlcMigration,
+    )
+}

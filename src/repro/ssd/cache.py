@@ -17,6 +17,9 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro.obs.events import CacheAdmit, CacheFlush
+from repro.obs.sinks import NULL_SINK, TraceSink
+
 
 class WriteCache:
     """LRU cache of pending host sector writes.
@@ -32,6 +35,7 @@ class WriteCache:
             raise ValueError("capacity_sectors must be >= 1")
         self.capacity = capacity_sectors
         self._pending: OrderedDict[int, None] = OrderedDict()
+        self.obs: TraceSink = NULL_SINK
         self.hits = 0
         self.insertions = 0
 
@@ -52,8 +56,12 @@ class WriteCache:
         if lpn in self._pending:
             self._pending.move_to_end(lpn)
             self.hits += 1
+            if self.obs.enabled:
+                self.obs.emit(CacheAdmit(lpn=lpn, absorbed=True))
             return True
         self._pending[lpn] = None
+        if self.obs.enabled:
+            self.obs.emit(CacheAdmit(lpn=lpn, absorbed=False))
         return False
 
     def take_flush_batch(self, max_sectors: int) -> list[int]:
@@ -70,6 +78,9 @@ class WriteCache:
             lpn, _ = self._pending.popitem(last=False)
             batch.append(lpn)
         batch.sort()
+        if batch and self.obs.enabled:
+            self.obs.emit(CacheFlush(sectors=len(batch),
+                                     pending=len(self._pending)))
         return batch
 
     def drop(self, lpn: int) -> bool:

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.flash.errors import FailureInjector
+from repro.obs.events import HostRequest
+from repro.obs.sinks import NULL_SINK, TraceSink
 from repro.ssd.config import SsdConfig
 from repro.ssd.ftl import Ftl
 from repro.ssd.ops import FlashOp
@@ -44,6 +46,13 @@ class SimulatedSSD:
         self.model = model
         self.ftl = Ftl(config, injector=injector)
         self.smart = SmartCounters()
+        self.obs: TraceSink = NULL_SINK
+
+    def attach_sink(self, sink: TraceSink) -> None:
+        """Route trace events from the device and its FTL stack to
+        *sink* (pass :data:`~repro.obs.sinks.NULL_SINK` to detach)."""
+        self.obs = sink
+        self.ftl.attach_sink(sink)
 
     # ------------------------------------------------------------------
     # Identity
@@ -70,18 +79,24 @@ class SimulatedSSD:
 
     def write_sectors(self, lba: int, count: int = 1) -> list[FlashOp]:
         """Write *count* sectors at *lba*; returns the flash ops incurred."""
+        if self.obs.enabled:
+            self.obs.emit(HostRequest(kind="write", lba=lba, nsectors=count))
         ops = self.ftl.write(lba, count)
         self.smart.host_sectors_written += count
         self._record(ops)
         return ops
 
     def read_sectors(self, lba: int, count: int = 1) -> list[FlashOp]:
+        if self.obs.enabled:
+            self.obs.emit(HostRequest(kind="read", lba=lba, nsectors=count))
         ops = self.ftl.read(lba, count)
         self.smart.host_sectors_read += count
         self._record(ops)
         return ops
 
     def trim_sectors(self, lba: int, count: int = 1) -> list[FlashOp]:
+        if self.obs.enabled:
+            self.obs.emit(HostRequest(kind="trim", lba=lba, nsectors=count))
         ops = self.ftl.trim(lba, count)
         self._record(ops)
         return ops

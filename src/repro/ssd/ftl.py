@@ -39,6 +39,8 @@ from repro.flash.errors import (
 )
 from repro.flash.geometry import Geometry
 from repro.flash.nand import NO_LPN, NandArray
+from repro.obs.events import FlashOpIssued, GcFinished, GcStarted
+from repro.obs.sinks import NULL_SINK, TraceSink
 from repro.ssd.allocation import OutOfSpace, PageAllocator
 from repro.ssd.cache import WriteCache
 from repro.ssd.config import SsdConfig
@@ -158,6 +160,7 @@ class Ftl:
         #: since its last erase (-1 = not programmed); drives refresh age.
         self.block_birth = np.full(geometry.total_blocks, -1, dtype=np.int64)
         self._op_seq = 0
+        self.obs: TraceSink = NULL_SINK
         self.stats = FtlStats()
         self._ops: list[FlashOp] = []
         #: blocks currently being migrated (nested GC must not touch them).
@@ -165,6 +168,17 @@ class Ftl:
         #: True while GC migration is writing; migration draws on the
         #: watermark reserve instead of recursively triggering GC.
         self._in_gc = False
+
+    def attach_sink(self, sink: TraceSink) -> None:
+        """Route this FTL's trace events (and those of its write cache,
+        victim selector, pSLC buffer, and wear leveler) to *sink*.
+        Pass :data:`~repro.obs.sinks.NULL_SINK` to detach."""
+        self.obs = sink
+        self.cache.obs = sink
+        self.selector.obs = sink
+        self.pslc.obs = sink
+        if self.leveler is not None:
+            self.leveler.obs = sink
 
     # ------------------------------------------------------------------
     # Host interface
@@ -274,6 +288,13 @@ class Ftl:
         self.nand.program(ppn, lpn=lpns[0], oob=tuple(lpns[:spp]))
         self._emit(FlashOp(OpKind.PROGRAM, ppn, reason, geometry.page_size))
         block = ppn // geometry.pages_per_block
+        # Mapping-eviction events are deferred until every sector of the
+        # page is mapped: applying them mid-loop programs meta pages,
+        # whose allocation can trigger foreground GC while a later slot's
+        # old copy is still marked valid — GC would then migrate that
+        # superseded copy with a *newer* program sequence than the live
+        # data, and newest-wins recovery would resurrect stale sectors.
+        pending_events = MappingEvents()
         for slot, lpn in enumerate(lpns[:spp]):
             psa = ppn * spp + slot
             self.p2l[psa] = lpn
@@ -283,12 +304,13 @@ class Ftl:
                 old = self.mapping.silent_update(lpn, psa)
             else:
                 old, events = self.mapping.update(lpn, psa)
-                self._apply_mapping_events(events)
+                pending_events.merge(events)
             self._invalidate_old_copy(lpn, old, psa)
             # A fresh main-area copy supersedes any pSLC-resident one.
             pslc_psa = self.pslc.lookup(lpn)
             if pslc_psa is not None and pslc_psa != psa:
                 self.pslc.invalidate(lpn)
+        self._apply_mapping_events(pending_events)
         if self.rain.on_data_page():
             self._program_parity_page()
 
@@ -425,7 +447,7 @@ class Ftl:
                     * self.geometry.sectors_per_page
                 ):
                     break
-                self._collect_block(victim)
+                self._collect_block(victim, trigger="idle")
                 self.stats.idle_gc_blocks += 1
                 done += 1
         return done
@@ -502,8 +524,15 @@ class Ftl:
                 if self.allocator.free_blocks_in_plane(plane) >= high:
                     break
 
-    def _collect_block(self, victim: int) -> None:
+    def _collect_block(self, victim: int, trigger: str = "foreground") -> None:
         self.stats.gc_invocations += 1
+        if self.obs.enabled:
+            self.obs.emit(GcStarted(victim=victim,
+                                    valid_sectors=int(self.block_valid[victim]),
+                                    trigger=trigger))
+        migrated_before = self.stats.gc_migrated_sectors
+        ops_before = len(self._ops)
+        erased = False
         self._gc_in_flight.add(victim)
         self._in_gc = True
         try:
@@ -515,9 +544,18 @@ class Ftl:
             self.nand.erase(victim)
             self._emit(FlashOp(OpKind.ERASE, victim, OpReason.GC))
             self.allocator.release_block(victim)
+            erased = True
         finally:
             self._gc_in_flight.discard(victim)
             self._in_gc = False
+            if self.obs.enabled:
+                self.obs.emit(GcFinished(
+                    victim=victim,
+                    migrated_sectors=(self.stats.gc_migrated_sectors
+                                      - migrated_before),
+                    flash_ops=len(self._ops) - ops_before,
+                    erased=erased,
+                ))
 
     def _migrate_block_contents(self, block: int, reason: OpReason) -> None:
         """Move every valid sector / metadata page out of *block*."""
@@ -595,6 +633,10 @@ class Ftl:
 
     def _emit(self, op: FlashOp) -> None:
         self._ops.append(op)
+        if self.obs.enabled:
+            self.obs.emit(FlashOpIssued(kind=op.kind.value, target=op.target,
+                                        reason=op.reason.value,
+                                        nbytes=op.nbytes))
 
     def _check_range(self, lpn: int, nsectors: int) -> None:
         if nsectors < 1:

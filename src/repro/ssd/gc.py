@@ -17,6 +17,8 @@ import numpy as np
 
 from repro.flash.geometry import Geometry
 from repro.flash.nand import NandArray
+from repro.obs.events import GcVictimSelected
+from repro.obs.sinks import NULL_SINK, TraceSink
 from repro.ssd.allocation import PageAllocator
 
 
@@ -48,6 +50,7 @@ class VictimSelector:
         self.allocator = allocator
         self.valid_sectors = valid_sectors
         self.sample_size = max(2, sample_size)
+        self.obs: TraceSink = NULL_SINK
         self._rng = np.random.default_rng(seed)
         self._select = {
             "greedy": self._greedy,
@@ -81,7 +84,14 @@ class VictimSelector:
         pool = self.candidates(plane, exclude)
         if not pool:
             return None
-        return self._select(pool)
+        victim = self._select(pool)
+        if self.obs.enabled:
+            self.obs.emit(GcVictimSelected(
+                plane=plane, victim=victim, pool_size=len(pool),
+                valid_sectors=int(self.valid_sectors[victim]),
+                policy=self.policy,
+            ))
+        return victim
 
     # ------------------------------------------------------------------
     # Policies

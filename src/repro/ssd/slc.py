@@ -17,6 +17,8 @@ drain-induced background writes, a separate index structure).
 from __future__ import annotations
 
 from repro.flash.geometry import Geometry
+from repro.obs.events import SlcMigration
+from repro.obs.sinks import NULL_SINK, TraceSink
 
 
 class PslcBuffer:
@@ -33,6 +35,7 @@ class PslcBuffer:
         #: the hashed index: lpn -> physical sector address within the buffer.
         self.index: dict[int, int] = {}
         self._valid_by_block: dict[int, int] = {b: 0 for b in self.blocks}
+        self.obs: TraceSink = NULL_SINK
         self.sector_writes = 0
 
     # ------------------------------------------------------------------
@@ -145,4 +148,7 @@ class PslcBuffer:
             del self.index[lpn]
         self._valid_by_block[block_index] = 0
         self._cursor[block_index] = 0
+        if self.obs.enabled:
+            self.obs.emit(SlcMigration(block=block_index,
+                                       sectors=len(victims)))
         return victims

@@ -42,6 +42,8 @@ from repro.flash.onfi import (
 )
 from repro.flash.signals import SignalEmitter, SignalTrace
 from repro.flash.timing import PSLC, TimingProfile, profile
+from repro.obs.events import CacheStall, HostRequest
+from repro.obs.sinks import NULL_SINK, TraceSink
 from repro.ssd.config import SsdConfig
 from repro.ssd.ftl import Ftl
 from repro.ssd.ops import FlashOp, OpKind, OpReason
@@ -115,6 +117,7 @@ class TimedSSD:
         self.bus_tap = bus_tap
         #: blocks operated in pSLC mode program/erase at pSLC speed.
         self._pslc_blocks = frozenset(config.pslc_block_ids())
+        self.obs: TraceSink = NULL_SINK
         self.die_free = np.zeros(self.geometry.dies_total, dtype=np.int64)
         self.chan_free = np.zeros(self.geometry.channels, dtype=np.int64)
         self.completed: list[CompletedRequest] = []
@@ -125,6 +128,12 @@ class TimedSSD:
         self._cache_occupied = 0
         self._releases: list[tuple[int, int]] = []  # (complete_ns, sectors)
         self._absorbed_seen = 0
+
+    def attach_sink(self, sink: TraceSink) -> None:
+        """Route trace events from the timed layer and the whole FTL
+        stack underneath it to *sink*."""
+        self.obs = sink
+        self.ftl.attach_sink(sink)
 
     # ------------------------------------------------------------------
     # Host interface
@@ -173,6 +182,13 @@ class TimedSSD:
             complete = max(at_ns + self.controller_overhead_ns, flash_done)
         request = CompletedRequest(kind, lba, nsectors, at_ns, complete)
         self.completed.append(request)
+        if self.obs.enabled:
+            stall = (complete - at_ns - self.controller_overhead_ns
+                     if kind == "write" else 0)
+            self.obs.emit(HostRequest(
+                kind=kind, lba=lba, nsectors=nsectors, submit_ns=at_ns,
+                latency_ns=request.latency_ns, stall_ns=max(0, stall),
+            ))
         return request
 
     # ------------------------------------------------------------------
@@ -198,6 +214,10 @@ class TimedSSD:
                 self._cache_occupied = max(0, self._cache_occupied - sectors)
         self._cache_occupied = min(self._cache_occupied,
                                    self._cache_capacity + nsectors)
+        if when > at_ns and self.obs.enabled:
+            self.obs.emit(CacheStall(stall_ns=when - at_ns,
+                                     occupied=self._cache_occupied,
+                                     capacity=self._cache_capacity))
         return max(at_ns, when) + self.controller_overhead_ns
 
     def _drain_releases(self, now: int) -> None:
@@ -220,6 +240,10 @@ class TimedSSD:
             complete = max(complete, self._schedule_op(op, at_ns))
         request = CompletedRequest("flush", 0, 0, at_ns, complete)
         self.completed.append(request)
+        if self.obs.enabled:
+            self.obs.emit(HostRequest(kind="flush", lba=0, nsectors=0,
+                                      submit_ns=at_ns,
+                                      latency_ns=request.latency_ns))
         return request
 
     def idle(self, at_ns: int | None = None, max_blocks: int = 8) -> int:

@@ -17,6 +17,8 @@ import numpy as np
 
 from repro.flash.geometry import Geometry
 from repro.flash.nand import NandArray
+from repro.obs.events import WearRebalance
+from repro.obs.sinks import NULL_SINK, TraceSink
 from repro.ssd.allocation import PageAllocator
 
 
@@ -48,6 +50,7 @@ class WearLeveler:
         self.nand = nand
         self.allocator = allocator
         self.delta = delta
+        self.obs: TraceSink = NULL_SINK
         self.migrations = 0
 
     def spread(self) -> int:
@@ -82,4 +85,7 @@ class WearLeveler:
         if best is None:
             return None
         self.migrations += 1
+        if self.obs.enabled:
+            self.obs.emit(WearRebalance(victim=best[1], erase_count=best[0],
+                                        spread=self.spread()))
         return WearDecision(victim_block=best[1])

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.sinks import TraceSink
 from repro.ssd.device import SimulatedSSD
 from repro.ssd.smart import SmartCounters
 from repro.ssd.timed import TimedSSD
@@ -69,10 +70,17 @@ def run_counter(
     device: SimulatedSSD,
     jobs: list[JobSpec],
     flush_at_end: bool = True,
+    sink: TraceSink | None = None,
 ) -> RunResult:
-    """Run jobs on a counter-mode device, interleaved round-robin."""
+    """Run jobs on a counter-mode device, interleaved round-robin.
+
+    Passing *sink* attaches it to the device for the run, so every host
+    request, cache event, GC cycle, and flash op it causes is traced.
+    """
     if not jobs:
         raise ValueError("no jobs")
+    if sink is not None:
+        device.attach_sink(sink)
     before = device.smart_snapshot()
     states = [
         (job, job.make_pattern(), np.random.default_rng(job.seed), [0])
@@ -108,6 +116,7 @@ def run_timed(
     device: TimedSSD,
     jobs: list[JobSpec],
     start_ns: int | None = None,
+    sink: TraceSink | None = None,
 ) -> RunResult:
     """Run jobs on a timed device with closed-loop submission.
 
@@ -115,9 +124,14 @@ def run_timed(
     submitted the moment one of its slots completes.  Jobs share the
     device, so their requests contend for channels and dies — the source
     of the mixed-run interference the paper measures.
+
+    Passing *sink* attaches it to the device for the run (timed
+    ``host_request`` events then carry latency and stall attribution).
     """
     if not jobs:
         raise ValueError("no jobs")
+    if sink is not None:
+        device.attach_sink(sink)
     before = device.smart.snapshot()
     t0 = device.now if start_ns is None else max(start_ns, device.now)
 

@@ -1,0 +1,149 @@
+"""Unit tests for the observability primitives (events + sinks)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    EVENT_TYPES,
+    NULL_SINK,
+    CacheStall,
+    CounterSink,
+    FlashOpIssued,
+    GcStarted,
+    HistogramSink,
+    HostRequest,
+    JsonlSink,
+    NullSink,
+    TeeSink,
+    TraceSink,
+    load_trace,
+)
+
+
+class TestEvents:
+    def test_to_record_is_flat_and_named(self):
+        event = GcStarted(victim=7, valid_sectors=12, trigger="foreground")
+        record = event.to_record()
+        assert record == {"event": "gc_started", "victim": 7,
+                          "valid_sectors": 12, "trigger": "foreground"}
+
+    def test_metric_value(self):
+        assert CacheStall(stall_ns=500, occupied=8, capacity=8).metric_value() == 500.0
+        # Counter-mode host requests leave latency at the -1 sentinel,
+        # which is "no metric", not a value of -1.
+        assert HostRequest(kind="write", lba=0, nsectors=1).metric_value() is None
+        assert HostRequest(kind="write", lba=0, nsectors=1,
+                           latency_ns=9000).metric_value() == 9000.0
+
+    def test_registry_covers_all_names(self):
+        assert "gc_started" in EVENT_TYPES
+        assert "flash_op" in EVENT_TYPES
+        assert all(cls.NAME == name for name, cls in EVENT_TYPES.items())
+
+    def test_records_are_json_serializable(self):
+        import dataclasses
+
+        for cls in EVENT_TYPES.values():
+            # Build with dummy values of the right type.
+            kwargs = {}
+            for f in dataclasses.fields(cls):
+                if f.type == "str":
+                    kwargs[f.name] = "x"
+                elif f.type == "bool":
+                    kwargs[f.name] = False
+                else:
+                    kwargs[f.name] = 0
+            json.dumps(cls(**kwargs).to_record())
+
+
+class TestNullSink:
+    def test_disabled_and_inert(self):
+        assert not NULL_SINK.enabled
+        NULL_SINK.emit(GcStarted(victim=0, valid_sectors=0, trigger="idle"))
+        NULL_SINK.close()
+
+    def test_protocol_conformance(self):
+        for sink in (NullSink(), CounterSink(), HistogramSink(),
+                     JsonlSink(io.StringIO()), TeeSink()):
+            assert isinstance(sink, TraceSink)
+
+
+class TestCounterSink:
+    def test_counts_and_metric_totals(self):
+        sink = CounterSink()
+        sink.emit(CacheStall(stall_ns=100, occupied=4, capacity=8))
+        sink.emit(CacheStall(stall_ns=250, occupied=8, capacity=8))
+        sink.emit(GcStarted(victim=3, valid_sectors=5, trigger="foreground"))
+        assert sink.count("cache_stall") == 2
+        assert sink.total("cache_stall") == 350.0
+        assert sink.count("gc_started") == 1
+        assert sink.count("missing") == 0
+
+    def test_summarize_rows(self):
+        sink = CounterSink()
+        sink.emit(FlashOpIssued(kind="program", target=1, reason="host",
+                                nbytes=8192))
+        rows = sink.summarize()
+        assert rows == [["flash_op", 1, 8192.0]]
+
+
+class TestHistogramSink:
+    def test_percentile_summary(self):
+        sink = HistogramSink()
+        for value in range(1, 101):
+            sink.emit(CacheStall(stall_ns=value, occupied=0, capacity=8))
+        summary = sink.summary_of("cache_stall")
+        assert summary.count == 100
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.p50 == pytest.approx(50.5)
+        assert summary.p99 == pytest.approx(99.01)
+        assert summary.max == 100.0
+
+    def test_summarize_handles_metricless_events(self):
+        from repro.obs import CacheAdmit
+
+        sink = HistogramSink()
+        sink.emit(CacheAdmit(lpn=1, absorbed=False))
+        rows = sink.summarize()
+        assert rows == [["cache_admit", 1, "-", "-", "-", "-"]]
+
+
+class TestJsonlSink:
+    def test_writes_one_line_per_event(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit(GcStarted(victim=1, valid_sectors=2, trigger="idle"))
+            sink.emit(FlashOpIssued(kind="erase", target=1, reason="gc",
+                                    nbytes=0))
+            assert sink.events_written == 2
+        records = load_trace(path)
+        assert [r["event"] for r in records] == ["gc_started", "flash_op"]
+        assert records[0]["victim"] == 1
+
+    def test_accepts_open_file_object(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink.emit(GcStarted(victim=1, valid_sectors=0, trigger="idle"))
+        sink.close()  # must not close a caller-owned stream
+        assert not buf.closed
+        assert json.loads(buf.getvalue())["event"] == "gc_started"
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit(GcStarted(victim=0, valid_sectors=0, trigger="idle"))
+        assert path.exists()
+
+
+class TestTeeSink:
+    def test_fans_out(self):
+        a, b = CounterSink(), CounterSink()
+        tee = TeeSink(a, b)
+        tee.emit(GcStarted(victim=0, valid_sectors=0, trigger="idle"))
+        assert a.count("gc_started") == b.count("gc_started") == 1
+
+    def test_skips_disabled_children(self):
+        tee = TeeSink(NullSink(), CounterSink())
+        assert len(tee.sinks) == 1

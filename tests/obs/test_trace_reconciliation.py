@@ -1,0 +1,84 @@
+"""The acceptance check behind the Fig 3 companion figure: a timed
+trace's per-event GC-stall record must reconcile exactly with the
+latency distribution the run reports.
+
+In the timed model a write's latency is, by construction,
+``controller_overhead + admission_stall`` — the stall being the time
+the cache waited for flush programs (driven by foreground GC) to
+release space.  So the trace must satisfy:
+
+* per-request ``stall_ns`` sums to the same total as the standalone
+  ``cache_stall`` events,
+* ``latency - stall`` is the uniform controller overhead for every
+  write,
+* the p99 inflation over the no-load latency equals the p99 stall.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    JsonlSink,
+    attribute_tail,
+    load_trace,
+    stall_reconciliation,
+)
+from repro.ssd.presets import tiny
+from repro.ssd.timed import TimedSSD
+from repro.workloads.engine import run_timed
+from repro.workloads.patterns import Region
+from repro.workloads.spec import JobSpec
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    path = tmp_path_factory.mktemp("trace") / "run.jsonl"
+    device = TimedSSD(tiny())
+    job = JobSpec("rw", "randwrite", Region(0, device.num_sectors),
+                  bs_sectors=1, io_count=3000, iodepth=4, seed=11)
+    with JsonlSink(path) as sink:
+        run_timed(device, [job], sink=sink)
+    return device, load_trace(path)
+
+
+class TestStallReconciliation:
+    def test_trace_parses_and_is_nonempty(self, traced_run):
+        _, records = traced_run
+        assert len(records) > 3000
+        assert all("event" in r for r in records)
+
+    def test_per_request_stall_equals_per_event_stall(self, traced_run):
+        _, records = traced_run
+        recon = stall_reconciliation(records)
+        assert recon["stalled_writes"] > 0
+        assert recon["request_stall_ns"] == recon["event_stall_ns"]
+
+    def test_latency_decomposes_into_overhead_plus_stall(self, traced_run):
+        device, records = traced_run
+        recon = stall_reconciliation(records)
+        assert recon["overhead_uniform"]
+        assert recon["overhead_ns"] == device.controller_overhead_ns
+
+    def test_p99_inflation_matches_p99_stall(self, traced_run):
+        device, records = traced_run
+        writes = [r for r in records
+                  if r["event"] == "host_request" and r["kind"] == "write"]
+        latencies = np.asarray([r["latency_ns"] for r in writes])
+        stalls = np.asarray([r["stall_ns"] for r in writes])
+        p99_inflation = (np.percentile(latencies, 99)
+                         - device.controller_overhead_ns)
+        assert np.percentile(stalls, 99) == pytest.approx(p99_inflation)
+
+    def test_tail_attribution_buckets_cover_all_writes(self, traced_run):
+        _, records = traced_run
+        buckets = attribute_tail(records)
+        assert sum(b.requests for b in buckets) == 3000
+        # The tail buckets are stall-dominated; the body is not.
+        assert buckets[-1].stall_share > 0.9
+        assert buckets[0].stall_share < buckets[-1].stall_share
+
+    def test_stall_never_exceeds_latency(self, traced_run):
+        _, records = traced_run
+        for r in records:
+            if r["event"] == "host_request" and r["kind"] == "write":
+                assert 0 <= r["stall_ns"] <= r["latency_ns"]

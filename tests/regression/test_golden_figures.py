@@ -1,0 +1,179 @@
+"""Golden-figure regression tests.
+
+The benchmarks under ``benchmarks/`` regenerate the paper's figures and
+persist them to ``bench_results/*.csv``; those CSVs are the pinned
+record of what this reproduction produces.  ROADMAP.md tells every PR to
+"refactor freely" — these tests are what makes that safe: they re-run
+the cheap, deterministic studies at reduced scale and assert the
+headline numbers still agree with the pinned CSVs within stated
+tolerances, so a fidelity regression fails tier-1 instead of silently
+shifting a figure.
+
+Scale notes: the reduced runs use smaller geometries / request counts
+than the benchmarks, so scale-dependent magnitudes (absolute WAF, erase
+counts) are compared through scale-invariant headlines — convergence
+asymptotes, ratios, orderings — with tolerances stated at each assert.
+"""
+
+import csv
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent.parent / "bench_results"
+
+
+def golden_rows(name: str) -> list[dict]:
+    path = RESULTS_DIR / f"{name}.csv"
+    assert path.exists(), f"golden figure {path} missing"
+    with open(path) as fh:
+        return list(csv.DictReader(fh))
+
+
+class TestFig4aNandPageConvergence:
+    """Fig 4a headline: host bytes per NAND page converge at the RAIN
+    signature 32 KiB * 15/16 ≈ 30 KiB.  The asymptote is structural
+    (page size and stripe width), so it is scale-invariant."""
+
+    @pytest.fixture(scope="class")
+    def estimate(self):
+        from repro.core.blackbox.nand_page import sequential_write_sweep
+        from repro.ssd.device import SimulatedSSD
+        from repro.ssd.presets import mx500_like
+
+        device = SimulatedSSD(mx500_like(scale=4))
+        sector = device.sector_size
+        return sequential_write_sweep(
+            device, sizes_bytes=[sector * (1 << i) for i in range(1, 11)]
+        )
+
+    def test_converged_ratio_matches_golden(self, estimate):
+        rows = golden_rows("fig4a_nand_page")
+        golden_tail = [float(r["bytes/page"]) for r in rows[-3:]]
+        golden_converged = sum(golden_tail) / len(golden_tail)
+        # Tolerance: 2% — the asymptote depends only on page size and
+        # RAIN stripe, not on geometry scale.
+        assert estimate.converged_bytes_per_page == pytest.approx(
+            golden_converged, rel=0.02
+        )
+
+    def test_curve_shape_matches_golden(self, estimate):
+        rows = golden_rows("fig4a_nand_page")
+        # Small writes sit below the asymptote in both runs, and the
+        # curve is (weakly) increasing toward it.
+        golden_first = float(rows[0]["bytes/page"])
+        assert golden_first < float(rows[-1]["bytes/page"])
+        ratios = [p.bytes_per_page for p in estimate.points]
+        assert ratios[0] < estimate.converged_bytes_per_page
+        assert ratios[-1] == pytest.approx(
+            estimate.converged_bytes_per_page, rel=0.05
+        )
+
+
+class TestFig4bWafExtrapolationGap:
+    """Fig 4b headline: the additive (IOPS-weighted) WAF prediction
+    undershoots the measured mixed run.  The pinned gap is ~1.87x; at
+    reduced scale the gap shrinks but must stay well above 1 and within
+    a stated band of the golden ratio."""
+
+    @pytest.fixture(scope="class")
+    def study(self):
+        from repro.core.blackbox.waf import run_waf_study
+        from repro.ssd.device import SimulatedSSD
+        from repro.ssd.presets import mx500_like
+
+        return run_waf_study(
+            lambda: SimulatedSSD(mx500_like(scale=4)),
+            io_count=4000,
+            prime_fraction=0.5,
+        )
+
+    @staticmethod
+    def golden_error() -> float:
+        rows = golden_rows("fig4b_waf")
+        by_name = {r["workload"]: r for r in rows}
+        expected = float(by_name["expected mixed (weighted)"]["WAF"])
+        measured = float(by_name["measured mixed"]["WAF"])
+        return measured / expected
+
+    def test_measured_exceeds_additive_prediction(self, study):
+        assert study.measured_mixed_waf > study.expected_mixed_waf
+
+    def test_gap_within_band_of_golden(self, study):
+        golden = self.golden_error()
+        assert golden > 1.5  # the pinned figure itself shows the gap
+        # Tolerance: reduced scale damps the interference, so accept
+        # [0.55x, 1.45x] of the pinned 1.87x gap — still far from 1.0.
+        assert 0.55 * golden <= study.extrapolation_error <= 1.45 * golden
+        assert study.extrapolation_error >= 1.2
+
+    def test_separate_runs_look_alike(self, study):
+        # The trap the paper sets: separately, the workloads look
+        # similar/benign (golden spread < 1.5x), which is what makes
+        # the additive prediction tempting.
+        rows = golden_rows("fig4b_waf")
+        golden_wafs = [float(r["WAF"]) for r in rows
+                       if r["workload"].endswith("uniform")
+                       or r["workload"].endswith("8020")]
+        assert max(golden_wafs) / min(golden_wafs) < 1.5
+        wafs = [w.waf for w in study.separate]
+        assert max(wafs) / min(wafs) < 1.5
+
+
+class TestAblationGcPolicy:
+    """GC-policy ablation headline: greedy-family policies beat random
+    by a wide margin under 80/20 churn (Van Houdt's first-order
+    effect).  The golden random/greedy ratio is ~2.9; the ordering and
+    the ratio band must survive any refactor."""
+
+    @pytest.fixture(scope="class")
+    def wafs(self):
+        from repro.ssd.config import GC_POLICIES
+        from repro.ssd.device import SimulatedSSD
+        from repro.ssd.presets import tiny
+
+        def churn(policy: str, writes: int = 6000, seed: int = 3) -> float:
+            device = SimulatedSSD(tiny().with_changes(gc_policy=policy))
+            rng = np.random.default_rng(seed)
+            hot = max(1, device.num_sectors // 5)
+            for _ in range(writes):
+                if rng.random() < 0.8:
+                    lba = int(rng.integers(hot))
+                else:
+                    lba = hot + int(rng.integers(device.num_sectors - hot))
+                device.write_sectors(lba, 1)
+            device.flush()
+            return device.smart.waf()
+
+        return {policy: churn(policy) for policy in GC_POLICIES}
+
+    @staticmethod
+    def golden_wafs() -> dict[str, float]:
+        return {r["policy"]: float(r["WAF"])
+                for r in golden_rows("ablation_gc_policy")}
+
+    def test_random_is_worst_in_both(self, wafs):
+        golden = self.golden_wafs()
+        assert max(golden, key=golden.get) == "random"
+        assert max(wafs, key=wafs.get) == "random"
+
+    def test_greedy_family_beats_random(self, wafs):
+        # Greedy, randomized-greedy, and cost-benefit all clearly beat
+        # random — with margin, so a subtly-broken victim policy fails.
+        for policy in ("greedy", "randomized_greedy", "cost_benefit"):
+            assert wafs[policy] <= 0.8 * wafs["random"], policy
+
+    def test_random_over_greedy_ratio_within_band(self, wafs):
+        golden = self.golden_wafs()
+        golden_ratio = golden["random"] / golden["greedy"]
+        ratio = wafs["random"] / wafs["greedy"]
+        # Tolerance: ±45% of the pinned ratio (reduced write count
+        # shrinks GC pressure and with it the spread).
+        assert golden_ratio * 0.55 <= ratio <= golden_ratio * 1.45
+
+    def test_greedy_near_cost_benefit(self, wafs):
+        golden = self.golden_wafs()
+        assert golden["cost_benefit"] == pytest.approx(golden["greedy"],
+                                                       rel=0.1)
+        assert wafs["cost_benefit"] == pytest.approx(wafs["greedy"], rel=0.15)

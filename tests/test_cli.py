@@ -4,6 +4,13 @@ import pytest
 
 from repro.cli import build_parser, main
 
+#: Every subcommand registered in cli.py.  TestCommands must smoke each
+#: one (test_every_subcommand_has_smoke_coverage enforces it).
+ALL_SUBCOMMANDS = [
+    "presets", "simulate", "trace", "latency", "nand-page", "waf-study",
+    "fidelity", "compression", "jtag-study", "probe-features",
+]
+
 
 class TestParser:
     def test_requires_subcommand(self):
@@ -14,14 +21,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["simulate", "--preset", "warpdrive", "--writes", "10"])
 
-    @pytest.mark.parametrize("command", [
-        "presets", "simulate", "latency", "nand-page", "waf-study",
-        "fidelity", "compression", "jtag-study", "probe-features",
-    ])
+    @pytest.mark.parametrize("command", ALL_SUBCOMMANDS)
     def test_help_available(self, command):
         with pytest.raises(SystemExit) as excinfo:
             build_parser().parse_args([command, "--help"])
         assert excinfo.value.code == 0
+
+    def test_subcommand_list_is_complete(self):
+        """ALL_SUBCOMMANDS mirrors the parser registry, so adding a
+        subcommand without smoke coverage fails here."""
+        parser = build_parser()
+        actions = [a for a in parser._subparsers._group_actions][0]
+        assert sorted(actions.choices) == sorted(ALL_SUBCOMMANDS)
 
 
 class TestCommands:
@@ -71,3 +82,42 @@ class TestCommands:
                      "--cache-sectors", "64", "--writes", "2000"]) == 0
         out = capsys.readouterr().out
         assert "write buffer" in out
+
+    def test_fidelity(self, capsys):
+        assert main(["fidelity", "--scale", "8", "--io-count", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "p99 (us)" in out
+        assert "p99 spread" in out
+
+    def test_trace_timed(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.jsonl"
+        assert main(["trace", "--preset", "tiny", "--scale", "1",
+                     "--writes", "1000", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace event counts" in out
+        assert "host_request" in out
+        assert "stall share" in out
+        assert out_path.exists()
+        from repro.obs import load_trace
+
+        records = load_trace(out_path)
+        assert records and all("event" in r for r in records)
+
+    def test_trace_counter_mode(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.jsonl"
+        assert main(["trace", "--preset", "tiny", "--scale", "1",
+                     "--mode", "counter", "--writes", "1000",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "flash_op" in out
+        assert "gc_started" in out
+        assert out_path.exists()
+
+    def test_every_subcommand_has_smoke_coverage(self):
+        """Each subcommand in cli.py has a TestCommands smoke test."""
+        covered = {
+            "presets", "simulate", "trace", "latency", "nand-page",
+            "waf-study", "fidelity", "compression", "jtag-study",
+            "probe-features",
+        }
+        assert covered == set(ALL_SUBCOMMANDS)
