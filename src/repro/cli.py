@@ -158,20 +158,27 @@ def cmd_latency(args) -> int:
     from repro.workloads.patterns import Region
     from repro.workloads.spec import JobSpec
 
+    if args.submission == "open" and args.rate <= 0:
+        print("latency: --submission open needs --rate > 0 (IOPS)")
+        return 1
     device = TimedSSD(_preset(args.preset, args.scale))
     job = JobSpec("cli", "randwrite", Region(0, device.num_sectors),
                   bs_sectors=args.bs, io_count=args.writes,
-                  iodepth=args.iodepth, seed=args.seed)
+                  iodepth=args.iodepth, seed=args.seed,
+                  submission=args.submission, rate_iops=args.rate,
+                  arrival=args.arrival)
     result = run_timed(device, [job])
     job_result = result.jobs["cli"]
     summary = summarize_latencies(job_result.latencies_us)
+    loop = (f"open loop @ {args.rate:g} IOPS ({args.arrival})"
+            if args.submission == "open" else f"closed loop qd={args.iodepth}")
     print(format_table(
         ["metric", "value"],
         [["IOPS", round(job_result.iops)],
          ["mean (us)", summary.mean], ["p50 (us)", summary.p50],
          ["p99 (us)", summary.p99], ["p99.9 (us)", summary.p999],
          ["max (us)", summary.max]],
-        title=f"timed random writes on {args.preset}",
+        title=f"timed random writes on {args.preset} ({loop})",
     ))
     return 0
 
@@ -342,6 +349,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--writes", type=int, default=8_000)
     p.add_argument("--bs", type=int, default=1)
     p.add_argument("--iodepth", type=int, default=4)
+    p.add_argument("--submission", default="closed",
+                   choices=["closed", "open"],
+                   help="closed loop (iodepth) or open loop (arrival rate)")
+    p.add_argument("--rate", type=float, default=0.0,
+                   help="open-loop arrival rate in IOPS")
+    p.add_argument("--arrival", default="poisson",
+                   choices=["poisson", "fixed"],
+                   help="open-loop inter-arrival distribution")
     p.set_defaults(fn=cmd_latency)
 
     p = sub.add_parser("nand-page", help="Fig 4a NAND-page estimation")

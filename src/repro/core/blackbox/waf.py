@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.ssd.device import SimulatedSSD
+from repro.ssd.host import HostDevice
 from repro.workloads.engine import run_counter
 from repro.workloads.patterns import Region
 from repro.workloads.spec import JobSpec
@@ -72,7 +72,7 @@ def default_jobs(num_sectors: int, io_count: int = 24_000) -> list[JobSpec]:
     ]
 
 
-def prime(device: SimulatedSSD, fraction: float = 0.6, seed: int = 5) -> None:
+def prime(device: HostDevice, fraction: float = 0.6, seed: int = 5) -> None:
     """Put the drive in its 'priming stage': sequentially fill a portion
     of the LBA space so the FTL has mapped state but little GC debt."""
     import numpy as np
@@ -84,7 +84,7 @@ def prime(device: SimulatedSSD, fraction: float = 0.6, seed: int = 5) -> None:
 
 
 def run_waf_study(
-    device_factory: Callable[[], SimulatedSSD],
+    device_factory: Callable[[], HostDevice],
     jobs: list[JobSpec] | None = None,
     io_count: int = 24_000,
     prime_fraction: float = 0.6,

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.ssd.device import SimulatedSSD
+from repro.ssd.host import HostDevice
 from repro.ssd.timed import TimedSSD
 
 
@@ -29,9 +29,10 @@ class FsError(Exception):
 
 
 class CounterBackend:
-    """Adapter over :class:`SimulatedSSD` (no clock)."""
+    """Adapter over a counter-mode :class:`~repro.ssd.host.HostDevice`
+    (no clock)."""
 
-    def __init__(self, device: SimulatedSSD) -> None:
+    def __init__(self, device: HostDevice) -> None:
         self.device = device
 
     @property
@@ -56,7 +57,13 @@ class CounterBackend:
 
 
 class TimedBackend:
-    """Adapter over :class:`TimedSSD`: each FS op advances device time."""
+    """Adapter over :class:`TimedSSD`: each FS op advances device time.
+
+    The sector commands are :class:`~repro.ssd.host.HostDevice`'s
+    synchronous forms, which submit at the current clock and advance
+    past the completion; only ``flush`` (whose timed form does not move
+    the clock) advances time explicitly.
+    """
 
     def __init__(self, device: TimedSSD) -> None:
         self.device = device
@@ -70,16 +77,13 @@ class TimedBackend:
         return self.device.now
 
     def write(self, lba: int, count: int) -> None:
-        request = self.device.submit("write", lba, count, at_ns=self.device.now)
-        self.device.now = request.complete_ns
+        self.device.write_sectors(lba, count)
 
     def read(self, lba: int, count: int) -> None:
-        request = self.device.submit("read", lba, count, at_ns=self.device.now)
-        self.device.now = request.complete_ns
+        self.device.read_sectors(lba, count)
 
     def trim(self, lba: int, count: int) -> None:
-        request = self.device.submit("trim", lba, count, at_ns=self.device.now)
-        self.device.now = request.complete_ns
+        self.device.trim_sectors(lba, count)
 
     def flush(self) -> None:
         request = self.device.flush()

@@ -28,6 +28,8 @@ from repro.obs.events import (
     GcStarted,
     GcVictimSelected,
     HostRequest,
+    QueueDepth,
+    ResourceBusy,
     SlcMigration,
     TraceEvent,
     WearRebalance,
@@ -52,9 +54,9 @@ from repro.obs.summary import (
 
 __all__ = [
     "TraceEvent", "EVENT_TYPES",
-    "HostRequest", "CacheAdmit", "CacheFlush", "CacheStall",
+    "HostRequest", "QueueDepth", "CacheAdmit", "CacheFlush", "CacheStall",
     "GcVictimSelected", "GcStarted", "GcFinished",
-    "FlashOpIssued", "WearRebalance", "SlcMigration",
+    "FlashOpIssued", "ResourceBusy", "WearRebalance", "SlcMigration",
     "TraceSink", "NullSink", "NULL_SINK",
     "CounterSink", "HistogramSink", "JsonlSink", "TeeSink",
     "read_jsonl", "load_trace",

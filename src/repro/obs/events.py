@@ -74,6 +74,25 @@ class HostRequest(TraceEvent):
         return float(self.latency_ns)
 
 
+@dataclass(frozen=True)
+class QueueDepth(TraceEvent):
+    """Open-loop submission backlog after one arrival.
+
+    Emitted by the workload engine's open-loop mode: ``depth`` counts
+    the job's requests in flight (arrived at the device, not yet
+    complete) including the one that just arrived.  Closed-loop jobs
+    hold depth constant at ``iodepth`` by construction, so only
+    arrival-driven submission emits this.
+    """
+
+    NAME: ClassVar[str] = "queue_depth"
+    METRIC: ClassVar[str] = "depth"
+
+    job: str
+    at_ns: int
+    depth: int
+
+
 # ----------------------------------------------------------------------
 # Write cache
 # ----------------------------------------------------------------------
@@ -186,6 +205,26 @@ class FlashOpIssued(TraceEvent):
 
 
 @dataclass(frozen=True)
+class ResourceBusy(TraceEvent):
+    """One busy interval on a named device resource (channel or die).
+
+    Emitted by :class:`repro.sim.kernel.Resource` for every hold while a
+    sink is attached: ``busy_ns`` is the occupied interval's length and
+    ``wait_ns`` how long the operation queued behind earlier holds
+    before starting — summing per resource gives the utilization and
+    queueing record behind the timed figures.
+    """
+
+    NAME: ClassVar[str] = "resource_busy"
+    METRIC: ClassVar[str] = "busy_ns"
+
+    resource: str
+    start_ns: int
+    busy_ns: int
+    wait_ns: int
+
+
+@dataclass(frozen=True)
 class WearRebalance(TraceEvent):
     """Static wear leveling chose a cold block to rotate back into
     circulation."""
@@ -213,8 +252,8 @@ class SlcMigration(TraceEvent):
 EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.NAME: cls
     for cls in (
-        HostRequest, CacheAdmit, CacheFlush, CacheStall,
+        HostRequest, QueueDepth, CacheAdmit, CacheFlush, CacheStall,
         GcVictimSelected, GcStarted, GcFinished,
-        FlashOpIssued, WearRebalance, SlcMigration,
+        FlashOpIssued, ResourceBusy, WearRebalance, SlcMigration,
     )
 }

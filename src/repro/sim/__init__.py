@@ -1,0 +1,15 @@
+"""Discrete-event simulation kernel (virtual clock, resources, processes).
+
+See :mod:`repro.sim.kernel` for the pieces; :class:`~repro.ssd.timed.TimedSSD`
+is the main client.
+"""
+
+from repro.sim.kernel import (
+    CapacityPool,
+    Kernel,
+    Process,
+    Resource,
+    earliest_start,
+)
+
+__all__ = ["Kernel", "Resource", "CapacityPool", "Process", "earliest_start"]

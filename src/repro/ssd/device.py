@@ -1,39 +1,32 @@
 """Counter-mode SSD: the block device a host program sees.
 
-:class:`SimulatedSSD` wraps an :class:`~repro.ssd.ftl.Ftl` behind a
-byte-addressed block-device interface and maintains the SMART statistics a
-black-box observer can read — nothing else about the device is visible
-through this class, which is the point: the transparency experiments in
-:mod:`repro.core` must work from this surface (plus, for the RE studies,
-the probe/JTAG substrates).
+:class:`SimulatedSSD` wraps an :class:`~repro.ssd.ftl.Ftl` behind the
+:class:`~repro.ssd.host.HostDevice` surface and maintains the SMART
+statistics a black-box observer can read — nothing else about the device
+is visible through this class, which is the point: the transparency
+experiments in :mod:`repro.core` must work from this surface (plus, for
+the RE studies, the probe/JTAG substrates).
 
 For latency experiments use :class:`repro.ssd.timed.TimedSSD`, which runs
-the same FTL under a discrete-event clock.
+the same FTL under the :mod:`repro.sim` discrete-event clock and presents
+the same host interface.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 from repro.flash.errors import FailureInjector
 from repro.obs.events import HostRequest
 from repro.obs.sinks import NULL_SINK, TraceSink
 from repro.ssd.config import SsdConfig
 from repro.ssd.ftl import Ftl
+from repro.ssd.host import DeviceInfo, HostDeviceBase
 from repro.ssd.ops import FlashOp
 from repro.ssd.smart import SmartCounters
 
-
-@dataclass
-class DeviceInfo:
-    """What an INQUIRY/IDENTIFY-style query would return."""
-
-    model: str
-    capacity_bytes: int
-    sector_size: int
+__all__ = ["DeviceInfo", "SimulatedSSD"]
 
 
-class SimulatedSSD:
+class SimulatedSSD(HostDeviceBase):
     """A simulated drive with a sector-addressed host interface."""
 
     def __init__(
@@ -47,31 +40,6 @@ class SimulatedSSD:
         self.ftl = Ftl(config, injector=injector)
         self.smart = SmartCounters()
         self.obs: TraceSink = NULL_SINK
-
-    def attach_sink(self, sink: TraceSink) -> None:
-        """Route trace events from the device and its FTL stack to
-        *sink* (pass :data:`~repro.obs.sinks.NULL_SINK` to detach)."""
-        self.obs = sink
-        self.ftl.attach_sink(sink)
-
-    # ------------------------------------------------------------------
-    # Identity
-    # ------------------------------------------------------------------
-
-    @property
-    def sector_size(self) -> int:
-        return self.config.geometry.sector_size
-
-    @property
-    def num_sectors(self) -> int:
-        return self.ftl.num_lpns
-
-    @property
-    def capacity_bytes(self) -> int:
-        return self.num_sectors * self.sector_size
-
-    def identify(self) -> DeviceInfo:
-        return DeviceInfo(self.model, self.capacity_bytes, self.sector_size)
 
     # ------------------------------------------------------------------
     # Host commands (sector granularity)
@@ -103,6 +71,8 @@ class SimulatedSSD:
 
     def flush(self) -> list[FlashOp]:
         """FLUSH CACHE: everything pending reaches flash."""
+        if self.obs.enabled:
+            self.obs.emit(HostRequest(kind="flush", lba=0, nsectors=0))
         ops = self.ftl.flush()
         self._record(ops)
         return ops
@@ -110,6 +80,8 @@ class SimulatedSSD:
     def shutdown(self) -> list[FlashOp]:
         """Clean power-down: flush data, checkpoint the map."""
         ops = self.flush()
+        if self.obs.enabled:
+            self.obs.emit(HostRequest(kind="shutdown", lba=0, nsectors=0))
         ops2 = self.ftl.checkpoint()
         self._record(ops2)
         return ops + ops2
@@ -120,27 +92,3 @@ class SimulatedSSD:
         ops = self.ftl.idle_maintenance(max_blocks)
         self._record(ops)
         return ops
-
-    # ------------------------------------------------------------------
-    # The black-box observation surface
-    # ------------------------------------------------------------------
-
-    def smart_snapshot(self) -> SmartCounters:
-        """What ``smartctl -A`` would report right now."""
-        self._sync_derived_attributes()
-        return self.smart.snapshot()
-
-    def smart_render(self) -> str:
-        self._sync_derived_attributes()
-        return self.smart.render()
-
-    def _sync_derived_attributes(self) -> None:
-        """Derive the firmware-computed attributes from FTL state."""
-        mean_erases = float(self.ftl.nand.block_erase_count.mean())
-        remaining = 100 - int(100 * mean_erases / self.ftl.nand.erase_limit)
-        self.smart.percent_lifetime_remaining = max(0, min(100, remaining))
-        self.smart.reported_uncorrectable = self.ftl.stats.uncorrectable_reads
-
-    def _record(self, ops: list[FlashOp]) -> None:
-        for op in ops:
-            self.smart.record(op)

@@ -7,7 +7,10 @@ transparency."
 
 :class:`OpenChannelSSD` exports the raw geometry and physical operations
 (program/read/erase) over the same channel/die resource timelines the
-black-box simulator uses — no firmware FTL, no hidden state.
+black-box simulator uses — no firmware FTL, no hidden state.  The
+timelines are :class:`repro.sim.kernel.Resource` objects on a shared
+:class:`~repro.sim.kernel.Kernel`, the same substrate
+:class:`~repro.ssd.timed.TimedSSD` schedules onto.
 
 :class:`HostFtl` is the host-side translation layer that the visibility
 enables (LightNVM/pblk-flavoured).  Its predictability comes from two
@@ -26,7 +29,7 @@ under the identical workload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -39,6 +42,7 @@ from repro.flash.onfi import (
     operation_bus_ns,
 )
 from repro.flash.timing import TimingProfile, profile
+from repro.sim import Kernel
 
 
 @dataclass(frozen=True)
@@ -58,54 +62,58 @@ class OpenChannelSSD:
         self.geometry = geometry
         self.timing: TimingProfile = profile(timing_name)
         self.nand = NandArray(geometry)
-        self.die_free = np.zeros(geometry.dies_total, dtype=np.int64)
-        self.chan_free = np.zeros(geometry.channels, dtype=np.int64)
-        self.now = 0
+        self.kernel = Kernel()
+        self._dies = [self.kernel.resource(f"die/{i}")
+                      for i in range(geometry.dies_total)]
+        self._channels = [self.kernel.resource(f"channel/{i}")
+                          for i in range(geometry.channels)]
+
+    @property
+    def now(self) -> int:
+        return self.kernel.now
 
     def program_page(self, ppn: int, at_ns: int,
                      oob: tuple[int, ...] = ()) -> RawCompletion:
         geometry, timing = self.geometry, self.timing
         self.nand.program(ppn, lpn=oob[0] if oob else int(NO_LPN), oob=oob or None)
-        die = geometry.die_of_ppn(ppn)
-        channel = geometry.channel_of_ppn(ppn)
+        die = self._dies[geometry.die_of_ppn(ppn)]
+        channel = self._channels[geometry.channel_of_ppn(ppn)]
         onfi = encode_program(geometry, timing, geometry.address(ppn))
         bus = operation_bus_ns(onfi, timing)
-        start = max(at_ns, int(self.chan_free[channel]), int(self.die_free[die]))
-        self.chan_free[channel] = start + bus
-        end = start + bus + timing.program_ns
-        self.die_free[die] = end
-        self.now = max(self.now, at_ns)
+        start = max(at_ns, channel.free_at, die.free_at)
+        bus_end = channel.hold(start, start + bus, requested_ns=at_ns)
+        end = die.hold(bus_end, bus_end + timing.program_ns, requested_ns=at_ns)
+        self.kernel.run_until(at_ns)
         return RawCompletion("program", ppn, start, end)
 
     def read_page(self, ppn: int, at_ns: int) -> RawCompletion:
         geometry, timing = self.geometry, self.timing
-        die = geometry.die_of_ppn(ppn)
-        channel = geometry.channel_of_ppn(ppn)
+        die = self._dies[geometry.die_of_ppn(ppn)]
+        channel = self._channels[geometry.channel_of_ppn(ppn)]
         onfi = encode_read(geometry, timing, geometry.address(ppn))
         data_ns = timing.transfer_ns(geometry.page_size)
         cmd_ns = operation_bus_ns(onfi, timing) - data_ns
-        start = max(at_ns, int(self.chan_free[channel]), int(self.die_free[die]))
-        self.chan_free[channel] = start + cmd_ns
-        array_end = start + cmd_ns + timing.read_ns
-        self.die_free[die] = array_end
-        bus_start = max(array_end, int(self.chan_free[channel]))
-        end = bus_start + data_ns
-        self.chan_free[channel] = end
-        self.now = max(self.now, at_ns)
+        start = max(at_ns, channel.free_at, die.free_at)
+        cmd_end = channel.hold(start, start + cmd_ns, requested_ns=at_ns)
+        array_end = die.hold(cmd_end, cmd_end + timing.read_ns,
+                             requested_ns=at_ns)
+        bus_start = max(array_end, channel.free_at)
+        end = channel.hold(bus_start, bus_start + data_ns,
+                           requested_ns=array_end)
+        self.kernel.run_until(at_ns)
         return RawCompletion("read", ppn, start, end)
 
     def erase_block(self, block: int, at_ns: int) -> RawCompletion:
         geometry, timing = self.geometry, self.timing
         self.nand.erase(block)
-        die = geometry.die_of_block(block)
-        channel = geometry.channel_of_block(block)
+        die = self._dies[geometry.die_of_block(block)]
+        channel = self._channels[geometry.channel_of_block(block)]
         onfi = encode_erase(geometry, timing, geometry.block_address(block))
         bus = operation_bus_ns(onfi, timing)
-        start = max(at_ns, int(self.chan_free[channel]), int(self.die_free[die]))
-        self.chan_free[channel] = start + bus
-        end = start + bus + timing.erase_ns
-        self.die_free[die] = end
-        self.now = max(self.now, at_ns)
+        start = max(at_ns, channel.free_at, die.free_at)
+        bus_end = channel.hold(start, start + bus, requested_ns=at_ns)
+        end = die.hold(bus_end, bus_end + timing.erase_ns, requested_ns=at_ns)
+        self.kernel.run_until(at_ns)
         return RawCompletion("erase", block, start, end)
 
 

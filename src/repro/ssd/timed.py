@@ -1,4 +1,4 @@
-"""Timed execution: the same FTL under a clock.
+"""Timed execution: the same FTL under a discrete-event clock.
 
 Latency questions (the paper's Fig 3) need more than op counts: they need
 queueing.  :class:`TimedSSD` schedules the FTL's op stream onto the
@@ -8,18 +8,27 @@ device's two resource classes —
   shares the bus, and
 * **dies**, busy for tR/tPROG/tBERS while the array works
 
-— using resource-timeline simulation: each resource holds the time it
-next becomes free, ops claim resources in FTL emission order, and a host
+— as named :class:`~repro.sim.kernel.Resource` timelines on a
+:class:`~repro.sim.kernel.Kernel`: each resource holds the time it next
+becomes free, ops claim resources in FTL emission order, and a host
 request completes when the last op it *synchronously depends on*
 finishes.
 
 Synchronicity model (this is what produces realistic write tails): a
 host write completes once its sectors are *admitted* to the RAM write
 cache.  Cache space is returned when flush programs complete on the
-flash, so while the dies keep up, writes finish in
-``controller_overhead_ns``; when foreground GC or queueing backs the
-dies up, releases lag, the cache fills, and admissions stall for
-milliseconds — the GC-induced tail.  Reads always wait for flash.
+flash — a :class:`~repro.sim.kernel.CapacityPool` tracks the occupancy
+and the heap of scheduled releases — so while the dies keep up, writes
+finish in ``controller_overhead_ns``; when foreground GC or queueing
+backs the dies up, releases lag, the cache fills, and admissions stall
+for milliseconds — the GC-induced tail.  Reads always wait for flash.
+
+Background maintenance can run two ways: the legacy blocking
+:meth:`TimedSSD.idle` call (maintenance occupies the dies *now*), or —
+after :meth:`TimedSSD.enable_background_maintenance` — as a kernel
+process that wakes periodically and does maintenance whenever the host
+has left an idle gap, so background work overlaps the gaps between
+submissions instead of needing an explicit call.
 
 A :class:`BusTap` can be attached to render every op on one channel into
 ONFI pin signals — the hardware-probe substrate of §3.1.
@@ -27,8 +36,7 @@ ONFI pin signals — the hardware-probe substrate of §3.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -44,8 +52,10 @@ from repro.flash.signals import SignalEmitter, SignalTrace
 from repro.flash.timing import PSLC, TimingProfile, profile
 from repro.obs.events import CacheStall, HostRequest
 from repro.obs.sinks import NULL_SINK, TraceSink
+from repro.sim.kernel import CapacityPool, Kernel, Process, Resource
 from repro.ssd.config import SsdConfig
 from repro.ssd.ftl import Ftl
+from repro.ssd.host import HostDeviceBase
 from repro.ssd.ops import FlashOp, OpKind, OpReason
 from repro.ssd.smart import SmartCounters
 
@@ -67,6 +77,23 @@ class CompletedRequest:
     @property
     def latency_us(self) -> float:
         return self.latency_ns / 1_000
+
+
+@dataclass(frozen=True)
+class BackgroundPolicy:
+    """When and how much scheduled background maintenance runs.
+
+    The maintenance process wakes every ``check_interval_ns``; if the
+    host has been quiet for ``idle_threshold_ns`` and the flash is
+    drained, it runs ``ftl.idle_maintenance(max_blocks)`` and schedules
+    the resulting ops — which a later host request then queues behind
+    (the §2.1 "unpredictable background operations" effect, without a
+    blocking ``idle()`` call).
+    """
+
+    idle_threshold_ns: int = 2_000_000
+    check_interval_ns: int = 2_000_000
+    max_blocks: int = 2
 
 
 class BusTap:
@@ -97,8 +124,8 @@ class BusTap:
         self.emitter.emit(onfi_op, start_ns)
 
 
-class TimedSSD:
-    """Resource-timeline simulation of a :class:`SimulatedSSD`."""
+class TimedSSD(HostDeviceBase):
+    """The FTL scheduled onto channel/die resources under a sim kernel."""
 
     def __init__(
         self,
@@ -118,43 +145,59 @@ class TimedSSD:
         #: blocks operated in pSLC mode program/erase at pSLC speed.
         self._pslc_blocks = frozenset(config.pslc_block_ids())
         self.obs: TraceSink = NULL_SINK
-        self.die_free = np.zeros(self.geometry.dies_total, dtype=np.int64)
-        self.chan_free = np.zeros(self.geometry.channels, dtype=np.int64)
+        self.kernel = Kernel()
+        self._dies: list[Resource] = [
+            self.kernel.resource(f"die/{i}")
+            for i in range(self.geometry.dies_total)
+        ]
+        self._channels: list[Resource] = [
+            self.kernel.resource(f"channel/{i}")
+            for i in range(self.geometry.channels)
+        ]
         self.completed: list[CompletedRequest] = []
-        self.now = 0
         # Write-cache admission state: sectors admitted occupy RAM until
         # the flush program that carries them completes on flash.
-        self._cache_capacity = self.ftl.cache.capacity
-        self._cache_occupied = 0
-        self._releases: list[tuple[int, int]] = []  # (complete_ns, sectors)
+        self._cache_pool = CapacityPool(self.ftl.cache.capacity)
         self._absorbed_seen = 0
+        self._last_host_ns = 0
+        self._background: Process | None = None
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self.kernel.now
+
+    @now.setter
+    def now(self, value: int) -> None:
+        # Hosts may only move time forward (e.g. an FS backend advancing
+        # past a synchronous request's completion).
+        self.kernel.run_until(max(self.kernel.now, int(value)))
 
     def attach_sink(self, sink: TraceSink) -> None:
-        """Route trace events from the timed layer and the whole FTL
-        stack underneath it to *sink*."""
+        """Route trace events from the timed layer, the sim kernel's
+        resources, and the whole FTL stack underneath to *sink*."""
         self.obs = sink
+        self.kernel.attach_sink(sink)
         self.ftl.attach_sink(sink)
 
     # ------------------------------------------------------------------
     # Host interface
     # ------------------------------------------------------------------
 
-    @property
-    def num_sectors(self) -> int:
-        return self.ftl.num_lpns
-
-    @property
-    def sector_size(self) -> int:
-        return self.geometry.sector_size
-
     def submit(self, kind: str, lba: int, nsectors: int, at_ns: int) -> CompletedRequest:
         """Process one host request submitted at *at_ns*.
 
         Requests must be submitted in non-decreasing time order (the
-        workload engine guarantees this).
+        workload engine guarantees this).  Advancing to *at_ns* first
+        fires any kernel events due in the gap — scheduled background
+        maintenance runs here, overlapping host idle time.
         """
         at_ns = max(at_ns, self.now)
-        self.now = at_ns
+        self.kernel.run_until(at_ns)
+        self._last_host_ns = at_ns
         if kind == "write":
             ops = self.ftl.write(lba, nsectors)
             self.smart.host_sectors_written += nsectors
@@ -170,11 +213,13 @@ class TimedSSD:
         for op in ops:
             self.smart.record(op)
             end = self._schedule_op(op, at_ns)
-            flash_done = max(flash_done, end)
+            if end > flash_done:
+                flash_done = end
             if (op.kind is OpKind.PROGRAM
                     and op.reason in (OpReason.HOST, OpReason.PSLC)):
                 # This flush carries cached sectors back out of RAM.
-                self._releases.append((end, self.geometry.sectors_per_page))
+                self._cache_pool.schedule_release(
+                    end, self.geometry.sectors_per_page)
 
         if kind == "write":
             complete = self._admit_write(at_ns, nsectors)
@@ -191,6 +236,28 @@ class TimedSSD:
             ))
         return request
 
+    # -- synchronous sector commands (HostDevice surface) --------------
+    #
+    # Counter-mode callers (FS models, black-box probes) drive a device
+    # one command at a time; on a timed device that means submitting at
+    # the current clock and advancing past the completion.
+
+    def write_sectors(self, lba: int, count: int = 1) -> CompletedRequest:
+        """Write synchronously at the current clock; time advances past
+        the request's completion."""
+        return self._submit_sync("write", lba, count)
+
+    def read_sectors(self, lba: int, count: int = 1) -> CompletedRequest:
+        return self._submit_sync("read", lba, count)
+
+    def trim_sectors(self, lba: int, count: int = 1) -> CompletedRequest:
+        return self._submit_sync("trim", lba, count)
+
+    def _submit_sync(self, kind: str, lba: int, count: int) -> CompletedRequest:
+        request = self.submit(kind, lba, count, at_ns=self.now)
+        self.now = request.complete_ns
+        return request
+
     # ------------------------------------------------------------------
     # Write-cache admission
     # ------------------------------------------------------------------
@@ -202,37 +269,18 @@ class TimedSSD:
         absorbed_total = self.ftl.stats.cache_absorbed
         fresh = nsectors - (absorbed_total - self._absorbed_seen)
         self._absorbed_seen = absorbed_total
-        self._drain_releases(at_ns)
-        self._cache_occupied += max(0, fresh)
-        when = at_ns
-        if self._cache_occupied > self._cache_capacity and self._releases:
-            # Stall until enough flushes complete to fit again.
-            self._releases.sort()
-            while (self._cache_occupied > self._cache_capacity
-                   and self._releases):
-                when, sectors = self._releases.pop(0)
-                self._cache_occupied = max(0, self._cache_occupied - sectors)
-        self._cache_occupied = min(self._cache_occupied,
-                                   self._cache_capacity + nsectors)
+        when = self._cache_pool.acquire(at_ns, fresh, overshoot=nsectors)
         if when > at_ns and self.obs.enabled:
             self.obs.emit(CacheStall(stall_ns=when - at_ns,
-                                     occupied=self._cache_occupied,
-                                     capacity=self._cache_capacity))
-        return max(at_ns, when) + self.controller_overhead_ns
-
-    def _drain_releases(self, now: int) -> None:
-        kept = []
-        for when, sectors in self._releases:
-            if when <= now:
-                self._cache_occupied = max(0, self._cache_occupied - sectors)
-            else:
-                kept.append((when, sectors))
-        self._releases = kept
+                                     occupied=self._cache_pool.occupied,
+                                     capacity=self._cache_pool.capacity))
+        return when + self.controller_overhead_ns
 
     def flush(self, at_ns: int | None = None) -> CompletedRequest:
         """FLUSH CACHE as a timed request."""
         at_ns = self.now if at_ns is None else max(at_ns, self.now)
-        self.now = at_ns
+        self.kernel.run_until(at_ns)
+        self._last_host_ns = at_ns
         ops = self.ftl.flush()
         complete = at_ns + self.controller_overhead_ns
         for op in ops:
@@ -246,25 +294,90 @@ class TimedSSD:
                                       latency_ns=request.latency_ns))
         return request
 
+    def shutdown(self, at_ns: int | None = None) -> CompletedRequest:
+        """Clean power-down: flush data, checkpoint the map — timed."""
+        flushed = self.flush(at_ns)
+        complete = flushed.complete_ns
+        for op in self.ftl.checkpoint():
+            self.smart.record(op)
+            complete = max(complete, self._schedule_op(op, self.now))
+        request = CompletedRequest("shutdown", 0, 0, flushed.submit_ns, complete)
+        self.completed.append(request)
+        if self.obs.enabled:
+            self.obs.emit(HostRequest(kind="shutdown", lba=0, nsectors=0,
+                                      submit_ns=request.submit_ns,
+                                      latency_ns=request.latency_ns))
+        return request
+
+    # ------------------------------------------------------------------
+    # Background maintenance
+    # ------------------------------------------------------------------
+
     def idle(self, at_ns: int | None = None, max_blocks: int = 8) -> int:
         """A host-idle window: background maintenance runs and occupies
         the dies (delaying whatever the host submits next — the
-        "unpredictable background operations" effect)."""
+        "unpredictable background operations" effect).  Blocking form;
+        see :meth:`enable_background_maintenance` for the scheduled
+        form."""
         at_ns = self.now if at_ns is None else max(at_ns, self.now)
-        self.now = at_ns
+        self.kernel.run_until(at_ns)
         end = at_ns
         for op in self.ftl.idle_maintenance(max_blocks):
             self.smart.record(op)
             end = max(end, self._schedule_op(op, at_ns))
         return end
 
+    def enable_background_maintenance(
+        self, policy: BackgroundPolicy | None = None
+    ) -> Process:
+        """Run idle maintenance as scheduled kernel events.
+
+        A kernel process wakes every ``policy.check_interval_ns``; when
+        the host has been quiet past ``policy.idle_threshold_ns`` and
+        all flash resources are drained, it performs one maintenance
+        round at that instant.  The work overlaps host idle gaps: a
+        request submitted later at a time the maintenance made busy
+        queues behind it.  Returns the process (``.cancel()`` stops it);
+        calling again replaces the previous policy.
+        """
+        if self._background is not None:
+            self._background.cancel()
+        self._bg_policy = policy or BackgroundPolicy()
+        self._background = self.kernel.spawn(self._background_loop())
+        return self._background
+
+    def disable_background_maintenance(self) -> None:
+        if self._background is not None:
+            self._background.cancel()
+            self._background = None
+
+    def _background_loop(self):
+        policy = self._bg_policy
+        while True:
+            yield policy.check_interval_ns
+            now = self.kernel.now
+            if now - self._last_host_ns < policy.idle_threshold_ns:
+                continue
+            if self.kernel.horizon() > now:
+                continue  # flash still working; wait for a real gap
+            for op in self.ftl.idle_maintenance(policy.max_blocks):
+                self.smart.record(op)
+                self._schedule_op(op, now)
+
     def quiesce(self) -> int:
         """Advance time past all outstanding flash work and cache
-        releases (an idle period after preconditioning)."""
-        horizon = int(max(int(self.die_free.max()), int(self.chan_free.max()),
-                          self.now))
-        self.now = horizon
-        self._drain_releases(horizon)
+        releases (an idle period after preconditioning).  Scheduled
+        background maintenance due in the window runs — and may extend
+        it — before the horizon is final."""
+        horizon = self.kernel.horizon()
+        while True:
+            next_at = self.kernel.next_event_at()
+            if next_at is None or next_at > horizon:
+                break
+            self.kernel.run_until(horizon)
+            horizon = max(horizon, self.kernel.horizon())
+        self.kernel.run_until(horizon)
+        self._cache_pool.release_due(horizon)
         return horizon
 
     # ------------------------------------------------------------------
@@ -277,20 +390,20 @@ class TimedSSD:
         if op.kind is OpKind.ERASE:
             block = op.target
             array_timing = PSLC if block in self._pslc_blocks else timing
-            die = geometry.die_of_block(block)
-            channel = geometry.channel_of_block(block)
+            die = self._dies[geometry.die_of_block(block)]
+            channel = self._channels[geometry.channel_of_block(block)]
             onfi = encode_erase(geometry, timing, geometry.block_address(block))
             bus = operation_bus_ns(onfi, timing)
-            start = max(earliest, int(self.chan_free[channel]), int(self.die_free[die]))
-            self.chan_free[channel] = start + bus
-            end = start + bus + array_timing.erase_ns
-            self.die_free[die] = end
+            start = max(earliest, channel.free_at, die.free_at)
+            channel.hold(start, start + bus, requested_ns=earliest)
+            end = die.hold(start + bus, start + bus + array_timing.erase_ns,
+                           requested_ns=earliest)
             self._tap(op, onfi, channel, start)
             return end
 
         ppn = op.target
-        die = geometry.die_of_ppn(ppn)
-        channel = geometry.channel_of_ppn(ppn)
+        die = self._dies[geometry.die_of_ppn(ppn)]
+        channel = self._channels[geometry.channel_of_ppn(ppn)]
         addr = geometry.address(ppn)
         block = ppn // geometry.pages_per_block
         array_timing = PSLC if block in self._pslc_blocks else timing
@@ -299,12 +412,10 @@ class TimedSSD:
             # bus phase waits for both the channel and the die.
             onfi = encode_program(geometry, timing, addr, op.nbytes or None)
             bus = operation_bus_ns(onfi, timing)
-            start = max(earliest, int(self.chan_free[channel]),
-                        int(self.die_free[die]))
-            bus_end = start + bus
-            self.chan_free[channel] = bus_end
-            end = bus_end + array_timing.program_ns
-            self.die_free[die] = end
+            start = max(earliest, channel.free_at, die.free_at)
+            bus_end = channel.hold(start, start + bus, requested_ns=earliest)
+            end = die.hold(bus_end, bus_end + array_timing.program_ns,
+                           requested_ns=earliest)
             self._tap(op, onfi, channel, start)
             return end
 
@@ -313,19 +424,19 @@ class TimedSSD:
         onfi = encode_read(geometry, timing, addr, op.nbytes or None)
         data_ns = timing.transfer_ns(op.nbytes or geometry.page_size)
         cmd_ns = operation_bus_ns(onfi, timing) - data_ns
-        start = max(earliest, int(self.chan_free[channel]),
-                    int(self.die_free[die]))
-        self.chan_free[channel] = start + cmd_ns
-        array_end = start + cmd_ns + array_timing.read_ns
-        self.die_free[die] = array_end
-        bus_start = max(array_end, int(self.chan_free[channel]))
-        end = bus_start + data_ns
-        self.chan_free[channel] = end
+        start = max(earliest, channel.free_at, die.free_at)
+        cmd_end = channel.hold(start, start + cmd_ns, requested_ns=earliest)
+        array_end = die.hold(cmd_end, cmd_end + array_timing.read_ns,
+                             requested_ns=earliest)
+        bus_start = max(array_end, channel.free_at)
+        end = channel.hold(bus_start, bus_start + data_ns,
+                           requested_ns=array_end)
         self._tap(op, onfi, channel, start)
         return end
 
-    def _tap(self, op: FlashOp, onfi: OnfiOperation, channel: int, start: int) -> None:
-        if self.bus_tap is not None and channel == self.bus_tap.channel:
+    def _tap(self, op: FlashOp, onfi: OnfiOperation, channel: Resource,
+             start: int) -> None:
+        if self.bus_tap is not None and channel is self._channels[self.bus_tap.channel]:
             self.bus_tap.observe(op, onfi, start)
 
     # ------------------------------------------------------------------

@@ -9,10 +9,14 @@ Two execution modes mirror the two device modes:
   per round, which matches the paper's "ran all workloads concurrently"
   protocol when jobs are given equal request budgets.
 
-* :func:`run_timed` drives a :class:`~repro.ssd.timed.TimedSSD` with
-  closed-loop submission at each job's iodepth (fio's default model) and
+* :func:`run_timed` drives a :class:`~repro.ssd.timed.TimedSSD` and
   reports latencies and IOPS — the mode for tail-latency studies
-  (Fig 3).
+  (Fig 3).  Each job submits **closed-loop** at its iodepth (fio's
+  default model) or **open-loop** at a fixed arrival rate
+  (``JobSpec.submission == "open"``): arrivals are independent of
+  completions, so a device that cannot keep up accumulates queue —
+  latency grows without bound instead of throughput silently dropping.
+  Open-loop is the honest way to measure tails at a target load.
 """
 
 from __future__ import annotations
@@ -22,11 +26,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.events import QueueDepth
 from repro.obs.sinks import TraceSink
 from repro.ssd.device import SimulatedSSD
 from repro.ssd.smart import SmartCounters
 from repro.ssd.timed import TimedSSD
 from repro.workloads.spec import JobSpec
+
+#: RNG stream constant for open-loop arrival gaps: a separate
+#: ``default_rng([seed, _ARRIVAL_STREAM])`` stream so switching
+#: submission modes never perturbs a job's address/kind sequence.
+_ARRIVAL_STREAM = 0x0A221
 
 
 @dataclass
@@ -83,7 +93,7 @@ def run_counter(
         device.attach_sink(sink)
     before = device.smart_snapshot()
     states = [
-        (job, job.make_pattern(), np.random.default_rng(job.seed), [0])
+        (job, job.make_pattern(), np.random.default_rng(job.seed))
         for job in jobs
     ]
     remaining = {job.name: job.io_count for job in jobs}
@@ -91,7 +101,7 @@ def run_counter(
         job.name: JobResult(job.name, 0, 0) for job in jobs
     }
     while any(remaining.values()):
-        for job, pattern, rng, _ in states:
+        for job, pattern, rng in states:
             if remaining[job.name] <= 0:
                 continue
             remaining[job.name] -= 1
@@ -112,18 +122,40 @@ def run_counter(
     return RunResult(jobs=results, smart_delta=delta)
 
 
+def _arrival_times(job: JobSpec, t0: int) -> np.ndarray:
+    """Precompute an open-loop job's arrival times (ns, int64).
+
+    Gaps come from a dedicated RNG stream keyed on the job seed, so the
+    address/kind stream is identical between submission modes — only
+    *when* requests arrive differs.  Every gap is at least 1 ns, keeping
+    arrivals strictly increasing per job.
+    """
+    rng = np.random.default_rng([job.seed, _ARRIVAL_STREAM])
+    mean_gap_ns = 1e9 / job.rate_iops
+    if job.arrival == "poisson":
+        gaps = rng.exponential(mean_gap_ns, size=job.io_count)
+    else:
+        gaps = np.full(job.io_count, mean_gap_ns)
+    gaps = np.maximum(gaps.astype(np.int64), 1)
+    return t0 + np.cumsum(gaps)
+
+
 def run_timed(
     device: TimedSSD,
     jobs: list[JobSpec],
     start_ns: int | None = None,
     sink: TraceSink | None = None,
 ) -> RunResult:
-    """Run jobs on a timed device with closed-loop submission.
+    """Run jobs on a timed device.
 
-    Each job keeps ``iodepth`` requests outstanding: a new request is
-    submitted the moment one of its slots completes.  Jobs share the
-    device, so their requests contend for channels and dies — the source
-    of the mixed-run interference the paper measures.
+    Closed-loop jobs keep ``iodepth`` requests outstanding: a new
+    request is submitted the moment one of its slots completes.
+    Open-loop jobs (``submission="open"``) submit at their precomputed
+    arrival times whatever the device is doing; the per-job queue depth
+    at each arrival is emitted as a :class:`~repro.obs.events.QueueDepth`
+    event when a sink is attached.  Jobs share the device, so their
+    requests contend for channels and dies — the source of the mixed-run
+    interference the paper measures.
 
     Passing *sink* attaches it to the device for the run (timed
     ``host_request`` events then carry latency and stall attribution).
@@ -145,6 +177,8 @@ def run_timed(
         left: int = 0
         lat: list[float] = field(default_factory=list)
         done_at: int = 0
+        arrivals: np.ndarray | None = None
+        inflight: list[int] = field(default_factory=list)
 
     states = {}
     ready: list[tuple[int, int, str]] = []  # (when, tiebreak, job name)
@@ -152,8 +186,12 @@ def run_timed(
         state = _JobState(job, job.make_pattern(),
                           np.random.default_rng(job.seed), left=job.io_count)
         states[job.name] = state
-        for d in range(job.iodepth):
-            heapq.heappush(ready, (t0, i * 64 + d, job.name))
+        if job.is_open_loop:
+            state.arrivals = _arrival_times(job, t0)
+            heapq.heappush(ready, (int(state.arrivals[0]), i * 64, job.name))
+        else:
+            for d in range(job.iodepth):
+                heapq.heappush(ready, (t0, i * 64 + d, job.name))
 
     seq = len(jobs) * 64
     while ready:
@@ -168,7 +206,20 @@ def run_timed(
         request = device.submit(kind, lba, job.bs_sectors, at_ns=when)
         state.lat.append(request.latency_us)
         state.done_at = max(state.done_at, request.complete_ns)
-        if state.left > 0:
+        if job.is_open_loop:
+            # Queue-depth accounting: completions due by this arrival
+            # have drained; this request is now in flight.
+            while state.inflight and state.inflight[0] <= when:
+                heapq.heappop(state.inflight)
+            heapq.heappush(state.inflight, request.complete_ns)
+            if device.obs.enabled:
+                device.obs.emit(QueueDepth(job=name, at_ns=when,
+                                           depth=len(state.inflight)))
+            if state.left > 0:
+                seq += 1
+                next_at = int(state.arrivals[job.io_count - state.left])
+                heapq.heappush(ready, (next_at, seq, name))
+        elif state.left > 0:
             seq += 1
             heapq.heappush(ready, (request.complete_ns, seq, name))
 

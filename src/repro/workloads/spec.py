@@ -16,6 +16,12 @@ from repro.workloads.patterns import AddressPattern, Region, make_pattern
 #: request kinds a job may issue.
 RW_MODES = ("write", "randwrite", "read", "randread", "randrw", "trim")
 
+#: how a job submits requests in timed mode.
+SUBMISSION_MODES = ("closed", "open")
+
+#: inter-arrival distributions for open-loop submission.
+ARRIVAL_MODES = ("poisson", "fixed")
+
 
 @dataclass
 class JobSpec:
@@ -26,6 +32,15 @@ class JobSpec:
     ``read_fraction`` only matters for ``randrw``.  ``pattern_kwargs``
     passes skew parameters to the address pattern (e.g.
     ``{"space_fraction": 0.2, "traffic_fraction": 0.8}``).
+
+    ``submission`` picks the timed-mode submission model: ``"closed"``
+    (fio's default — ``iodepth`` outstanding requests, a new one the
+    moment a slot frees) or ``"open"`` (requests arrive at
+    ``rate_iops`` regardless of completions, so queueing is unbounded
+    and saturation shows up as growing tails instead of falling
+    throughput).  ``arrival`` shapes open-loop inter-arrival gaps:
+    ``"poisson"`` (exponential) or ``"fixed"``.  Counter mode ignores
+    all three.
     """
 
     name: str
@@ -38,6 +53,9 @@ class JobSpec:
     pattern: str | None = None
     pattern_kwargs: dict = field(default_factory=dict)
     seed: int = 0
+    submission: str = "closed"
+    rate_iops: float = 0.0
+    arrival: str = "poisson"
 
     def __post_init__(self) -> None:
         if self.rw not in RW_MODES:
@@ -48,6 +66,20 @@ class JobSpec:
             raise ValueError("iodepth must be >= 1")
         if not 0.0 <= self.read_fraction <= 1.0:
             raise ValueError("read_fraction must be in [0, 1]")
+        if self.submission not in SUBMISSION_MODES:
+            raise ValueError(
+                f"unknown submission mode {self.submission!r}; "
+                f"known: {SUBMISSION_MODES}")
+        if self.arrival not in ARRIVAL_MODES:
+            raise ValueError(
+                f"unknown arrival mode {self.arrival!r}; "
+                f"known: {ARRIVAL_MODES}")
+        if self.is_open_loop and self.rate_iops <= 0:
+            raise ValueError("open-loop submission needs rate_iops > 0")
+
+    @property
+    def is_open_loop(self) -> bool:
+        return self.submission == "open"
 
     @property
     def is_sequential(self) -> bool:

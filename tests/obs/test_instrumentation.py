@@ -29,7 +29,9 @@ class TestCounterModeInstrumentation:
 
     def test_host_requests_match_workload(self, traced):
         device, sink = traced
-        assert sink.count("host_request") == 4000
+        # The job's 4000 writes plus run_counter's end-of-run FLUSH
+        # (flush is a host command and is traced like one).
+        assert sink.count("host_request") == 4000 + 1
 
     def test_cache_admits_match_sector_writes(self, traced):
         device, sink = traced

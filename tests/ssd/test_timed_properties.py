@@ -20,14 +20,12 @@ class RecordingTimedSSD(TimedSSD):
         self.windows: list[tuple[str, int, int, int]] = []  # kind, die, s, e
 
     def _schedule_op(self, op, earliest):
-        die_before = self.die_free.copy()
+        die_before = [die.free_at for die in self._dies]
         end = super()._schedule_op(op, earliest)
-        changed = np.nonzero(self.die_free != die_before)[0]
-        for die in changed:
-            self.windows.append(
-                (op.kind.value, int(die), int(die_before[die]),
-                 int(self.die_free[die]))
-            )
+        for index, before in enumerate(die_before):
+            after = self._dies[index].free_at
+            if after != before:
+                self.windows.append((op.kind.value, index, before, after))
         return end
 
 
@@ -56,8 +54,10 @@ class TestProtocolRules:
 
     def test_resource_timelines_monotone(self):
         device = self.run_workload(tiny(), writes=800, seed=1)
-        assert int(device.die_free.min()) >= 0
-        assert int(device.chan_free.min()) >= 0
+        assert min(die.free_at for die in device._dies) >= 0
+        assert min(chan.free_at for chan in device._channels) >= 0
+        # The kernel's busy accounting agrees with the claims made.
+        assert all(die.busy_ns <= die.free_at for die in device._dies)
 
     def test_request_completion_after_submission(self):
         device = self.run_workload(tiny(), writes=500, seed=2)

@@ -53,6 +53,20 @@ class TestCommands:
                      "--writes", "500"]) == 0
         out = capsys.readouterr().out
         assert "p99 (us)" in out
+        assert "closed loop" in out
+
+    def test_latency_open_loop(self, capsys):
+        assert main(["latency", "--preset", "tiny", "--scale", "1",
+                     "--writes", "500", "--submission", "open",
+                     "--rate", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "open loop @ 20000 IOPS (poisson)" in out
+        assert "p99 (us)" in out
+
+    def test_latency_open_loop_requires_rate(self, capsys):
+        assert main(["latency", "--preset", "tiny", "--scale", "1",
+                     "--writes", "100", "--submission", "open"]) == 1
+        assert "--rate" in capsys.readouterr().out
 
     def test_nand_page(self, capsys):
         assert main(["nand-page", "--preset", "mx500", "--scale", "4"]) == 0

@@ -51,6 +51,19 @@ class TestJobSpec:
         job = JobSpec("j", "randwrite", Region(0, 100), bs_sectors=4, io_count=10)
         assert job.total_sectors == 40
 
+    def test_submission_validation(self):
+        with pytest.raises(ValueError):
+            JobSpec("j", "randwrite", Region(0, 100), submission="ajar")
+        with pytest.raises(ValueError):
+            JobSpec("j", "randwrite", Region(0, 100), submission="open")
+        with pytest.raises(ValueError):
+            JobSpec("j", "randwrite", Region(0, 100), submission="open",
+                    rate_iops=1000, arrival="bursty")
+        job = JobSpec("j", "randwrite", Region(0, 100), submission="open",
+                      rate_iops=1000)
+        assert job.is_open_loop
+        assert not JobSpec("j", "randwrite", Region(0, 100)).is_open_loop
+
 
 class TestRunCounter:
     def test_single_job_counts(self):
@@ -144,3 +157,67 @@ class TestRunTimed:
     def test_no_jobs_rejected(self):
         with pytest.raises(ValueError):
             run_timed(TimedSSD(tiny()), [])
+
+
+class TestOpenLoopSubmission:
+    def open_job(self, device, rate, io_count=300, seed=3, **kwargs):
+        return JobSpec("o", "randwrite", Region(0, device.num_sectors),
+                       io_count=io_count, seed=seed, submission="open",
+                       rate_iops=rate, **kwargs)
+
+    def test_io_count_respected(self):
+        device = TimedSSD(tiny())
+        result = run_timed(device, [self.open_job(device, 5_000)])
+        assert result.jobs["o"].requests == 300
+
+    def test_address_stream_independent_of_submission_mode(self):
+        """Switching closed -> open must not perturb which LBAs a job
+        touches: arrival gaps come from a separate RNG stream."""
+        config = tiny()
+        closed_dev = TimedSSD(config)
+        closed = JobSpec("o", "randwrite", Region(0, closed_dev.num_sectors),
+                         io_count=300, seed=3)
+        run_timed(closed_dev, [closed])
+        open_dev = TimedSSD(config)
+        run_timed(open_dev, [self.open_job(open_dev, 5_000)])
+        closed_lbas = [r.lba for r in closed_dev.completed]
+        open_lbas = [r.lba for r in open_dev.completed]
+        assert closed_lbas == open_lbas
+
+    def test_submissions_follow_arrival_times(self):
+        device = TimedSSD(tiny())
+        run_timed(device, [self.open_job(device, 1_000, io_count=100)])
+        submits = [r.submit_ns for r in device.completed]
+        assert submits == sorted(submits)
+        # Mean gap ~1 ms at 1000 IOPS: the run spans arrival time, well
+        # beyond what back-to-back submission would take.
+        assert submits[-1] - submits[0] > 50 * 1_000_000
+
+    def test_queue_depth_events_emitted_with_sink(self):
+        from repro.obs import CounterSink
+
+        device = TimedSSD(tiny())
+        sink = CounterSink()
+        run_timed(device, [self.open_job(device, 50_000)], sink=sink)
+        assert sink.count("queue_depth") == 300
+
+    def test_no_queue_depth_events_closed_loop(self):
+        from repro.obs import CounterSink
+
+        device = TimedSSD(tiny())
+        sink = CounterSink()
+        job = JobSpec("c", "randwrite", Region(0, device.num_sectors),
+                      io_count=100, iodepth=4, seed=3)
+        run_timed(device, [job], sink=sink)
+        assert sink.count("queue_depth") == 0
+
+    def test_mixed_closed_and_open_jobs(self):
+        device = TimedSSD(tiny())
+        half = device.num_sectors // 2
+        closed = JobSpec("c", "randwrite", Region(0, half), io_count=200,
+                         iodepth=2, seed=1)
+        open_job = JobSpec("o", "randwrite", Region(half, half), io_count=200,
+                           seed=2, submission="open", rate_iops=20_000)
+        result = run_timed(device, [closed, open_job])
+        assert result.jobs["c"].requests == 200
+        assert result.jobs["o"].requests == 200
