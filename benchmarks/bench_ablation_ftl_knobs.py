@@ -3,16 +3,25 @@
 Each sweep isolates one mechanism DESIGN.md calls out and shows its
 first-order effect — the kind of sensitivity a vendor datasheet never
 reveals and the paper argues the community needs.
+
+Every sweep point is an independent device, so each sweep fans its
+points out through :class:`repro.exp.Runner` as picklable cells.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import run_once
-from repro.core.blackbox.nand_page import sequential_write_sweep
-from repro.ssd.device import SimulatedSSD
+from repro.exp import (
+    Cell,
+    ChurnCell,
+    NandPageSweepCell,
+    PslcBurstCell,
+    Runner,
+    run_churn_cell,
+    run_nand_page_sweep_cell,
+    run_pslc_burst_cell,
+)
 from repro.ssd.presets import mx500_like, tiny
-from repro.ssd.timed import TimedSSD
 
 
 @pytest.mark.benchmark(group="ablation-mapping")
@@ -23,22 +32,30 @@ def test_ablation_mapping_dirty_budget(benchmark, figure_output):
     sweep shows it directly by shrinking the budget below the
     workload's dirty-TP working set.
     """
+    limits = (2, 4, 8, 32)
 
     def experiment():
-        results = {}
-        for limit in (2, 4, 8, 32):
-            config = tiny().with_changes(
-                mapping_tp_lpns=16,       # many small TPs
-                mapping_dirty_tp_limit=limit,
-                mapping_sync_interval=100_000,  # evictions only
+        cells = [
+            Cell(
+                run_churn_cell,
+                ChurnCell(
+                    config=tiny().with_changes(
+                        mapping_tp_lpns=16,       # many small TPs
+                        mapping_dirty_tp_limit=limit,
+                        mapping_sync_interval=100_000,  # evictions only
+                    ),
+                    writes=8000,
+                    pattern="uniform",
+                ),
+                seed=9,
+                label=f"mapping:limit={limit}",
             )
-            device = SimulatedSSD(config)
-            rng = np.random.default_rng(9)
-            for _ in range(8000):
-                device.write_sectors(int(rng.integers(device.num_sectors)), 1)
-            device.flush()
-            results[limit] = device.smart.meta_program_pages
-        return results
+            for limit in limits
+        ]
+        results = Runner().run(cells)
+        return {
+            limit: r.meta_program_pages for limit, r in zip(limits, results)
+        }
 
     results = run_once(benchmark, experiment)
     figure_output(
@@ -53,18 +70,24 @@ def test_ablation_mapping_dirty_budget(benchmark, figure_output):
 @pytest.mark.benchmark(group="ablation-rain")
 def test_ablation_rain_stripe_width(benchmark, figure_output):
     """Fig 4a's plateau moves with the stripe: k/(k+1) of the page."""
+    stripes = (0, 3, 7, 15)
 
     def experiment():
-        out = {}
-        for stripe in (0, 3, 7, 15):
-            config = mx500_like(scale=4).with_changes(rain_stripe=stripe)
-            device = SimulatedSSD(config)
-            sector = device.sector_size
-            estimate = sequential_write_sweep(
-                device, sizes_bytes=[sector * (1 << i) for i in range(5, 10)]
+        sector = mx500_like(scale=4).geometry.sector_size
+        sizes = tuple(sector * (1 << i) for i in range(5, 10))
+        cells = [
+            Cell(
+                run_nand_page_sweep_cell,
+                NandPageSweepCell(
+                    config=mx500_like(scale=4).with_changes(rain_stripe=stripe),
+                    sizes_bytes=sizes,
+                ),
+                label=f"rain:stripe={stripe}",
             )
-            out[stripe] = estimate.converged_bytes_per_page
-        return out
+            for stripe in stripes
+        ]
+        results = Runner().run(cells)
+        return dict(zip(stripes, results))
 
     results = run_once(benchmark, experiment)
     page = mx500_like(scale=4).geometry.page_size
@@ -88,20 +111,23 @@ def test_ablation_pslc_burst_absorption(benchmark, figure_output):
     """A pSLC buffer absorbs a write burst; the drain shows up later as
     FTL-attributed traffic (the 'unpredictable background operations'
     family)."""
+    buffer_sizes = (0, 8)
 
     def experiment():
-        out = {}
-        for pslc_blocks in (0, 8):
-            config = tiny().with_changes(pslc_blocks=pslc_blocks,
-                                         pslc_drain_threshold=0.95)
-            device = TimedSSD(config)
-            lat = []
-            for lba in range(0, min(160, device.num_sectors), 1):
-                request = device.submit("write", lba, 1, at_ns=device.now)
-                lat.append(request.latency_us)
-            out[pslc_blocks] = (float(np.mean(lat)),
-                                device.smart.pslc_program_pages)
-        return out
+        cells = [
+            Cell(
+                run_pslc_burst_cell,
+                PslcBurstCell(
+                    config=tiny().with_changes(pslc_blocks=pslc_blocks,
+                                               pslc_drain_threshold=0.95),
+                    burst_sectors=160,
+                ),
+                label=f"pslc:blocks={pslc_blocks}",
+            )
+            for pslc_blocks in buffer_sizes
+        ]
+        results = Runner().run(cells)
+        return dict(zip(buffer_sizes, results))
 
     results = run_once(benchmark, experiment)
     figure_output(

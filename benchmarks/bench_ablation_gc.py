@@ -5,17 +5,19 @@ DESIGN.md calls out victim selection as a first-order design choice
 on an identical aged workload and reports WAF and erase counts: greedy
 should produce the least write amplification, random the most, with
 randomized-greedy approaching greedy as d grows.
+
+The per-policy runs are independent, so the sweep fans out through
+:class:`repro.exp.Runner` — one :class:`repro.exp.ChurnCell` per policy.
 """
 
 import os
 from pathlib import Path
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import run_once
+from repro.exp import Cell, ChurnCell, Runner, run_churn_cell
 from repro.ssd.config import GC_POLICIES
-from repro.ssd.device import SimulatedSSD
 from repro.ssd.presets import tiny
 
 #: Set REPRO_TRACE_DIR to stream each policy's GC events (victim picks,
@@ -24,45 +26,41 @@ from repro.ssd.presets import tiny
 TRACE_DIR = os.environ.get("REPRO_TRACE_DIR")
 
 
-def churn(policy: str, writes: int = 12_000, seed: int = 3):
-    config = tiny().with_changes(gc_policy=policy)
-    device = SimulatedSSD(config)
+def _churn_cell(policy: str) -> ChurnCell:
+    trace = None
     if TRACE_DIR:
-        from repro.obs import JsonlSink
-
-        device.attach_sink(JsonlSink(
-            Path(TRACE_DIR) / f"ablation_gc_{policy}.jsonl"
-        ))
-    rng = np.random.default_rng(seed)
-    # 80/20 skew so victim quality varies across blocks.
-    hot = max(1, device.num_sectors // 5)
-    for _ in range(writes):
-        if rng.random() < 0.8:
-            lba = int(rng.integers(hot))
-        else:
-            lba = hot + int(rng.integers(device.num_sectors - hot))
-        device.write_sectors(lba, 1)
-    device.flush()
-    if TRACE_DIR:
-        device.obs.close()
-    return device
+        trace = str(Path(TRACE_DIR) / f"ablation_gc_{policy}.jsonl")
+    return ChurnCell(
+        config=tiny().with_changes(gc_policy=policy),
+        writes=12_000,
+        pattern="hotcold",
+        hot_divisor=5,
+        hot_traffic=0.8,
+        trace_path=trace,
+    )
 
 
 @pytest.mark.benchmark(group="ablation-gc")
 def test_ablation_gc_policy_waf(benchmark, figure_output):
     def experiment():
-        return {policy: churn(policy) for policy in GC_POLICIES}
+        cells = [
+            Cell(run_churn_cell, _churn_cell(policy), seed=3,
+                 label=f"gc:{policy}", cacheable=not TRACE_DIR)
+            for policy in GC_POLICIES
+        ]
+        results = Runner().run(cells)
+        return dict(zip(GC_POLICIES, results))
 
-    devices = run_once(benchmark, experiment)
+    outcomes = run_once(benchmark, experiment)
     rows = []
     waf = {}
-    for policy, device in devices.items():
-        waf[policy] = device.smart.waf()
+    for policy, result in outcomes.items():
+        waf[policy] = result.waf
         rows.append([
             policy,
-            round(device.smart.waf(), 3),
-            device.smart.erase_count,
-            device.ftl.stats.gc_migrated_sectors,
+            round(result.waf, 3),
+            result.erase_count,
+            result.gc_migrated_sectors,
         ])
     figure_output(
         "ablation_gc_policy",
@@ -77,19 +75,25 @@ def test_ablation_gc_policy_waf(benchmark, figure_output):
 @pytest.mark.benchmark(group="ablation-gc")
 def test_ablation_randomized_greedy_sample_size(benchmark, figure_output):
     """d-choices: larger d converges to greedy."""
+    sample_sizes = (2, 4, 8, 16)
 
     def experiment():
-        results = {}
-        for d in (2, 4, 8, 16):
-            config = tiny().with_changes(gc_policy="randomized_greedy",
-                                         gc_sample_size=d)
-            device = SimulatedSSD(config)
-            rng = np.random.default_rng(5)
-            for _ in range(10_000):
-                device.write_sectors(int(rng.integers(device.num_sectors)), 1)
-            device.flush()
-            results[d] = device.smart.waf()
-        return results
+        cells = [
+            Cell(
+                run_churn_cell,
+                ChurnCell(
+                    config=tiny().with_changes(gc_policy="randomized_greedy",
+                                               gc_sample_size=d),
+                    writes=10_000,
+                    pattern="uniform",
+                ),
+                seed=5,
+                label=f"gc:d={d}",
+            )
+            for d in sample_sizes
+        ]
+        results = Runner().run(cells)
+        return {d: r.waf for d, r in zip(sample_sizes, results)}
 
     results = run_once(benchmark, experiment)
     figure_output(

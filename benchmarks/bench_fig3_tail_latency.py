@@ -16,8 +16,10 @@ import pytest
 from benchmarks.conftest import run_once
 from repro.core.modeling.fidelity import (
     MQSIM_ERROR_MARGIN,
+    fidelity_trace_path,
     run_fidelity_study,
 )
+from repro.exp import Runner
 from repro.ssd.presets import mqsim_baseline
 
 BLOCK_SIZES = (1, 2, 4)  # 4, 8, 16 KB requests
@@ -25,36 +27,25 @@ BLOCK_SIZES = (1, 2, 4)  # 4, 8, 16 KB requests
 #: Set REPRO_TRACE_DIR to a directory to have every measurement point
 #: stream a JSONL event trace there (see repro.obs) — the trace explains
 #: the tails the figure reports (GC-stall attribution per percentile).
+#: Each worker writes its own per-cell trace file.
 TRACE_DIR = os.environ.get("REPRO_TRACE_DIR")
 
 
 def _trace_path(variant: str, bs: int) -> Path:
-    safe = variant.replace("=", "-")
-    return Path(TRACE_DIR) / f"fig3_{safe}_bs{bs}.jsonl"
+    return fidelity_trace_path(TRACE_DIR, variant, bs, prefix="fig3")
 
 
 @pytest.fixture(scope="module")
 def study():
-    sinks = []
-    on_device = None
-    if TRACE_DIR:
-        from repro.obs import JsonlSink
-
-        def on_device(device, variant, bs):
-            sink = JsonlSink(_trace_path(variant, bs))
-            sinks.append(sink)
-            device.attach_sink(sink)
-
-    result = run_fidelity_study(
+    return run_fidelity_study(
         mqsim_baseline(scale=2),
         block_sizes_sectors=BLOCK_SIZES,
         io_count=3000,
         precondition_fraction=0.75,
-        on_device=on_device,
+        runner=Runner(),
+        trace_dir=TRACE_DIR,
+        trace_prefix="fig3",
     )
-    for sink in sinks:
-        sink.close()
-    return result
 
 
 @pytest.mark.benchmark(group="fig3")

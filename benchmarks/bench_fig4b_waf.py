@@ -10,16 +10,17 @@ import pytest
 
 from benchmarks.conftest import run_once
 from repro.core.blackbox.waf import run_waf_study
-from repro.ssd.device import SimulatedSSD
+from repro.exp import Runner
 from repro.ssd.presets import mx500_like
 
 
 @pytest.mark.benchmark(group="fig4b")
 def test_fig4b_waf_extrapolation(benchmark, figure_output):
     study = run_once(benchmark, lambda: run_waf_study(
-        lambda: SimulatedSSD(mx500_like(scale=2)),
+        config=mx500_like(scale=2),
         io_count=12_000,
         prime_fraction=0.5,
+        runner=Runner(),
     ))
     rows = [
         [w.name, w.requests, w.host_pages, w.ftl_pages, round(w.waf, 3)]

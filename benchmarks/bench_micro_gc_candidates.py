@@ -1,0 +1,86 @@
+"""Microbenchmark: incremental GC candidate index vs full plane scan.
+
+``VictimSelector.candidates`` used to scan every block in the plane on
+every GC invocation; the allocator now maintains the sealed-block set
+incrementally on block state changes, so a candidates call is
+O(pool size) instead of O(blocks per plane).  This bench ages a device
+on the Fig 3 workload shape (uniform random single-sector churn until
+GC is active), verifies both implementations agree on every plane, and
+times them head-to-head.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.presets import mqsim_baseline
+
+AGING_WRITES = 6_000
+TIMING_ROUNDS = 400
+
+
+def _aged_device() -> SimulatedSSD:
+    device = SimulatedSSD(mqsim_baseline(scale=4))
+    rng = np.random.default_rng(11)
+    for _ in range(AGING_WRITES):
+        device.write_sectors(int(rng.integers(device.num_sectors)), 1)
+    device.flush()
+    return device
+
+
+def _time_calls(fn, planes: int, rounds: int) -> float:
+    started = time.perf_counter()
+    for _ in range(rounds):
+        for plane in range(planes):
+            fn(plane)
+    return time.perf_counter() - started
+
+
+@pytest.mark.benchmark(group="micro-gc")
+def test_micro_gc_candidates(benchmark, figure_output):
+    def experiment():
+        device = _aged_device()
+        selector = device.ftl.selector
+        planes = selector.geometry.planes_total
+
+        pools = [selector.candidates(p) for p in range(planes)]
+        scans = [selector.candidates_scan(p) for p in range(planes)]
+        assert pools == scans  # same candidates, same order
+
+        incremental_s = _time_calls(selector.candidates, planes,
+                                    TIMING_ROUNDS)
+        scan_s = _time_calls(selector.candidates_scan, planes,
+                             TIMING_ROUNDS)
+        return {
+            "planes": planes,
+            "pool_size": sum(len(p) for p in pools) // max(1, planes),
+            "blocks_per_plane": selector.geometry.blocks_per_plane,
+            "calls": TIMING_ROUNDS * planes,
+            "incremental_s": incremental_s,
+            "scan_s": scan_s,
+        }
+
+    result = run_once(benchmark, experiment)
+    calls = result["calls"]
+    rows = [
+        ["full scan", calls, round(result["scan_s"] * 1e3, 1),
+         round(result["scan_s"] / calls * 1e6, 2)],
+        ["incremental index", calls, round(result["incremental_s"] * 1e3, 1),
+         round(result["incremental_s"] / calls * 1e6, 2)],
+    ]
+    figure_output(
+        "micro_gc_candidates",
+        "Micro — GC candidate selection, incremental index vs plane scan "
+        f"(mean pool {result['pool_size']} of "
+        f"{result['blocks_per_plane']} blocks/plane)",
+        ["implementation", "calls", "total (ms)", "us/call"],
+        rows,
+    )
+    speedup = result["scan_s"] / result["incremental_s"]
+    print(f"\nincremental speedup: {speedup:.2f}x")
+    # The index must not be slower than the scan it replaced (it is
+    # typically several times faster; the slack absorbs timer noise).
+    assert result["incremental_s"] < result["scan_s"] * 1.1

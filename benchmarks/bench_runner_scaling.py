@@ -1,0 +1,105 @@
+"""Runner scaling: the Fig 3 study under varying worker counts, cold
+vs warm cache.
+
+Measures the experiment layer itself rather than the simulator: the
+same fidelity-study cell grid is executed at jobs ∈ {1, 2, 4} with a
+fresh content-addressed cache per row (cold) and then re-run against
+the populated cache (warm).  Results are asserted identical across all
+configurations — the runner may only change wall-clock, never output.
+
+Speedup from extra workers requires the cores to exist, so the ≥2x
+assertion at jobs=4 is gated on the machine actually exposing 4 CPUs;
+the warm-cache win (hits are millisecond unpickles) holds on any
+machine and is asserted unconditionally.  The CSV records the CPU
+count so rows from different runners stay interpretable.
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.modeling.fidelity import run_fidelity_study
+from repro.exp import ResultCache, Runner
+from repro.ssd.presets import mqsim_baseline
+
+JOB_COUNTS = (1, 2, 4)
+BLOCK_SIZES = (1, 2)
+IO_COUNT = 1200
+CPUS = os.cpu_count() or 1
+
+
+def _timed_study(jobs: int, cache_dir: str):
+    runner = Runner(jobs=jobs, cache=ResultCache(cache_dir))
+    started = time.perf_counter()
+    study = run_fidelity_study(
+        mqsim_baseline(scale=4),
+        block_sizes_sectors=BLOCK_SIZES,
+        io_count=IO_COUNT,
+        runner=runner,
+    )
+    return study, time.perf_counter() - started, runner
+
+
+@pytest.mark.benchmark(group="runner-scaling")
+def test_runner_scaling(benchmark, figure_output):
+    def experiment():
+        rows = {}
+        for jobs in JOB_COUNTS:
+            cache_dir = tempfile.mkdtemp(prefix=f"repro-scaling-j{jobs}-")
+            try:
+                study, cold_s, _ = _timed_study(jobs, cache_dir)
+                warm_study, warm_s, warm_runner = _timed_study(jobs, cache_dir)
+                assert warm_runner.stats.executed == 0
+                rows[jobs] = (study, cold_s, warm_study, warm_s)
+            finally:
+                shutil.rmtree(cache_dir, ignore_errors=True)
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    # The runner must be invisible in the numbers: every jobs value and
+    # every warm re-run reproduces the serial study exactly.
+    reference = rows[1][0]
+    for jobs, (study, _, warm_study, _) in rows.items():
+        for variant_set in (study.results, warm_study.results):
+            for a, b in zip(reference.results, variant_set):
+                assert (a.variant, a.bs_sectors) == (b.variant, b.bs_sectors)
+                assert a.summary == b.summary
+                assert np.array_equal(a.tail_values_us, b.tail_values_us)
+
+    serial_cold = rows[1][1]
+    table = []
+    for jobs in JOB_COUNTS:
+        _, cold_s, _, warm_s = rows[jobs]
+        table.append([
+            jobs,
+            round(cold_s, 2),
+            round(warm_s, 3),
+            round(serial_cold / cold_s, 2),
+            round(warm_s / cold_s, 3),
+            CPUS,
+        ])
+    figure_output(
+        "runner_scaling",
+        "Experiment runner — Fig 3 study wall-clock by worker count",
+        ["jobs", "cold (s)", "warm (s)", "speedup vs jobs=1",
+         "warm/cold", "cpus"],
+        table,
+    )
+
+    # Warm cache: every cell is a hit, so the re-run must be a small
+    # fraction of the cold run whatever the core count.
+    for jobs in JOB_COUNTS:
+        _, cold_s, _, warm_s = rows[jobs]
+        assert warm_s < 0.10 * cold_s, (jobs, cold_s, warm_s)
+
+    # Parallel speedup needs the silicon to exist.
+    if CPUS >= 4:
+        assert serial_cold / rows[4][1] >= 2.0
+    if CPUS >= 2:
+        assert serial_cold / rows[2][1] >= 1.3

@@ -33,6 +33,14 @@ def _preset(name: str, scale: int):
         raise SystemExit(f"unknown preset {name!r}; known: {known}")
 
 
+def _make_runner(args):
+    """Build a Runner from the shared --jobs / --no-cache flags."""
+    from repro.exp import ResultCache, Runner
+
+    cache = None if args.no_cache else ResultCache()
+    return Runner(jobs=args.jobs, cache=cache)
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
@@ -153,21 +161,22 @@ def cmd_trace(args) -> int:
 
 
 def cmd_latency(args) -> int:
-    from repro.ssd.timed import TimedSSD
-    from repro.workloads.engine import run_timed
+    from repro.exp import Cell, TimedJobCell, run_timed_job_cell
     from repro.workloads.patterns import Region
     from repro.workloads.spec import JobSpec
 
     if args.submission == "open" and args.rate <= 0:
         print("latency: --submission open needs --rate > 0 (IOPS)")
         return 1
-    device = TimedSSD(_preset(args.preset, args.scale))
-    job = JobSpec("cli", "randwrite", Region(0, device.num_sectors),
+    config = _preset(args.preset, args.scale)
+    job = JobSpec("cli", "randwrite", Region(0, config.logical_sectors),
                   bs_sectors=args.bs, io_count=args.writes,
                   iodepth=args.iodepth, seed=args.seed,
                   submission=args.submission, rate_iops=args.rate,
                   arrival=args.arrival)
-    result = run_timed(device, [job])
+    runner = _make_runner(args)
+    cell = Cell(run_timed_job_cell, TimedJobCell(config, job), label="cli:latency")
+    [result] = runner.run([cell])
     job_result = result.jobs["cli"]
     summary = summarize_latencies(job_result.latencies_us)
     loop = (f"open loop @ {args.rate:g} IOPS ({args.arrival})"
@@ -180,6 +189,7 @@ def cmd_latency(args) -> int:
          ["max (us)", summary.max]],
         title=f"timed random writes on {args.preset} ({loop})",
     ))
+    print(runner.describe())
     return 0
 
 
@@ -201,11 +211,12 @@ def cmd_nand_page(args) -> int:
 
 def cmd_waf_study(args) -> int:
     from repro.core.blackbox.waf import run_waf_study
-    from repro.ssd.device import SimulatedSSD
 
+    runner = _make_runner(args)
     study = run_waf_study(
-        lambda: SimulatedSSD(_preset(args.preset, args.scale)),
+        config=_preset(args.preset, args.scale),
         io_count=args.io_count,
+        runner=runner,
     )
     rows = [[w.name, w.requests, round(w.waf, 3)] for w in study.separate]
     rows.append(["expected mixed", "-", round(study.expected_mixed_waf, 3)])
@@ -213,6 +224,7 @@ def cmd_waf_study(args) -> int:
     print(format_table(["workload", "requests", "WAF"], rows,
                        title="Fig 4b — WAF extrapolation study"))
     print(f"\nextrapolation error: {study.extrapolation_error:.2f}x")
+    print(runner.describe())
     return 0
 
 
@@ -220,10 +232,12 @@ def cmd_fidelity(args) -> int:
     from repro.core.modeling.fidelity import run_fidelity_study
     from repro.ssd.presets import mqsim_baseline
 
+    runner = _make_runner(args)
     study = run_fidelity_study(
         mqsim_baseline(scale=args.scale),
         block_sizes_sectors=(1, 4),
         io_count=args.io_count,
+        runner=runner,
     )
     rows = []
     for bs in study.block_sizes():
@@ -239,6 +253,7 @@ def cmd_fidelity(args) -> int:
     ))
     for bs in study.block_sizes():
         print(f"\np99 spread at {bs * 4}K: {study.p99_spread(bs):.2f}x")
+    print(runner.describe())
     return 0
 
 
@@ -320,6 +335,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="geometry down-scale factor (default 2)")
         p.add_argument("--seed", type=int, default=42)
 
+    def parallel(p):
+        p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: REPRO_JOBS or CPU count)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache")
+
     p = sub.add_parser("presets", help="list device presets")
     p.add_argument("--scale", type=int, default=2)
     p.set_defaults(fn=cmd_presets)
@@ -357,6 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arrival", default="poisson",
                    choices=["poisson", "fixed"],
                    help="open-loop inter-arrival distribution")
+    parallel(p)
     p.set_defaults(fn=cmd_latency)
 
     p = sub.add_parser("nand-page", help="Fig 4a NAND-page estimation")
@@ -366,11 +388,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("waf-study", help="Fig 4b WAF extrapolation study")
     common(p)
     p.add_argument("--io-count", type=int, default=12_000)
+    parallel(p)
     p.set_defaults(fn=cmd_waf_study)
 
     p = sub.add_parser("fidelity", help="Fig 3 FTL-variant latency study")
     p.add_argument("--scale", type=int, default=4)
     p.add_argument("--io-count", type=int, default=2_000)
+    parallel(p)
     p.set_defaults(fn=cmd_fidelity)
 
     p = sub.add_parser("compression", help="Fig 2 compression schemes")

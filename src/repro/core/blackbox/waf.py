@@ -24,6 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.exp.cell import Cell
+from repro.exp.runner import Runner, run_cells
+from repro.ssd.config import SsdConfig
 from repro.ssd.host import HostDevice
 from repro.workloads.engine import run_counter
 from repro.workloads.patterns import Region
@@ -83,35 +86,94 @@ def prime(device: HostDevice, fraction: float = 0.6, seed: int = 5) -> None:
     device.flush()
 
 
+@dataclass(frozen=True)
+class WafCellSpec:
+    """One run of the Fig 4b protocol: prime a fresh device, then run
+    the given jobs concurrently and report the SMART WAF delta.  A
+    single job models a 'separate' run; the full tuple is the mixed
+    run.  Every run is independent (its own fresh device), which is
+    what lets the runner execute all four concurrently."""
+
+    config: SsdConfig
+    jobs: tuple[JobSpec, ...]
+    prime_fraction: float
+
+
+def measure_waf_cell(spec: WafCellSpec, seed: int = 0) -> WorkloadWaf:
+    from repro.ssd.device import SimulatedSSD
+
+    device = SimulatedSSD(spec.config)
+    prime(device, spec.prime_fraction)
+    before = device.smart_snapshot()
+    run_counter(device, list(spec.jobs))
+    delta = device.smart.delta(before)
+    return WorkloadWaf(
+        name="+".join(job.name for job in spec.jobs),
+        waf=delta.waf(),
+        requests=sum(job.io_count for job in spec.jobs),
+        host_pages=delta.host_program_pages,
+        ftl_pages=delta.ftl_program_pages,
+    )
+
+
 def run_waf_study(
-    device_factory: Callable[[], HostDevice],
+    device_factory: Callable[[], HostDevice] | None = None,
     jobs: list[JobSpec] | None = None,
     io_count: int = 24_000,
     prime_fraction: float = 0.6,
+    config: SsdConfig | None = None,
+    runner: Runner | None = None,
 ) -> WafStudy:
     """Execute the full separate-then-mixed protocol.
 
-    ``device_factory`` builds one fresh device per run so every run
-    starts from an identically-primed drive.
-    """
-    probe_device = device_factory()
-    if jobs is None:
-        jobs = default_jobs(probe_device.num_sectors, io_count)
+    Two entry modes:
 
-    separate: list[WorkloadWaf] = []
-    for job in jobs:
-        device = device_factory()
-        prime(device, prime_fraction)
-        before = device.smart_snapshot()
-        run_counter(device, [job])
-        delta = device.smart.delta(before)
-        separate.append(WorkloadWaf(
-            name=job.name,
-            waf=delta.waf(),
-            requests=job.io_count,
-            host_pages=delta.host_program_pages,
-            ftl_pages=delta.ftl_program_pages,
-        ))
+    * ``device_factory`` builds one fresh device per run so every run
+      starts from an identically-primed drive (legacy serial path —
+      closures cannot cross process boundaries);
+    * ``config`` describes a :class:`~repro.ssd.device.SimulatedSSD`
+      per run, making each of the four runs (three separate + mixed) a
+      picklable :class:`~repro.exp.cell.Cell` that *runner* can fan
+      out.  Both paths produce identical numbers.
+    """
+    if (device_factory is None) == (config is None):
+        raise ValueError("pass exactly one of device_factory or config")
+
+    if config is not None:
+        if jobs is None:
+            jobs = default_jobs(config.logical_sectors, io_count)
+        specs = [WafCellSpec(config, (job,), prime_fraction) for job in jobs]
+        specs.append(WafCellSpec(config, tuple(jobs), prime_fraction))
+        cells = [Cell(measure_waf_cell, spec, label=f"waf:{'+'.join(j.name for j in spec.jobs)}")
+                 for spec in specs]
+        results = run_cells(cells, runner)
+        separate = results[:-1]
+        measured = results[-1].waf
+    else:
+        probe_device = device_factory()
+        if jobs is None:
+            jobs = default_jobs(probe_device.num_sectors, io_count)
+
+        separate = []
+        for job in jobs:
+            device = device_factory()
+            prime(device, prime_fraction)
+            before = device.smart_snapshot()
+            run_counter(device, [job])
+            delta = device.smart.delta(before)
+            separate.append(WorkloadWaf(
+                name=job.name,
+                waf=delta.waf(),
+                requests=job.io_count,
+                host_pages=delta.host_program_pages,
+                ftl_pages=delta.ftl_program_pages,
+            ))
+
+        mixed_device = device_factory()
+        prime(mixed_device, prime_fraction)
+        before = mixed_device.smart_snapshot()
+        run_counter(mixed_device, jobs)
+        measured = mixed_device.smart.delta(before).waf()
 
     # The paper's prediction: weight each workload's WAF by its IOPS
     # share.  In the interleaved mixed run each job issues its io_count
@@ -119,12 +181,6 @@ def run_waf_study(
     # weights.
     total_requests = sum(w.requests for w in separate)
     expected = sum(w.waf * w.requests for w in separate) / total_requests
-
-    mixed_device = device_factory()
-    prime(mixed_device, prime_fraction)
-    before = mixed_device.smart_snapshot()
-    run_counter(mixed_device, jobs)
-    measured = mixed_device.smart.delta(before).waf()
 
     return WafStudy(
         separate=separate,

@@ -19,6 +19,7 @@ tail behaviour is far beyond what the validation establishes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -29,6 +30,8 @@ from repro.analysis.stats import (
     summarize_latencies,
     tail_curve,
 )
+from repro.exp.cell import Cell
+from repro.exp.runner import Runner, run_cells
 from repro.ssd.config import SsdConfig
 from repro.ssd.timed import TimedSSD
 from repro.workloads.engine import run_timed
@@ -125,6 +128,75 @@ class FidelityStudy:
         }
 
 
+@dataclass(frozen=True)
+class FidelityCellSpec:
+    """One (variant, request size) point of the Fig 3 grid — the unit
+    the parallel runner fans out.  ``trace_path`` makes the cell write
+    its own JSONL event trace from inside the worker (the parallel
+    replacement for the in-process ``on_device`` hook)."""
+
+    variant: str
+    config: SsdConfig
+    bs_sectors: int
+    io_count: int
+    precondition_fraction: float
+    tail_points: int
+    trace_path: str | None = None
+
+
+def fidelity_trace_path(trace_dir: str | Path, variant: str, bs: int,
+                        prefix: str = "fidelity") -> Path:
+    """Canonical trace-file name for one fidelity cell."""
+    safe = variant.replace("=", "-")
+    return Path(trace_dir) / f"{prefix}_{safe}_bs{bs}.jsonl"
+
+
+def measure_fidelity_cell(
+    spec: FidelityCellSpec,
+    seed: int = 0,
+    _on_device: Callable[[TimedSSD, str, int], None] | None = None,
+) -> VariantResult:
+    """Measure one variant at one request size on a fresh device.
+
+    Pure in (spec, seed) — the device is built, preconditioned,
+    measured, and discarded here, which is what makes the study grid
+    embarrassingly parallel.  ``_on_device`` is the legacy in-process
+    hook; the picklable path uses ``spec.trace_path`` instead.
+    """
+    device = TimedSSD(spec.config)
+    _precondition(device, spec.precondition_fraction)
+    sink = None
+    if spec.trace_path is not None:
+        from repro.obs.sinks import JsonlSink
+
+        sink = JsonlSink(spec.trace_path)
+        device.attach_sink(sink)
+    if _on_device is not None:
+        _on_device(device, spec.variant, spec.bs_sectors)
+    job = JobSpec(
+        name=f"{spec.variant}/bs{spec.bs_sectors}",
+        rw="randwrite",
+        region=Region(0, device.num_sectors),
+        bs_sectors=spec.bs_sectors,
+        io_count=spec.io_count,
+        iodepth=4,
+        seed=97,
+    )
+    result = run_timed(device, [job])
+    if sink is not None:
+        sink.close()
+    job_result = result.jobs[job.name]
+    qs, values = tail_curve(job_result.latencies_us, points=spec.tail_points)
+    return VariantResult(
+        variant=spec.variant,
+        bs_sectors=spec.bs_sectors,
+        summary=summarize_latencies(job_result.latencies_us),
+        iops=job_result.iops,
+        tail_percentiles=qs,
+        tail_values_us=values,
+    )
+
+
 def run_fidelity_study(
     base: SsdConfig,
     block_sizes_sectors: tuple[int, ...] = (1, 2, 4),
@@ -133,6 +205,9 @@ def run_fidelity_study(
     tail_points: int = 40,
     variants: list[FtlVariant] | None = None,
     on_device: Callable[[TimedSSD, str, int], None] | None = None,
+    runner: Runner | None = None,
+    trace_dir: str | Path | None = None,
+    trace_prefix: str = "fidelity",
 ) -> FidelityStudy:
     """Measure every variant at every request size.
 
@@ -140,39 +215,52 @@ def run_fidelity_study(
     overwrites (the standard protocol before measuring SSD latency) so
     GC is active during measurement.
 
-    ``on_device(device, variant_name, bs_sectors)`` is called after
-    preconditioning and before measurement of each point — the hook
-    where observability sinks are attached (see :mod:`repro.obs`), so a
-    figure run can explain *why* its tail moved.
+    Every (variant, request size) point is an independent
+    :class:`~repro.exp.cell.Cell`; passing *runner* fans them out over
+    worker processes (``REPRO_JOBS`` controls the width) with results
+    merged back in grid order, byte-identical to the serial run.
+
+    Tracing: pass *trace_dir* to have each cell stream its own JSONL
+    event trace (named by :func:`fidelity_trace_path`) from inside the
+    worker; traced cells bypass the result cache since the trace is a
+    side effect.  ``on_device(device, variant_name, bs_sectors)`` is
+    the legacy in-process hook, called after preconditioning — it
+    cannot cross a process boundary, so it requires ``runner=None``.
     """
     variants = variants if variants is not None else paper_variants(base)
+    if on_device is not None and runner is not None:
+        raise ValueError(
+            "on_device is an in-process hook; use trace_dir with a runner")
+    specs = [
+        FidelityCellSpec(
+            variant=variant.name,
+            config=variant.config,
+            bs_sectors=bs,
+            io_count=io_count,
+            precondition_fraction=precondition_fraction,
+            tail_points=tail_points,
+            trace_path=(str(fidelity_trace_path(trace_dir, variant.name, bs,
+                                                trace_prefix))
+                        if trace_dir is not None else None),
+        )
+        for variant in variants
+        for bs in block_sizes_sectors
+    ]
     study = FidelityStudy()
-    for variant in variants:
-        for bs in block_sizes_sectors:
-            device = TimedSSD(variant.config)
-            _precondition(device, precondition_fraction)
-            if on_device is not None:
-                on_device(device, variant.name, bs)
-            job = JobSpec(
-                name=f"{variant.name}/bs{bs}",
-                rw="randwrite",
-                region=Region(0, device.num_sectors),
-                bs_sectors=bs,
-                io_count=io_count,
-                iodepth=4,
-                seed=97,
-            )
-            result = run_timed(device, [job])
-            job_result = result.jobs[job.name]
-            qs, values = tail_curve(job_result.latencies_us, points=tail_points)
-            study.results.append(VariantResult(
-                variant=variant.name,
-                bs_sectors=bs,
-                summary=summarize_latencies(job_result.latencies_us),
-                iops=job_result.iops,
-                tail_percentiles=qs,
-                tail_values_us=values,
-            ))
+    if on_device is not None:
+        study.results = [measure_fidelity_cell(spec, _on_device=on_device)
+                         for spec in specs]
+        return study
+    cells = [
+        Cell(
+            measure_fidelity_cell,
+            spec,
+            label=f"fidelity:{spec.variant}/bs{spec.bs_sectors}",
+            cacheable=spec.trace_path is None,
+        )
+        for spec in specs
+    ]
+    study.results = run_cells(cells, runner)
     return study
 
 

@@ -1,0 +1,128 @@
+"""Content-addressed on-disk result cache for experiment cells.
+
+A cell's result is addressed by the stable hash of (function qualname,
+config, seed, code salt) — see :meth:`repro.exp.cell.Cell.key` — so an
+unchanged cell is free on re-run and any change to its inputs or to the
+code version misses cleanly.  Entries are plain pickles laid out as::
+
+    <root>/<salt>/<key[:2]>/<key>.pkl
+
+``<root>`` defaults to ``~/.cache/repro-ssd`` and is overridden by the
+``REPRO_CACHE_DIR`` environment variable.  Keeping the salt in the path
+(not just the key) lets ``clear()`` drop a whole code generation at
+once and keeps directory listings debuggable.
+
+Corrupted entries (truncated writes, foreign junk) are discarded and
+recomputed, never fatal: reads trap every unpickling failure, and
+writes go through a temp file + ``os.replace`` so a crashed run cannot
+leave a half-written entry under its final name.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro import __version__
+
+#: Code-version salt mixed into every cell key.  Bump the trailing
+#: schema number whenever a change alters what existing cell functions
+#: compute without changing their configs (the package version covers
+#: release-level changes).
+CODE_SALT = f"repro-{__version__}-exp1"
+
+
+def default_cache_dir() -> Path:
+    """``REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-ssd``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-ssd"
+
+
+@dataclass
+class CacheStats:
+    """Counters the CLI surfaces as cache-stats."""
+
+    hits: int = 0
+    misses: int = 0
+    stored: int = 0
+    discarded: int = 0
+
+    def describe(self) -> str:
+        text = f"{self.hits} hits, {self.misses} misses, {self.stored} stored"
+        if self.discarded:
+            text += f", {self.discarded} corrupt discarded"
+        return text
+
+
+class ResultCache:
+    """Pickle store keyed by content address.
+
+    ``get`` returns ``(hit, value)`` rather than a sentinel so cells may
+    legitimately cache ``None``.
+    """
+
+    def __init__(self, root: str | Path | None = None,
+                 salt: str = CODE_SALT) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.salt = salt
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / self.salt / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return False, None
+        except Exception:
+            # Truncated, corrupted, or unpicklable entry: drop it and
+            # let the runner recompute.
+            self.stats.discarded += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+        self.stats.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stored += 1
+
+    def clear(self) -> int:
+        """Delete every entry under this cache's salt; returns count."""
+        base = self.root / self.salt
+        removed = 0
+        if not base.exists():
+            return 0
+        for entry in sorted(base.rglob("*.pkl")):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,116 @@
+"""Stable content hashing for experiment configurations.
+
+Cache keys and worker dispatch must be identical across processes and
+interpreter invocations, which rules out everything built on Python's
+``hash()`` (salted per process via ``PYTHONHASHSEED``) or on ``id()``
+(address-dependent) or on incidental ``repr`` details.  This module
+canonicalizes a configuration object — dataclasses, containers, numpy
+values, functions — into a byte stream with explicit type tags and
+hashes it with SHA-256.
+
+Canonicalization rules:
+
+* dataclasses encode as class qualname plus ``(field, value)`` pairs in
+  field-declaration order, so two instances are equal iff their fields
+  are;
+* dicts encode entries sorted by the digest of each key, so insertion
+  order never matters;
+* sets likewise encode members in digest order;
+* functions encode as ``module.qualname`` — the identity under which a
+  worker process re-imports them;
+* floats encode via ``repr`` (shortest round-trip form, stable across
+  CPython versions >= 3.1) and numpy scalars via their Python ``item()``.
+
+Anything unrecognized raises ``TypeError`` rather than silently hashing
+an unstable ``repr``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from pathlib import PurePath
+from typing import Any
+
+import numpy as np
+
+
+def stable_digest(obj: Any) -> str:
+    """Hex SHA-256 of *obj*'s canonical encoding (stable across
+    processes, machines, and ``PYTHONHASHSEED`` values)."""
+    h = hashlib.sha256()
+    _encode(obj, h.update)
+    return h.hexdigest()
+
+
+def _encode(obj: Any, emit) -> None:
+    # NOTE: bool before int (bool is an int subclass); every branch
+    # starts with a distinct type tag so values of different types can
+    # never collide byte-wise.
+    if obj is None:
+        emit(b"N;")
+    elif isinstance(obj, bool):
+        emit(b"B1;" if obj else b"B0;")
+    elif isinstance(obj, int):
+        # int(obj) so numpy integer subclasses encode like Python ints.
+        emit(b"I" + str(int(obj)).encode() + b";")
+    elif isinstance(obj, float):
+        # repr(float(obj)) because np.float64 subclasses float but its
+        # own repr ("np.float64(0.5)") is not the canonical form.
+        emit(b"F" + repr(float(obj)).encode() + b";")
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        emit(b"S" + str(len(raw)).encode() + b":")
+        emit(raw)
+    elif isinstance(obj, (bytes, bytearray)):
+        emit(b"Y" + str(len(obj)).encode() + b":")
+        emit(bytes(obj))
+    elif isinstance(obj, enum.Enum):
+        emit(b"E" + type(obj).__qualname__.encode() + b"." + obj.name.encode() + b";")
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        emit(b"D" + f"{cls.__module__}.{cls.__qualname__}".encode() + b"{")
+        for field in dataclasses.fields(obj):
+            emit(field.name.encode() + b"=")
+            _encode(getattr(obj, field.name), emit)
+        emit(b"}")
+    elif isinstance(obj, (list, tuple)):
+        emit(b"L" if isinstance(obj, list) else b"T")
+        emit(str(len(obj)).encode() + b"[")
+        for item in obj:
+            _encode(item, emit)
+        emit(b"]")
+    elif isinstance(obj, dict):
+        entries = sorted(
+            ((stable_digest(key), key, value) for key, value in obj.items()),
+            key=lambda e: e[0],
+        )
+        emit(b"M" + str(len(entries)).encode() + b"{")
+        for _, key, value in entries:
+            _encode(key, emit)
+            emit(b":")
+            _encode(value, emit)
+        emit(b"}")
+    elif isinstance(obj, (set, frozenset)):
+        digests = sorted(stable_digest(item) for item in obj)
+        emit(b"X" + str(len(digests)).encode() + b"{")
+        for digest in digests:
+            emit(digest.encode())
+        emit(b"}")
+    elif isinstance(obj, np.generic):
+        _encode(obj.item(), emit)
+    elif isinstance(obj, np.ndarray):
+        emit(b"A" + str(obj.dtype).encode() + b"|")
+        emit(str(obj.shape).encode() + b"|")
+        emit(np.ascontiguousarray(obj).tobytes())
+    elif isinstance(obj, PurePath):
+        _encode(str(obj), emit)
+    elif callable(obj) and hasattr(obj, "__qualname__"):
+        module = getattr(obj, "__module__", "") or ""
+        emit(b"C" + f"{module}.{obj.__qualname__}".encode() + b";")
+    else:
+        raise TypeError(
+            f"cannot canonically encode {type(obj).__name__!r} for a stable "
+            f"hash; add an explicit rule or convert it to a supported type"
+        )

@@ -1,0 +1,171 @@
+"""Fan experiment cells out over worker processes.
+
+The :class:`Runner` is the one place concurrency lives in the
+experiment layer: studies build a flat list of :class:`~repro.exp.cell.Cell`
+objects and get back results **in submission order**, whatever order
+workers finished in — which is why a parallel study is byte-identical
+to its serial counterpart (each cell is already deterministic and
+self-seeded; the runner only changes *where* it executes).
+
+Worker count resolution (first match wins):
+
+1. the ``jobs`` constructor argument,
+2. the ``REPRO_JOBS`` environment variable,
+3. ``os.cpu_count()``.
+
+``jobs=1`` (or a single pending cell) runs everything in-process with
+no executor, so the serial path has zero multiprocessing overhead and
+is always available as the reference behavior.
+
+A worker exception is re-raised in the parent as
+:class:`~repro.exp.cell.CellError` carrying the failing cell's identity
+(label, function, seed, index) with the original exception chained.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.exp.cache import CODE_SALT, ResultCache
+from repro.exp.cell import Cell, CellError, execute_cell
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count from argument, ``REPRO_JOBS``, or the CPU count."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass  # an unparsable env var must not crash every study
+    return os.cpu_count() or 1
+
+
+@dataclass
+class RunnerStats:
+    """What the last ``run`` did (cumulative across runs)."""
+
+    cells: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    wall_s: float = 0.0
+
+
+class Runner:
+    """Executes cells over a process pool with optional result caching.
+
+    ``cache=None`` (the default) disables caching; pass a
+    :class:`~repro.exp.cache.ResultCache` to make unchanged cells free
+    on re-run.  ``salt`` defaults to the package code-version salt so
+    cached results die with the code that produced them.
+    """
+
+    def __init__(self, jobs: int | None = None,
+                 cache: ResultCache | None = None,
+                 salt: str = CODE_SALT) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        self.salt = salt
+        self.stats = RunnerStats()
+
+    def run(self, cells: Sequence[Cell]) -> list[Any]:
+        """Execute *cells*, returning results in submission order."""
+        started = time.perf_counter()
+        results: list[Any] = [None] * len(cells)
+        pending: list[int] = []
+        for index, cell in enumerate(cells):
+            if self.cache is not None and cell.cacheable:
+                hit, value = self.cache.get(cell.key(self.salt))
+                if hit:
+                    results[index] = value
+                    self.stats.cache_hits += 1
+                    continue
+            pending.append(index)
+
+        if self.jobs <= 1 or len(pending) <= 1:
+            for index in pending:
+                results[index] = self._execute_serial(cells[index], index)
+        else:
+            self._execute_parallel(cells, pending, results)
+
+        if self.cache is not None:
+            for index in pending:
+                if cells[index].cacheable:
+                    self.cache.put(cells[index].key(self.salt), results[index])
+
+        self.stats.cells += len(cells)
+        self.stats.executed += len(pending)
+        self.stats.wall_s += time.perf_counter() - started
+        return results
+
+    def describe(self) -> str:
+        """One status line for CLIs: worker and cache accounting."""
+        text = (f"exp: {self.stats.cells} cells, {self.stats.executed} "
+                f"executed, jobs={self.jobs}, wall {self.stats.wall_s:.2f}s")
+        if self.cache is not None:
+            text += f"; cache [{self.cache.stats.describe()}] at {self.cache.root}"
+        else:
+            text += "; cache disabled"
+        return text
+
+    # ------------------------------------------------------------------
+
+    def _execute_serial(self, cell: Cell, index: int) -> Any:
+        try:
+            return execute_cell(cell)
+        except Exception as exc:
+            raise CellError(cell, index, exc) from exc
+
+    def _execute_parallel(self, cells: Sequence[Cell], pending: list[int],
+                          results: list[Any]) -> None:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(execute_cell, cells[index]): index
+                for index in pending
+            }
+            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+            if not_done and any(f.exception() for f in done):
+                # Fail fast: drop cells not yet started, but let the
+                # ones already running settle so the failure we report
+                # is the lowest-indexed one among everything that ran.
+                for future in not_done:
+                    future.cancel()
+                done, _ = wait(futures)
+            failed: tuple[int, BaseException] | None = None
+            for future in done:
+                index = futures[future]
+                if future.cancelled():
+                    continue
+                exc = future.exception()
+                if exc is not None:
+                    if failed is None or index < failed[0]:
+                        failed = (index, exc)
+                    continue
+                results[index] = future.result()
+            if failed is not None:
+                index, exc = failed
+                raise CellError(cells[index], index, exc) from exc
+
+
+def run_cells(cells: Sequence[Cell], runner: Runner | None = None) -> list[Any]:
+    """Run cells through *runner*, or serially in-process when ``None``.
+
+    The ``None`` path is the zero-dependency fallback study functions
+    use so their legacy signatures keep working unchanged.
+    """
+    if runner is not None:
+        return runner.run(cells)
+    out = []
+    for index, cell in enumerate(cells):
+        try:
+            out.append(execute_cell(cell))
+        except Exception as exc:
+            raise CellError(cell, index, exc) from exc
+    return out

@@ -83,6 +83,11 @@ class PageAllocator:
         #: monotonically increasing allocation stamp per block (for FIFO GC).
         self.block_alloc_seq: dict[int, int] = {}
         self._alloc_seq = 0
+        #: per-plane sealed-block index: fully-written, non-active,
+        #: non-retired blocks — exactly the GC candidate pool.  Kept
+        #: incrementally on block state changes so victim selection is
+        #: O(candidates), not a full plane scan per GC invocation.
+        self._sealed: list[set[int]] = [set() for _ in range(planes)]
 
     # ------------------------------------------------------------------
     # Scheme machinery
@@ -156,6 +161,10 @@ class PageAllocator:
             block = self._pop_free_block(plane)
             if block is None:
                 return None
+            if active is not None:
+                # The outgoing active block is fully written: it joins
+                # the GC candidate pool the moment it stops being active.
+                self._sealed[plane].add(active.block_index)
             active = _ActiveBlock(block, 0)
             self._active[key] = active
         ppn = active.block_index * self.geometry.pages_per_block + active.next_page
@@ -170,6 +179,7 @@ class PageAllocator:
                 continue
             self._alloc_seq += 1
             self.block_alloc_seq[block] = self._alloc_seq
+            self._sealed[plane].discard(block)
             return block
         return None
 
@@ -181,8 +191,10 @@ class PageAllocator:
         """Return an erased block to its plane's free pool."""
         if block_index in self._retired:
             return
+        plane = self._plane_of_block(block_index)
         self.block_alloc_seq.pop(block_index, None)
-        self._free_blocks[self._plane_of_block(block_index)].append(block_index)
+        self._sealed[plane].discard(block_index)
+        self._free_blocks[plane].append(block_index)
 
     def retire_block(self, block_index: int) -> None:
         """Permanently remove a bad block from circulation."""
@@ -191,13 +203,50 @@ class PageAllocator:
         pool = self._free_blocks[plane]
         if block_index in pool:
             pool.remove(block_index)
+        self._sealed[plane].discard(block_index)
         for key, active in list(self._active.items()):
             if active.block_index == block_index:
                 del self._active[key]
 
     def abandon_active(self, stream: str, plane: int) -> None:
         """Drop the active block of a stream (used on program failure)."""
-        self._active.pop((plane, stream), None)
+        active = self._active.pop((plane, stream), None)
+        if (active is not None
+                and self.nand.block_write_ptr[active.block_index]
+                >= self.geometry.pages_per_block):
+            self._sealed[plane].add(active.block_index)
+
+    # ------------------------------------------------------------------
+    # Sealed-block index (GC candidate pool)
+    # ------------------------------------------------------------------
+
+    def sealed_blocks(self, plane: int) -> set[int]:
+        """The incrementally-maintained GC candidate pool for *plane*:
+        fully-written blocks that are neither active nor retired."""
+        return self._sealed[plane]
+
+    def reindex_sealed(self) -> None:
+        """Rebuild the sealed-block index from NAND state.
+
+        Needed when flash content changes behind the allocator's back:
+        after crash recovery replays programs directly into the NAND
+        array, or in tests that stage block states by hand.  Mirrors
+        the definition the per-event updates maintain incrementally.
+        """
+        geometry = self.geometry
+        active = self.active_blocks()
+        write_ptr = self.nand.block_write_ptr
+        for plane in range(geometry.planes_total):
+            start = plane * geometry.blocks_per_plane
+            sealed = self._sealed[plane]
+            sealed.clear()
+            for block in range(start, start + geometry.blocks_per_plane):
+                if block in active or block in self._retired:
+                    continue
+                if block in self.excluded_blocks:
+                    continue
+                if write_ptr[block] >= geometry.pages_per_block:
+                    sealed.add(block)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -59,11 +59,36 @@ class VictimSelector:
             "fifo": self._fifo,
             "cost_benefit": self._cost_benefit,
         }[policy]
+        # Seed the allocator's sealed-block index from current NAND
+        # state: callers may have programmed flash before attaching a
+        # selector (crash-recovery replay, tests staging block states).
+        allocator.reindex_sealed()
 
     # ------------------------------------------------------------------
 
     def candidates(self, plane: int, exclude: Iterable[int] = ()) -> list[int]:
-        """Fully-written, non-active, non-retired blocks in *plane*."""
+        """Fully-written, non-active, non-retired blocks in *plane*.
+
+        Served from the allocator's incrementally-maintained sealed
+        index — O(pool) per call rather than a scan of every block in
+        the plane.  Sorted ascending to match the scan order the
+        randomized policies' sampling depends on.
+        """
+        sealed = self.allocator.sealed_blocks(plane)
+        if not sealed:
+            return []
+        exclude = set(exclude)
+        if exclude:
+            return sorted(b for b in sealed if b not in exclude)
+        return sorted(sealed)
+
+    def candidates_scan(self, plane: int, exclude: Iterable[int] = ()) -> list[int]:
+        """Reference implementation: full plane scan.
+
+        Kept as the ground truth the incremental index is validated
+        against (``tests/ssd/test_gc.py``) and as the baseline for
+        ``benchmarks/bench_micro_gc_candidates.py``.
+        """
         geometry = self.geometry
         start = plane * geometry.blocks_per_plane
         end = start + geometry.blocks_per_plane

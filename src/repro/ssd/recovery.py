@@ -159,6 +159,9 @@ def _rebuild_allocator(ftl: Ftl, pslc_blocks: frozenset[int]) -> None:
             allocator._free_blocks[plane].append(block)
     for pool in allocator._free_blocks:
         pool.sort(reverse=True)
+    # Padding just filled every partially-written block, so the GC
+    # candidate pool changed under the allocator: rebuild its index.
+    allocator.reindex_sealed()
     # pSLC bookkeeping: resume each buffer block at its write pointer.
     pslc = ftl.pslc
     if pslc.enabled:

@@ -1,0 +1,14 @@
+"""Test-wide fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_result_cache(monkeypatch, tmp_path_factory):
+    """Keep tests out of the user's ~/.cache/repro-ssd: any code path
+    that falls back to the default result-cache location (e.g. the CLI
+    study commands) gets a per-session temporary directory instead."""
+    monkeypatch.setenv(
+        "REPRO_CACHE_DIR",
+        str(tmp_path_factory.getbasetemp() / "repro-cache"),
+    )

@@ -1,0 +1,120 @@
+"""Result-cache behavior: hits, misses, and corruption recovery."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.exp import CODE_SALT, Cell, ResultCache, Runner, default_cache_dir
+
+
+@dataclass(frozen=True)
+class Payload:
+    value: int
+    writes: int = 100
+
+
+def compute(config: Payload, seed: int) -> int:
+    return config.value * 1000 + seed
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestStore:
+    def test_get_on_empty_misses(self, cache):
+        hit, value = cache.get("ab" + "0" * 62)
+        assert not hit and value is None
+        assert cache.stats.misses == 1
+
+    def test_put_then_get_hits(self, cache):
+        key = Cell(compute, Payload(3)).key(CODE_SALT)
+        cache.put(key, 42)
+        hit, value = cache.get(key)
+        assert hit and value == 42
+        assert cache.stats.hits == 1 and cache.stats.stored == 1
+
+    def test_none_is_a_cacheable_value(self, cache):
+        key = Cell(compute, Payload(4)).key(CODE_SALT)
+        cache.put(key, None)
+        hit, value = cache.get(key)
+        assert hit and value is None
+
+    def test_corrupted_entry_discarded_and_recomputed(self, cache):
+        cell = Cell(compute, Payload(5), seed=2)
+        key = cell.key(CODE_SALT)
+        cache.put(key, 5002)
+        path = cache.path_for(key)
+        path.write_bytes(b"not a pickle at all")
+
+        hit, _ = cache.get(key)
+        assert not hit
+        assert cache.stats.discarded == 1
+        assert not path.exists()  # junk entry removed
+
+        # A runner over the same cell recomputes and restores the entry.
+        runner = Runner(jobs=1, cache=cache)
+        assert runner.run([cell]) == [5002]
+        hit, value = cache.get(key)
+        assert hit and value == 5002
+
+    def test_truncated_entry_discarded(self, cache):
+        key = Cell(compute, Payload(6)).key(CODE_SALT)
+        cache.put(key, list(range(1000)))
+        path = cache.path_for(key)
+        path.write_bytes(path.read_bytes()[:10])
+        hit, _ = cache.get(key)
+        assert not hit and cache.stats.discarded == 1
+
+    def test_clear_drops_only_this_salt(self, cache):
+        other = ResultCache(cache.root, salt="other-salt")
+        cache.put(Cell(compute, Payload(1)).key(CODE_SALT), 1)
+        other.put(Cell(compute, Payload(1)).key("other-salt"), 2)
+        assert cache.clear() == 1
+        assert other.get(Cell(compute, Payload(1)).key("other-salt"))[0]
+
+
+class TestKeying:
+    def test_hit_on_identical_cell(self, cache):
+        a = Cell(compute, Payload(7), seed=1)
+        b = Cell(compute, Payload(7), seed=1, label="different label")
+        cache.put(a.key(CODE_SALT), 7001)
+        assert cache.get(b.key(CODE_SALT)) == (True, 7001)  # label not keyed
+
+    def test_miss_on_config_change(self, cache):
+        cache.put(Cell(compute, Payload(8)).key(CODE_SALT), 8000)
+        hit, _ = cache.get(Cell(compute, Payload(8, writes=200)).key(CODE_SALT))
+        assert not hit
+
+    def test_miss_on_seed_change(self, cache):
+        cache.put(Cell(compute, Payload(9), seed=0).key(CODE_SALT), 9000)
+        hit, _ = cache.get(Cell(compute, Payload(9), seed=1).key(CODE_SALT))
+        assert not hit
+
+    def test_miss_on_salt_change(self, cache):
+        cell = Cell(compute, Payload(10))
+        cache.put(cell.key(CODE_SALT), 10000)
+        hit, _ = cache.get(cell.key(CODE_SALT + "-bumped"))
+        assert not hit
+
+    def test_miss_on_function_change(self, cache):
+        cache.put(Cell(compute, Payload(11)).key(CODE_SALT), 11000)
+        hit, _ = cache.get(Cell(print, Payload(11)).key(CODE_SALT))
+        assert not hit
+
+
+class TestLocation:
+    def test_env_var_overrides_default(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+
+    def test_default_under_home(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir().name == "repro-ssd"
+
+    def test_layout_salted_and_sharded(self, cache):
+        key = Cell(compute, Payload(12)).key(CODE_SALT)
+        path = cache.path_for(key)
+        assert path.parent.name == key[:2]
+        assert path.parent.parent.name == CODE_SALT

@@ -1,0 +1,119 @@
+"""Stable content hashing: cross-process identity and sensitivity."""
+
+import pickle
+import subprocess
+import sys
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.exp.hashing import stable_digest
+from repro.ssd.config import SsdConfig
+from repro.ssd.presets import mqsim_baseline, tiny
+from repro.workloads.patterns import Region
+from repro.workloads.spec import JobSpec
+
+
+@dataclass(frozen=True)
+class Point:
+    x: int
+    y: float
+
+
+class TestPrimitives:
+    def test_type_tags_distinguish_look_alikes(self):
+        assert stable_digest(1) != stable_digest(True)
+        assert stable_digest(0) != stable_digest(False)
+        assert stable_digest(1) != stable_digest(1.0)
+        assert stable_digest("1") != stable_digest(1)
+        assert stable_digest(b"a") != stable_digest("a")
+        assert stable_digest([1, 2]) != stable_digest((1, 2))
+        assert stable_digest(None) != stable_digest(0)
+
+    def test_dict_order_irrelevant(self):
+        assert stable_digest({"a": 1, "b": 2}) == stable_digest({"b": 2, "a": 1})
+
+    def test_set_order_irrelevant(self):
+        assert stable_digest({3, 1, 2}) == stable_digest({2, 3, 1})
+
+    def test_numpy_scalars_match_python(self):
+        assert stable_digest(np.int64(7)) == stable_digest(7)
+        assert stable_digest(np.float64(0.5)) == stable_digest(0.5)
+
+    def test_ndarray_content_addressed(self):
+        a = np.arange(6, dtype=np.int32)
+        assert stable_digest(a) == stable_digest(a.copy())
+        assert stable_digest(a) != stable_digest(a.astype(np.int64))
+        assert stable_digest(a) != stable_digest(a.reshape(2, 3))
+
+    def test_functions_by_qualname(self):
+        assert stable_digest(stable_digest) == stable_digest(stable_digest)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            stable_digest(object())
+
+    def test_dataclass_field_values_matter(self):
+        assert stable_digest(Point(1, 2.0)) != stable_digest(Point(2, 2.0))
+        assert stable_digest(Point(1, 2.0)) == stable_digest(Point(1, 2.0))
+
+
+class TestConfigHashing:
+    """Satellite: SsdConfig / JobSpec hash stably across processes."""
+
+    def test_ssd_config_digest_deterministic(self):
+        assert stable_digest(tiny()) == stable_digest(tiny())
+        assert stable_digest(tiny()) != stable_digest(mqsim_baseline())
+
+    def test_config_change_changes_digest(self):
+        base = tiny()
+        assert stable_digest(base) != stable_digest(
+            base.with_changes(gc_policy="random"))
+
+    def test_jobspec_digest_ignores_kwargs_dict_order(self):
+        a = JobSpec("j", "randwrite", Region(0, 100), bs_sectors=1,
+                    io_count=10, seed=1, pattern="hotcold",
+                    pattern_kwargs={"space_fraction": 0.2,
+                                    "traffic_fraction": 0.8})
+        b = JobSpec("j", "randwrite", Region(0, 100), bs_sectors=1,
+                    io_count=10, seed=1, pattern="hotcold",
+                    pattern_kwargs={"traffic_fraction": 0.8,
+                                    "space_fraction": 0.2})
+        assert stable_digest(a) == stable_digest(b)
+
+    def test_ssd_config_pickle_round_trip(self):
+        config = mqsim_baseline(scale=2)
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+        assert stable_digest(clone) == stable_digest(config)
+
+    def test_jobspec_pickle_round_trip(self):
+        job = JobSpec("j", "randwrite", Region(0, 256), bs_sectors=2,
+                      io_count=50, seed=9, pattern="hotcold",
+                      pattern_kwargs={"space_fraction": 0.2})
+        clone = pickle.loads(pickle.dumps(job))
+        assert stable_digest(clone) == stable_digest(job)
+
+    def test_digest_survives_process_boundary(self):
+        """The decisive cross-process check: a fresh interpreter with a
+        different hash seed produces the identical digest."""
+        import os
+        from pathlib import Path
+
+        import repro
+
+        code = (
+            "from repro.ssd.presets import mqsim_baseline\n"
+            "from repro.exp.hashing import stable_digest\n"
+            "print(stable_digest(mqsim_baseline(scale=2)))\n"
+        )
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = "12345"
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True, env=env,
+        )
+        assert out.stdout.strip() == stable_digest(mqsim_baseline(scale=2))
