@@ -15,13 +15,18 @@ once and keeps directory listings debuggable.
 Corrupted entries (truncated writes, foreign junk) are discarded and
 recomputed, never fatal: reads trap every unpickling failure, and
 writes go through a temp file + ``os.replace`` so a crashed run cannot
-leave a half-written entry under its final name.
+leave a half-written entry under its final name.  Each entry embeds the
+salt that wrote it, so an entry produced by a different code generation
+(or dropped into the wrong directory by hand) is detected and treated
+as a miss — with a single warning line for the whole run, not a stack
+trace per entry.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import sys
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -33,7 +38,7 @@ from repro import __version__
 #: schema number whenever a change alters what existing cell functions
 #: compute without changing their configs (the package version covers
 #: release-level changes).
-CODE_SALT = f"repro-{__version__}-exp1"
+CODE_SALT = f"repro-{__version__}-exp2"
 
 
 def default_cache_dir() -> Path:
@@ -72,6 +77,7 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.salt = salt
         self.stats = CacheStats()
+        self._warned = False
 
     def path_for(self, key: str) -> Path:
         return self.root / self.salt / key[:2] / f"{key}.pkl"
@@ -80,22 +86,35 @@ class ResultCache:
         path = self.path_for(key)
         try:
             with open(path, "rb") as fh:
-                value = pickle.load(fh)
+                entry = pickle.load(fh)
         except FileNotFoundError:
             self.stats.misses += 1
             return False, None
         except Exception:
             # Truncated, corrupted, or unpicklable entry: drop it and
             # let the runner recompute.
-            self.stats.discarded += 1
-            self.stats.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return False, None
+            return self._discard(path, "unreadable (truncated or corrupt)")
+        if (not isinstance(entry, dict) or "value" not in entry
+                or entry.get("salt") != self.salt):
+            # A pre-wrapper pickle, foreign junk, or an entry written by
+            # a different code generation: stale by definition.
+            return self._discard(path, "written by a different code version")
         self.stats.hits += 1
-        return True, value
+        return True, entry["value"]
+
+    def _discard(self, path: Path, why: str) -> tuple[bool, Any]:
+        """Drop a bad entry, warn once per cache instance, report miss."""
+        self.stats.discarded += 1
+        self.stats.misses += 1
+        if not self._warned:
+            self._warned = True
+            print(f"repro.exp: discarding cache entry {path.name}: {why} "
+                  f"(recomputing; further discards silent)", file=sys.stderr)
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return False, None
 
     def put(self, key: str, value: Any) -> None:
         path = self.path_for(key)
@@ -103,7 +122,8 @@ class ResultCache:
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                pickle.dump({"salt": self.salt, "value": value}, fh,
+                            protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
         except BaseException:
             try:

@@ -20,13 +20,24 @@ is always available as the reference behavior.
 A worker exception is re-raised in the parent as
 :class:`~repro.exp.cell.CellError` carrying the failing cell's identity
 (label, function, seed, index) with the original exception chained.
+
+Transient worker death is retried, not fatal: when a worker process
+dies abruptly (OOM kill, signal — surfacing as ``BrokenProcessPool``),
+the affected cells are resubmitted to a fresh pool up to
+``max_pool_retries`` times with jittered backoff, and if the pool keeps
+dying (or cannot be created at all, e.g. in a sandbox that forbids
+``fork``) the runner degrades to in-process serial execution.  Only
+*deterministic* cell exceptions fail fast as :class:`CellError` —
+retrying those would just fail again.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import time
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Sequence
 
@@ -55,6 +66,9 @@ class RunnerStats:
     executed: int = 0
     cache_hits: int = 0
     wall_s: float = 0.0
+    #: pool incidents survived: worker-death retries + serial degrades.
+    pool_retries: int = 0
+    serial_degrades: int = 0
 
 
 class Runner:
@@ -65,6 +79,12 @@ class Runner:
     on re-run.  ``salt`` defaults to the package code-version salt so
     cached results die with the code that produced them.
     """
+
+    #: resubmissions of broken-pool cells before degrading to serial.
+    max_pool_retries = 2
+    #: base backoff before a pool retry (scaled by attempt + jitter);
+    #: tests set this to ~0.
+    retry_backoff_s = 0.5
 
     def __init__(self, jobs: int | None = None,
                  cache: ResultCache | None = None,
@@ -124,11 +144,57 @@ class Runner:
 
     def _execute_parallel(self, cells: Sequence[Cell], pending: list[int],
                           results: list[Any]) -> None:
-        workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        remaining = list(pending)
+        attempt = 0
+        while remaining:
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(remaining)))
+            except Exception:
+                # The pool cannot even be created (fork forbidden, fd or
+                # pid exhaustion): parallelism is a performance feature,
+                # not a correctness one, so finish in-process.
+                self._degrade_serial(cells, remaining, results)
+                return
+            broken = self._drain_pool(pool, cells, remaining, results)
+            if not broken:
+                return
+            attempt += 1
+            if attempt > self.max_pool_retries:
+                # Workers keep dying: stop betting on the pool.  If the
+                # cell itself kills its process deterministically this
+                # will crash the parent too — but at that point there is
+                # no outcome that both completes the study and hides it.
+                self._degrade_serial(cells, broken, results)
+                return
+            self.stats.pool_retries += 1
+            if self.retry_backoff_s > 0:
+                time.sleep(self.retry_backoff_s * attempt
+                           * (1.0 + random.random()))
+            remaining = broken
+
+    def _degrade_serial(self, cells: Sequence[Cell], indexes: list[int],
+                        results: list[Any]) -> None:
+        self.stats.serial_degrades += 1
+        for index in indexes:
+            results[index] = self._execute_serial(cells[index], index)
+
+    def _drain_pool(self, pool: ProcessPoolExecutor, cells: Sequence[Cell],
+                    remaining: list[int], results: list[Any]) -> list[int]:
+        """Run *remaining* cells on *pool*; return the indexes that hit
+        transient worker death (to be retried), storing everything else.
+
+        Deterministic cell exceptions raise :class:`CellError` for the
+        lowest-indexed failure; abrupt worker death (``BrokenProcessPool``
+        on the future) and cells cancelled by fail-fast are returned for
+        resubmission instead.
+        """
+        broken: list[int] = []
+        failed: tuple[int, BaseException] | None = None
+        with pool:
             futures = {
                 pool.submit(execute_cell, cells[index]): index
-                for index in pending
+                for index in remaining
             }
             done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
             if not_done and any(f.exception() for f in done):
@@ -138,20 +204,22 @@ class Runner:
                 for future in not_done:
                     future.cancel()
                 done, _ = wait(futures)
-            failed: tuple[int, BaseException] | None = None
-            for future in done:
-                index = futures[future]
+            for future, index in futures.items():
                 if future.cancelled():
+                    broken.append(index)
                     continue
                 exc = future.exception()
-                if exc is not None:
+                if exc is None:
+                    results[index] = future.result()
+                elif isinstance(exc, BrokenProcessPool):
+                    broken.append(index)
+                else:
                     if failed is None or index < failed[0]:
                         failed = (index, exc)
-                    continue
-                results[index] = future.result()
-            if failed is not None:
-                index, exc = failed
-                raise CellError(cells[index], index, exc) from exc
+        if failed is not None:
+            index, exc = failed
+            raise CellError(cells[index], index, exc) from exc
+        return sorted(broken)
 
 
 def run_cells(cells: Sequence[Cell], runner: Runner | None = None) -> list[Any]:

@@ -1,0 +1,61 @@
+"""Deterministic fault injection and crash-consistency sweeps.
+
+The subsystem has four pieces:
+
+* :mod:`repro.faults.plan` — declarative, seed-reproducible fault
+  schedules (:class:`FaultPlan` / :class:`FaultSpec`);
+* :mod:`repro.faults.injection` — :class:`PlannedFaultInjector`, the
+  :class:`~repro.flash.errors.FailureInjector` subclass that turns a
+  plan into per-operation decisions at the NAND boundary;
+* :mod:`repro.faults.sweep` — the crash-consistency sweep harness that
+  cuts power at every k-th host op and audits recovery against a
+  host-side durability oracle;
+* :mod:`repro.faults.cells` — timed latency cells comparing clean vs
+  degraded operation.
+"""
+
+from repro.faults.cells import (
+    FaultLatencyCell,
+    FaultLatencyResult,
+    run_fault_latency_cell,
+)
+from repro.faults.injection import PlannedFaultInjector
+from repro.faults.plan import (
+    DIE_OFFLINE,
+    ERASE_FAIL,
+    FAULT_KINDS,
+    FAULT_STREAM,
+    POWER_CUT,
+    PROGRAM_FAIL,
+    UNCORRECTABLE_READ,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.faults.sweep import (
+    CrashSweepCell,
+    SweepResult,
+    SweepWorkload,
+    host_ops,
+    run_crash_sweep_cell,
+)
+
+__all__ = [
+    "DIE_OFFLINE",
+    "ERASE_FAIL",
+    "FAULT_KINDS",
+    "FAULT_STREAM",
+    "POWER_CUT",
+    "PROGRAM_FAIL",
+    "UNCORRECTABLE_READ",
+    "CrashSweepCell",
+    "FaultLatencyCell",
+    "FaultLatencyResult",
+    "FaultPlan",
+    "FaultSpec",
+    "PlannedFaultInjector",
+    "SweepResult",
+    "SweepWorkload",
+    "host_ops",
+    "run_crash_sweep_cell",
+    "run_fault_latency_cell",
+]

@@ -1,0 +1,95 @@
+"""Experiment cells measuring the latency cost of graceful degradation.
+
+The paper's thesis is that reliability machinery is a major source of
+performance opacity: read retries, parity rebuilds, and bad-block
+migrations all spend flash-op time the host never asked for.  These
+cells quantify that — the same timed device, the same workload, with
+and without a fault plan — so the benchmark can report clean vs
+degraded latency distributions side by side.
+
+Cell functions are module-level and pure in ``(spec, seed)`` so they
+fan out through :class:`~repro.exp.runner.Runner` and cache cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.injection import PlannedFaultInjector
+from repro.faults.plan import FaultPlan
+from repro.ssd.config import SsdConfig
+
+#: dedicated RNG stream for fault-latency workload draws.
+_LATENCY_STREAM = 0xFA7E
+
+
+@dataclass(frozen=True)
+class FaultLatencyCell:
+    """Random writes then reads on a timed device, optionally faulted.
+
+    ``plan=None`` is the clean baseline; the same ``seed`` produces the
+    same host-op sequence either way, so latency deltas are purely the
+    degradation machinery's doing.
+    """
+
+    config: SsdConfig
+    plan: FaultPlan | None = None
+    writes: int = 600
+    reads: int = 600
+    seed: int = 11
+
+
+@dataclass(frozen=True)
+class FaultLatencyResult:
+    """Latency distribution + degradation accounting (picklable)."""
+
+    read_mean_us: float
+    read_p99_us: float
+    write_mean_us: float
+    write_p99_us: float
+    waf: float
+    read_retries: int
+    rain_reconstructions: int
+    relocated_sectors: int
+    uncorrectable_reads: int
+    blocks_retired: int
+    fault_log: tuple[tuple[str, int, int], ...]
+
+
+def run_fault_latency_cell(spec: FaultLatencyCell,
+                           seed: int = 0) -> FaultLatencyResult:
+    from repro.ssd.timed import TimedSSD
+
+    injector = None
+    if spec.plan is not None:
+        injector = PlannedFaultInjector(spec.plan, spec.config.geometry)
+    device = TimedSSD(spec.config, injector=injector)
+    rng = np.random.default_rng([spec.seed, _LATENCY_STREAM])
+    lbas = rng.integers(device.num_sectors, size=spec.writes)
+
+    write_lat = []
+    for lba in lbas:
+        write_lat.append(device.write_sectors(int(lba), 1).latency_us)
+    device.flush()
+
+    read_lat = []
+    targets = rng.choice(lbas, size=spec.reads)
+    for lba in targets:
+        read_lat.append(device.read_sectors(int(lba), 1).latency_us)
+
+    stats = device.ftl.stats
+    return FaultLatencyResult(
+        read_mean_us=float(np.mean(read_lat)),
+        read_p99_us=float(np.percentile(read_lat, 99)),
+        write_mean_us=float(np.mean(write_lat)),
+        write_p99_us=float(np.percentile(write_lat, 99)),
+        waf=device.smart.waf(),
+        read_retries=stats.read_retries,
+        rain_reconstructions=stats.rain_reconstructions,
+        relocated_sectors=stats.relocated_sectors,
+        uncorrectable_reads=stats.uncorrectable_reads,
+        blocks_retired=stats.blocks_retired,
+        fault_log=tuple(injector.log) if injector is not None else (),
+    )

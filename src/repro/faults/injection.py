@@ -1,0 +1,190 @@
+"""Deterministic fault injection at the NAND boundary.
+
+:class:`PlannedFaultInjector` turns a :class:`~repro.faults.plan.FaultPlan`
+into concrete per-operation decisions.  It extends the seedable
+:class:`~repro.flash.errors.FailureInjector` the FTL already consumes, so
+plugging a plan into a device is one constructor argument — the FTL's
+bad-block machinery, read path, and the sweep harness all see faults
+through the same interface.
+
+Determinism contract: every decision is a pure function of the plan and
+the sequence of operations the FTL performs.  Random draws come from one
+dedicated ``default_rng([seed, FAULT_STREAM])`` stream, consumed in spec
+order per candidate operation; since the FTL itself is deterministic for
+a fixed workload seed, a fixed (workload, plan) pair yields an identical
+fault schedule on every run, serial or parallel.
+
+The injector keeps an ordered ``log`` of every firing — the ground truth
+that traces, SMART counters, and reproducibility tests reconcile against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.plan import (
+    DIE_OFFLINE,
+    ERASE_FAIL,
+    FAULT_STREAM,
+    POWER_CUT,
+    PROGRAM_FAIL,
+    UNCORRECTABLE_READ,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.flash.errors import FailureInjector
+from repro.flash.geometry import Geometry
+from repro.obs.events import FaultInjected
+from repro.obs.sinks import NULL_SINK, TraceSink
+
+
+@dataclass
+class _SpecState:
+    """Mutable runtime state of one spec."""
+
+    spec: FaultSpec
+    fired: int = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.spec.count > 0 and self.fired >= self.spec.count
+
+
+class PlannedFaultInjector(FailureInjector):
+    """A :class:`FailureInjector` driven by a declarative fault plan."""
+
+    def __init__(self, plan: FaultPlan, geometry: Geometry) -> None:
+        super().__init__(seed=plan.seed)
+        self.plan = plan
+        self.geometry = geometry
+        self._fault_rng = np.random.default_rng([plan.seed, FAULT_STREAM])
+        self._states = [_SpecState(spec) for spec in plan.specs]
+        self._op_index = 0
+        self._now_ns = -1
+        self._offline_dies: set[int] = set()
+        self._power_cut = False
+        #: ordered record of every firing: (kind, target, op_index).
+        self.log: list[tuple[str, int, int]] = []
+        self.obs: TraceSink = NULL_SINK
+
+    # ------------------------------------------------------------------
+    # Clock hooks
+    # ------------------------------------------------------------------
+
+    def tick(self, op_index: int, now_ns: int = -1) -> None:
+        """Advance host progress; fires op/time-triggered die-offline and
+        power-cut specs (which do not need a candidate operation)."""
+        self._op_index = op_index
+        if now_ns >= 0:
+            self._now_ns = now_ns
+        for state in self._states:
+            if state.exhausted or state.spec.kind not in (DIE_OFFLINE, POWER_CUT):
+                continue
+            if not self._triggered(state.spec):
+                continue
+            state.fired += 1
+            if state.spec.kind == DIE_OFFLINE:
+                self._offline_dies.add(state.spec.die)
+                self._record(DIE_OFFLINE, state.spec.die)
+            else:
+                self._power_cut = True
+                self._record(POWER_CUT, self._op_index)
+
+    def _triggered(self, spec: FaultSpec) -> bool:
+        """Did an op/time trigger arm this spec at the current clock?"""
+        if spec.at_op >= 0 and self._op_index >= spec.at_op:
+            return True
+        if spec.at_time_ns >= 0 and 0 <= spec.at_time_ns <= self._now_ns:
+            return True
+        return False
+
+    def _armed(self, spec: FaultSpec) -> bool:
+        """Is this spec live for the next matching candidate operation?"""
+        return spec.armed_immediately or self._triggered(spec)
+
+    # ------------------------------------------------------------------
+    # Decision points (the NAND boundary)
+    # ------------------------------------------------------------------
+
+    def program_fails(self, ppn: int) -> bool:
+        if super().program_fails(ppn):
+            return True
+        block = ppn // self.geometry.pages_per_block
+        if self.geometry.die_of_ppn(ppn) in self._offline_dies:
+            self.program_failures += 1
+            self._record(PROGRAM_FAIL, ppn)
+            return True
+        if self._fires(PROGRAM_FAIL, block=block):
+            self.program_failures += 1
+            self._record(PROGRAM_FAIL, ppn)
+            return True
+        return False
+
+    def erase_fails(self, block_index: int) -> bool:
+        if super().erase_fails(block_index):
+            return True
+        if self.geometry.die_of_block(block_index) in self._offline_dies:
+            self.erase_failures += 1
+            self._record(ERASE_FAIL, block_index)
+            return True
+        if self._fires(ERASE_FAIL, block=block_index):
+            self.erase_failures += 1
+            self._record(ERASE_FAIL, block_index)
+            return True
+        return False
+
+    def read_uncorrectable(self, ppn: int, lpn: int = -1) -> bool:
+        block = ppn // self.geometry.pages_per_block
+        if self.geometry.die_of_ppn(ppn) in self._offline_dies:
+            self._record(UNCORRECTABLE_READ, ppn)
+            return True
+        if self._fires(UNCORRECTABLE_READ, block=block, lpn=lpn):
+            self._record(UNCORRECTABLE_READ, ppn)
+            return True
+        return False
+
+    def _fires(self, kind: str, block: int, lpn: int = -1) -> bool:
+        for state in self._states:
+            spec = state.spec
+            if spec.kind != kind or state.exhausted:
+                continue
+            if not spec.matches_block(block):
+                continue
+            if lpn >= 0 and not spec.matches_lpn(lpn):
+                continue
+            if spec.probability > 0.0:
+                # Draw exactly one variate per candidate per armed
+                # probabilistic spec, in spec order — the schedule is a
+                # pure function of the operation sequence.
+                if self._fault_rng.random() >= spec.probability:
+                    continue
+            elif not self._armed(spec):
+                continue
+            state.fired += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # State the FTL / harness reads back
+    # ------------------------------------------------------------------
+
+    @property
+    def offline_dies(self) -> frozenset[int]:
+        return frozenset(self._offline_dies)
+
+    def power_cut_pending(self) -> bool:
+        return self._power_cut
+
+    def injected_counts(self) -> dict[str, int]:
+        """Firings per kind (ground truth for reconciliation tests)."""
+        counts: dict[str, int] = {}
+        for kind, _, _ in self.log:
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def _record(self, kind: str, target: int) -> None:
+        self.log.append((kind, target, self._op_index))
+        if self.obs.enabled:
+            self.obs.emit(FaultInjected(kind=kind, target=target))

@@ -1,0 +1,139 @@
+"""Declarative, reproducible fault schedules.
+
+The paper's §2.1 argues that background reliability machinery — bad-block
+handling, parity rebuilds, refresh — is exactly what makes SSD behavior
+opaque.  To measure the *latency cost of reliability* the simulator needs
+faults as first-class, reproducible inputs, not ad-hoc test pokes.
+
+A :class:`FaultPlan` is a frozen list of :class:`FaultSpec`s plus a seed.
+Every random decision the plan implies is drawn from one dedicated RNG
+stream (``default_rng([seed, FAULT_STREAM])``), so a fixed plan produces
+a byte-identical fault schedule across runs, processes, and ``--jobs``
+settings — the same discipline the workload engine uses for open-loop
+arrivals.  Plans are plain frozen dataclasses: picklable (they ride into
+worker processes inside experiment cells) and stably hashable (they take
+part in :mod:`repro.exp` cache keys).
+
+Triggers compose per spec:
+
+* ``at_op`` — fire once the host-op counter reaches this value;
+* ``at_time_ns`` — fire once the virtual clock reaches this value
+  (timed devices feed the clock through ``FailureInjector.tick``);
+* ``probability`` — fire per candidate operation with this probability,
+  drawn from the plan's RNG stream;
+* address predicates (``blocks``, ``lpns``, ``die``) restrict which
+  physical/logical targets a triggered spec applies to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: RNG stream constant for fault draws (dedicated, like the workload
+#: engine's arrival stream, so fault decisions never perturb workload
+#: address sequences).
+FAULT_STREAM = 0xFA017
+
+#: The fault kinds the injector understands.
+PROGRAM_FAIL = "program_fail"
+ERASE_FAIL = "erase_fail"
+UNCORRECTABLE_READ = "uncorrectable_read"
+DIE_OFFLINE = "die_offline"
+POWER_CUT = "power_cut"
+
+FAULT_KINDS = (
+    PROGRAM_FAIL, ERASE_FAIL, UNCORRECTABLE_READ, DIE_OFFLINE, POWER_CUT,
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault source.
+
+    ``count`` bounds how many times a triggered spec fires (0 means
+    unlimited — sensible only for probability-driven specs).  A spec with
+    neither ``at_op``, ``at_time_ns`` nor ``probability`` set is *armed
+    immediately* and fires on the first matching operation.
+    """
+
+    kind: str
+    #: fire when the host-op counter reaches this value (-1 = disabled).
+    at_op: int = -1
+    #: fire when the virtual clock reaches this value (-1 = disabled).
+    at_time_ns: int = -1
+    #: per-candidate-operation probability (0 disables).
+    probability: float = 0.0
+    #: physical block predicate [lo, hi); None matches everything.
+    blocks: tuple[int, int] | None = None
+    #: logical sector predicate [lo, hi) for uncorrectable reads.
+    lpns: tuple[int, int] | None = None
+    #: target die for ``die_offline`` (-1 = invalid for that kind).
+    die: int = -1
+    #: maximum number of firings (0 = unlimited).
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.kind == DIE_OFFLINE and self.die < 0:
+            raise ValueError("die_offline needs a target die")
+        if self.kind == POWER_CUT and self.at_op < 0 and self.at_time_ns < 0:
+            raise ValueError("power_cut needs at_op or at_time_ns")
+        if self.count < 0:
+            raise ValueError("count must be non-negative")
+        for name in ("blocks", "lpns"):
+            bounds = getattr(self, name)
+            if bounds is not None and bounds[0] >= bounds[1]:
+                raise ValueError(f"{name} range {bounds} is empty")
+
+    @property
+    def armed_immediately(self) -> bool:
+        """No trigger set: the spec applies from the first operation."""
+        return (self.at_op < 0 and self.at_time_ns < 0
+                and self.probability == 0.0)
+
+    def matches_block(self, block: int) -> bool:
+        if self.blocks is None:
+            return True
+        lo, hi = self.blocks
+        return lo <= block < hi
+
+    def matches_lpn(self, lpn: int) -> bool:
+        if self.lpns is None:
+            return True
+        lo, hi = self.lpns
+        return lo <= lpn < hi
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, ordered collection of fault specs.
+
+    Order matters only for reproducibility of RNG draws; specs are
+    otherwise independent.  The empty plan injects nothing.
+    """
+
+    seed: int = 0
+    specs: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def of_kind(self, kind: str) -> tuple[FaultSpec, ...]:
+        return tuple(s for s in self.specs if s.kind == kind)
+
+    @property
+    def has_power_cut(self) -> bool:
+        return any(s.kind == POWER_CUT for s in self.specs)
+
+    def without_power_cuts(self) -> "FaultPlan":
+        """The same plan minus power-cut specs (the crash sweep owns
+        power-cut placement itself)."""
+        return FaultPlan(
+            seed=self.seed,
+            specs=tuple(s for s in self.specs if s.kind != POWER_CUT),
+        )

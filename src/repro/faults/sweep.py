@@ -1,0 +1,269 @@
+"""Crash-consistency sweep: cut power everywhere, recover, audit.
+
+The durability contract of the simulated drive (documented in
+:mod:`repro.ssd.recovery`) is three-sided:
+
+1. **No acknowledged-and-flushed write is lost** — a sector whose newest
+   host-visible state was ``written`` at the last ``flush()`` and that
+   has not been trimmed since MUST be mapped after recovery.
+2. **No ghosts** — recovery never maps a sector the host never wrote.
+3. **Trim resurrection is bounded to the documented semantics** — a
+   trimmed sector may come back (trims write nothing to flash) but is
+   counted, never silently ignored.
+
+The sweep enforces this at *every* k-th host operation of a workload:
+one device runs the full operation stream; at each cut point the NAND
+array is cloned (flash survives power loss, RAM does not), power-loss
+recovery runs against the clone, and the recovered FTL is audited
+against a host-side oracle — then the original device continues,
+untouched.  This makes a full stride-1 sweep O(N·recovery) instead of
+O(N²·workload).
+
+Everything here is a pure function of ``(spec, seed)``: sweeps run as
+:class:`~repro.exp.cell.Cell`s, fan out across strides on a
+:class:`~repro.exp.runner.Runner`, and cache their results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.injection import PlannedFaultInjector
+from repro.faults.plan import FaultPlan
+from repro.ssd.allocation import OutOfSpace
+from repro.ssd.config import SsdConfig
+from repro.ssd.ftl import Ftl, ReadOnlyError
+from repro.ssd.mapping import UNMAPPED
+from repro.ssd.recovery import recover_ftl
+
+#: dedicated RNG stream for sweep workload draws.
+_SWEEP_STREAM = 0x5EE9
+
+
+@dataclass(frozen=True)
+class SweepWorkload:
+    """A deterministic mixed host-op stream for the sweep.
+
+    Mix fractions select per-op kind (write / trim / read); LBAs and
+    burst lengths are drawn uniformly.  ``flush_every`` inserts an
+    explicit ``flush()`` (the durability barrier the oracle counts
+    acknowledged-flushed state at) every that-many host ops.
+    """
+
+    ops: int = 2000
+    seed: int = 7
+    write_frac: float = 0.60
+    trim_frac: float = 0.05
+    flush_every: int = 16
+    burst_max: int = 4
+
+    def __post_init__(self) -> None:
+        if self.ops < 1:
+            raise ValueError("ops must be positive")
+        if not 0.0 <= self.write_frac + self.trim_frac <= 1.0:
+            raise ValueError("write_frac + trim_frac must be in [0, 1]")
+        if self.flush_every < 1:
+            raise ValueError("flush_every must be positive")
+        if self.burst_max < 1:
+            raise ValueError("burst_max must be positive")
+
+
+def host_ops(workload: SweepWorkload, num_sectors: int) -> list[tuple[str, int, int]]:
+    """The full ``(kind, lba, count)`` stream a workload denotes —
+    a pure function of ``(workload, num_sectors)``."""
+    rng = np.random.default_rng([workload.seed, _SWEEP_STREAM])
+    ops: list[tuple[str, int, int]] = []
+    for _ in range(workload.ops):
+        u = float(rng.random())
+        count = 1 + int(rng.integers(workload.burst_max))
+        lba = int(rng.integers(max(1, num_sectors - count + 1)))
+        if u < workload.write_frac:
+            ops.append(("write", lba, count))
+        elif u < workload.write_frac + workload.trim_frac:
+            ops.append(("trim", lba, count))
+        else:
+            ops.append(("read", lba, count))
+    return ops
+
+
+class _DurabilityOracle:
+    """Host-side model of what the drive has promised to keep."""
+
+    def __init__(self) -> None:
+        self.current: dict[int, str] = {}
+        self.durable: dict[int, str] = {}
+        self.trimmed_since_flush: set[int] = set()
+        self.ever_written: set[int] = set()
+
+    def write(self, lba: int, count: int) -> None:
+        for lpn in range(lba, lba + count):
+            self.current[lpn] = "written"
+            self.ever_written.add(lpn)
+
+    def trim(self, lba: int, count: int) -> None:
+        for lpn in range(lba, lba + count):
+            self.current[lpn] = "trimmed"
+            self.trimmed_since_flush.add(lpn)
+
+    def flush(self) -> None:
+        self.durable = dict(self.current)
+        self.trimmed_since_flush.clear()
+
+    @property
+    def must_mapped(self) -> set[int]:
+        """Sectors recovery is REQUIRED to map: durably written and not
+        touched by any trim since the durability barrier (a post-flush
+        trim voids the guarantee — the data may legitimately be gone,
+        or resurrect; neither outcome is a violation)."""
+        return {
+            lpn for lpn, state in self.durable.items()
+            if state == "written" and lpn not in self.trimmed_since_flush
+        }
+
+    @property
+    def trimmed_now(self) -> set[int]:
+        return {lpn for lpn, s in self.current.items() if s == "trimmed"}
+
+
+@dataclass(frozen=True)
+class CrashSweepCell:
+    """One sweep: a workload, cut every ``stride`` ops, optional faults
+    (power-cut specs are stripped — the sweep owns cut placement)."""
+
+    config: SsdConfig
+    workload: SweepWorkload
+    stride: int
+    plan: FaultPlan | None = None
+
+    def __post_init__(self) -> None:
+        if self.stride < 1:
+            raise ValueError("stride must be positive")
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Aggregate audit over every cut point of one sweep (picklable)."""
+
+    stride: int
+    ops_run: int
+    cuts: int
+    #: violations of contract side 1 — MUST be zero.
+    lost_sectors: int
+    #: violations of contract side 2 — MUST be zero.
+    ghost_sectors: int
+    #: recovered FTLs that failed invariants or the write probe — MUST be 0.
+    recovery_failures: int
+    #: documented-semantics occurrences (allowed, counted).
+    resurrected_trims: int
+    #: ECC losses recovery reported instead of resurrecting.
+    unrecoverable_pages: int
+    rain_reconstructed_pages: int
+    sectors_recovered_total: int
+    blocks_retired: int
+    entered_read_only: bool
+    out_of_space: bool
+    #: the injector's complete firing log — the reproducibility witness
+    #: compared across runs and across --jobs settings.
+    fault_log: tuple[tuple[str, int, int], ...]
+    #: first few violations, for debugging ("cut@137 lost lpn 42").
+    detail: tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        return (self.lost_sectors == 0 and self.ghost_sectors == 0
+                and self.recovery_failures == 0)
+
+
+def run_crash_sweep_cell(spec: CrashSweepCell, seed: int = 0) -> SweepResult:
+    """Run one crash-consistency sweep (a Cell function)."""
+    config = spec.config
+    injector = None
+    if spec.plan is not None:
+        injector = PlannedFaultInjector(spec.plan.without_power_cuts(),
+                                        config.geometry)
+    ftl = Ftl(config, injector=injector)
+    oracle = _DurabilityOracle()
+    ops = host_ops(spec.workload, ftl.num_lpns)
+
+    cuts = lost = ghosts = resurrected = failures = 0
+    unrecoverable = rain_pages = recovered_total = 0
+    entered_read_only = out_of_space = False
+    detail: list[str] = []
+    ops_run = 0
+
+    for index, (kind, lba, count) in enumerate(ops, start=1):
+        try:
+            if kind == "write":
+                ftl.write(lba, count)
+                oracle.write(lba, count)
+            elif kind == "trim":
+                ftl.trim(lba, count)
+                oracle.trim(lba, count)
+            else:
+                ftl.read(lba, count)
+            if index % spec.workload.flush_every == 0:
+                ftl.flush()
+                oracle.flush()
+        except ReadOnlyError:
+            entered_read_only = True
+            break
+        except OutOfSpace:
+            out_of_space = True
+            break
+        ops_run = index
+        if index % spec.stride != 0:
+            continue
+
+        cuts += 1
+        recovered, report = recover_ftl(config, ftl.nand.clone())
+        unrecoverable += report.unrecoverable_pages
+        rain_pages += report.rain_reconstructed_pages
+        recovered_total += report.sectors_recovered
+
+        mapped = set(
+            int(lpn) for lpn in np.nonzero(recovered.mapping.l2p != UNMAPPED)[0]
+        )
+        mapped |= set(recovered.pslc.index.keys())
+
+        missing = oracle.must_mapped - mapped
+        lost += len(missing)
+        for lpn in sorted(missing)[:3]:
+            if len(detail) < 12:
+                detail.append(f"cut@{index} lost lpn {lpn}")
+        ghost_set = mapped - oracle.ever_written
+        ghosts += len(ghost_set)
+        for lpn in sorted(ghost_set)[:3]:
+            if len(detail) < 12:
+                detail.append(f"cut@{index} ghost lpn {lpn}")
+        resurrected += len(mapped & oracle.trimmed_now)
+
+        try:
+            recovered.check_invariants()
+            probe = min(ftl.num_lpns - 1, 0)
+            recovered.write(probe, 1)
+            recovered.flush()
+            recovered.check_invariants()
+        except Exception as exc:  # noqa: BLE001 - audit, not control flow
+            failures += 1
+            if len(detail) < 12:
+                detail.append(f"cut@{index} recovery unusable: {exc}")
+
+    return SweepResult(
+        stride=spec.stride,
+        ops_run=ops_run,
+        cuts=cuts,
+        lost_sectors=lost,
+        ghost_sectors=ghosts,
+        recovery_failures=failures,
+        resurrected_trims=resurrected,
+        unrecoverable_pages=unrecoverable,
+        rain_reconstructed_pages=rain_pages,
+        sectors_recovered_total=recovered_total,
+        blocks_retired=ftl.stats.blocks_retired,
+        entered_read_only=entered_read_only,
+        out_of_space=out_of_space,
+        fault_log=tuple(injector.log) if injector is not None else (),
+        detail=tuple(detail),
+    )

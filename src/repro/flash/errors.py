@@ -82,6 +82,11 @@ class FailureInjector:
     A real FTL must tolerate program-status failures (mark the block bad,
     re-allocate, re-program).  Tests drive this injector to exercise the
     FTL's bad-block path.
+
+    Subclasses (notably :class:`repro.faults.injection.PlannedFaultInjector`)
+    extend the surface with clock/op hooks and uncorrectable-read faults;
+    the base class implements them as no-ops so the FTL can call every
+    hook unconditionally.
     """
 
     def __init__(self, seed: int = 0, program_fail_prob: float = 0.0,
@@ -119,4 +124,27 @@ class FailureInjector:
         if self.erase_fail_prob > 0 and self._rng.random() < self.erase_fail_prob:
             self.erase_failures += 1
             return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Extended fault surface (no-ops here; PlannedFaultInjector overrides)
+    # ------------------------------------------------------------------
+
+    def tick(self, op_index: int, now_ns: int = -1) -> None:
+        """Advance the injector's notion of host progress: *op_index* is
+        the host-op counter, *now_ns* the virtual clock when available."""
+
+    def read_uncorrectable(self, ppn: int, lpn: int = -1) -> bool:
+        """True when reading *ppn* (holding logical sector *lpn*) must
+        report an uncorrectable ECC error regardless of the wear model."""
+        return False
+
+    @property
+    def offline_dies(self) -> frozenset[int]:
+        """Dies the fault plan has taken offline (empty by default)."""
+        return frozenset()
+
+    def power_cut_pending(self) -> bool:
+        """True when a planned power-cut fault has triggered; the caller
+        (sweep harness or timed device) performs the actual cut."""
         return False

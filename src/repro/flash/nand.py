@@ -186,6 +186,32 @@ class NandArray:
             if self.store_data:
                 self._data.pop(ppn, None)
 
+    def clone(self) -> "NandArray":
+        """Deep-copy the array state (pages, OOB, wear, counters).
+
+        The crash-consistency sweep snapshots the NAND at each cut point
+        and runs power-loss recovery against the copy while the original
+        run continues — exactly what pulling the plug preserves: flash
+        contents survive, RAM state does not.
+        """
+        twin = NandArray(self.geometry, erase_limit=self.erase_limit,
+                         store_data=self.store_data)
+        twin.page_state = self.page_state.copy()
+        twin.page_lpn = self.page_lpn.copy()
+        twin.page_seq = self.page_seq.copy()
+        twin.block_erase_count = self.block_erase_count.copy()
+        twin.block_write_ptr = self.block_write_ptr.copy()
+        twin.counters = NandCounters(
+            reads=self.counters.reads,
+            programs=self.counters.programs,
+            erases=self.counters.erases,
+            program_failures=self.counters.program_failures,
+        )
+        twin._data = dict(self._data)
+        twin._oob = dict(self._oob)
+        twin._program_counter = self._program_counter
+        return twin
+
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------

@@ -248,6 +248,101 @@ class SlcMigration(TraceEvent):
     sectors: int
 
 
+# ----------------------------------------------------------------------
+# Faults and graceful degradation (repro.faults)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultInjected(TraceEvent):
+    """A planned fault fired at the NAND boundary.
+
+    ``kind`` is one of the :data:`repro.faults.plan.FAULT_KINDS`;
+    ``target`` is a PPN (program/read faults), block (erase faults) or
+    die index (die_offline).
+    """
+
+    NAME: ClassVar[str] = "fault_injected"
+
+    kind: str
+    target: int
+
+
+@dataclass(frozen=True)
+class ReadRetry(TraceEvent):
+    """One step of the read-retry ladder on an uncorrectable read.
+
+    Real firmware re-reads with shifted sense voltages; each step costs
+    an extra flash read and recovers a slice of the raw error budget.
+    """
+
+    NAME: ClassVar[str] = "read_retry"
+    METRIC: ClassVar[str] = "step"
+
+    ppn: int
+    step: int
+    success: bool
+
+
+@dataclass(frozen=True)
+class RainReconstruction(TraceEvent):
+    """An uncorrectable page was rebuilt from its RAIN stripe peers.
+
+    ``stripe_reads`` counts the peer pages read to reconstruct;
+    ``relocated`` is True when the rebuilt sector was re-programmed to a
+    fresh page (so the failing copy stops being load-bearing).
+    """
+
+    NAME: ClassVar[str] = "rain_reconstruction"
+    METRIC: ClassVar[str] = "stripe_reads"
+
+    ppn: int
+    stripe_reads: int
+    relocated: bool
+
+
+@dataclass(frozen=True)
+class BlockRetired(TraceEvent):
+    """A grown bad block left circulation permanently.
+
+    ``cause`` is ``program_fail`` or ``erase_fail``; ``migrated_sectors``
+    counts the valid sectors moved off the failing block first.
+    """
+
+    NAME: ClassVar[str] = "block_retired"
+    METRIC: ClassVar[str] = "migrated_sectors"
+
+    block: int
+    cause: str
+    migrated_sectors: int
+
+
+@dataclass(frozen=True)
+class DegradedModeChanged(TraceEvent):
+    """The FTL changed degradation state (e.g. entered read-only mode
+    because the spare-block pool was exhausted by grown bad blocks)."""
+
+    NAME: ClassVar[str] = "degraded_mode"
+
+    mode: str
+    reason: str
+    spare_blocks: int
+
+
+@dataclass(frozen=True)
+class PowerCut(TraceEvent):
+    """Power was cut (by the fault plan or the crash-consistency sweep).
+
+    ``at_op`` is the host-op index after which power was lost (-1 when
+    time-triggered); ``at_ns`` the virtual time (-1 in counter mode).
+    """
+
+    NAME: ClassVar[str] = "power_cut"
+
+    at_op: int
+    at_ns: int
+
+
 #: Every event type, keyed by wire name (useful for decoding traces).
 EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.NAME: cls
@@ -255,5 +350,7 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         HostRequest, QueueDepth, CacheAdmit, CacheFlush, CacheStall,
         GcVictimSelected, GcStarted, GcFinished,
         FlashOpIssued, ResourceBusy, WearRebalance, SlcMigration,
+        FaultInjected, ReadRetry, RainReconstruction, BlockRetired,
+        DegradedModeChanged, PowerCut,
     )
 }

@@ -7,9 +7,11 @@ is the main client.
 from repro.sim.kernel import (
     CapacityPool,
     Kernel,
+    PowerLoss,
     Process,
     Resource,
     earliest_start,
 )
 
-__all__ = ["Kernel", "Resource", "CapacityPool", "Process", "earliest_start"]
+__all__ = ["Kernel", "PowerLoss", "Resource", "CapacityPool", "Process",
+           "earliest_start"]

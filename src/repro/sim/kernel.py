@@ -39,7 +39,21 @@ from typing import Callable, Generator
 from repro.obs.events import ResourceBusy
 from repro.obs.sinks import NULL_SINK, TraceSink
 
-__all__ = ["Kernel", "Resource", "CapacityPool", "Process", "earliest_start"]
+__all__ = ["Kernel", "PowerLoss", "Resource", "CapacityPool", "Process",
+           "earliest_start"]
+
+
+class PowerLoss(Exception):
+    """Raised out of the run loop when a scheduled power cut fires.
+
+    Whatever the kernel was mid-way through is abandoned — exactly what
+    pulling the plug does.  The fault harness catches this, snapshots
+    the flash, and runs recovery; ``at_ns`` records when power died.
+    """
+
+    def __init__(self, at_ns: int) -> None:
+        super().__init__(f"power lost at {at_ns} ns")
+        self.at_ns = at_ns
 
 
 def earliest_start(at_ns: int, *resources: "Resource") -> int:
@@ -98,6 +112,14 @@ class Kernel:
 
     def call_after(self, delay_ns: int, fn: Callable, *args) -> None:
         self.schedule(self.now + max(0, int(delay_ns)), fn, *args)
+
+    def power_cut(self, at_ns: int) -> None:
+        """Schedule a power loss: when the clock reaches *at_ns*,
+        :class:`PowerLoss` is raised out of whichever run loop is
+        advancing the clock, abandoning all later events."""
+        def _cut() -> None:
+            raise PowerLoss(self.now)
+        self.schedule(at_ns, _cut)
 
     @property
     def pending_events(self) -> int:

@@ -103,6 +103,19 @@ class SsdConfig:
     #: data age (0 disables retention/ECC modeling on reads).
     ops_per_day: int = 0
 
+    # --- graceful degradation (repro.faults) ---------------------------
+    #: read-retry ladder depth on uncorrectable reads (0 disables).  Each
+    #: step re-reads with shifted sense voltages, costing one extra flash
+    #: read and attenuating the raw bit error rate.
+    read_retry_steps: int = 0
+    #: RBER attenuation per retry step (expected errors shrink by this
+    #: factor each step of the ladder).
+    read_retry_rber_factor: float = 0.5
+    #: enter read-only degraded mode when grown bad blocks shrink the
+    #: spare pool (blocks beyond those needed for logical capacity)
+    #: below this count (0 disables the check).
+    spare_blocks_min: int = 0
+
     def __post_init__(self) -> None:
         if self.timing_name not in PROFILES:
             raise ValueError(f"unknown timing profile {self.timing_name!r}")
@@ -128,6 +141,12 @@ class SsdConfig:
             raise ValueError("refresh_after_ops must be non-negative")
         if self.ops_per_day < 0:
             raise ValueError("ops_per_day must be non-negative")
+        if self.read_retry_steps < 0:
+            raise ValueError("read_retry_steps must be non-negative")
+        if not 0.0 < self.read_retry_rber_factor <= 1.0:
+            raise ValueError("read_retry_rber_factor must be in (0, 1]")
+        if self.spare_blocks_min < 0:
+            raise ValueError("spare_blocks_min must be non-negative")
 
     # ------------------------------------------------------------------
     # Derived capacity

@@ -39,7 +39,15 @@ from repro.flash.errors import (
 )
 from repro.flash.geometry import Geometry
 from repro.flash.nand import NO_LPN, NandArray
-from repro.obs.events import FlashOpIssued, GcFinished, GcStarted
+from repro.obs.events import (
+    BlockRetired,
+    DegradedModeChanged,
+    FlashOpIssued,
+    GcFinished,
+    GcStarted,
+    RainReconstruction,
+    ReadRetry,
+)
 from repro.obs.sinks import NULL_SINK, TraceSink
 from repro.ssd.allocation import OutOfSpace, PageAllocator
 from repro.ssd.cache import WriteCache
@@ -67,6 +75,13 @@ def _p2l_to_tp(value: int) -> int:
     return META_P2L_BASE - value
 
 
+class ReadOnlyError(Exception):
+    """The device is in read-only degraded mode: grown bad blocks have
+    eaten the spare pool down to ``spare_blocks_min`` and accepting more
+    writes could strand data with no block to migrate it to.  Reads (and
+    draining already-acknowledged cache contents) still work."""
+
+
 @dataclass
 class FtlStats:
     """FTL-internal statistics (invisible to a black-box observer)."""
@@ -84,6 +99,9 @@ class FtlStats:
     wear_migrations: int = 0
     refreshed_blocks: int = 0
     uncorrectable_reads: int = 0
+    read_retries: int = 0
+    rain_reconstructions: int = 0
+    relocated_sectors: int = 0
 
 
 class Ftl:
@@ -160,6 +178,11 @@ class Ftl:
         #: since its last erase (-1 = not programmed); drives refresh age.
         self.block_birth = np.full(geometry.total_blocks, -1, dtype=np.int64)
         self._op_seq = 0
+        #: host commands seen (write/read/trim calls) — the op clock the
+        #: fault injector's ``at_op`` triggers count against.
+        self._host_ops = 0
+        #: terminal degraded state: writes/trims raise ReadOnlyError.
+        self.degraded_read_only = False
         self.obs: TraceSink = NULL_SINK
         self.stats = FtlStats()
         self._ops: list[FlashOp] = []
@@ -179,6 +202,8 @@ class Ftl:
         self.pslc.obs = sink
         if self.leveler is not None:
             self.leveler.obs = sink
+        if hasattr(self.injector, "obs"):
+            self.injector.obs = sink
 
     # ------------------------------------------------------------------
     # Host interface
@@ -187,6 +212,9 @@ class Ftl:
     def write(self, lpn: int, nsectors: int = 1) -> list[FlashOp]:
         """Write *nsectors* consecutive logical sectors starting at *lpn*."""
         self._check_range(lpn, nsectors)
+        self._check_writable()
+        self._host_ops += 1
+        self.injector.tick(self._host_ops)
         self._ops = []
         for sector in range(lpn, lpn + nsectors):
             self.stats.host_sector_writes += 1
@@ -200,6 +228,8 @@ class Ftl:
     def read(self, lpn: int, nsectors: int = 1) -> list[FlashOp]:
         """Read *nsectors* consecutive logical sectors starting at *lpn*."""
         self._check_range(lpn, nsectors)
+        self._host_ops += 1
+        self.injector.tick(self._host_ops)
         self._ops = []
         for sector in range(lpn, lpn + nsectors):
             self.stats.host_sector_reads += 1
@@ -211,32 +241,90 @@ class Ftl:
                 self._apply_mapping_events(events)
             if psa is not None and psa != UNMAPPED:
                 ppn = psa // self.geometry.sectors_per_page
-                self._check_read_integrity(ppn)
                 self._emit(FlashOp(OpKind.READ, ppn, OpReason.HOST,
                                    self.geometry.sector_size))
+                self._check_read_integrity(ppn, sector)
         return self._ops
 
-    def _check_read_integrity(self, ppn: int) -> None:
-        """Retention/ECC model: a page whose raw bit errors exceed the
-        ECC budget is an uncorrectable read (counted, not fatal — real
-        drives report the sector and carry on)."""
-        if not self.config.ops_per_day:
+    def _check_read_integrity(self, ppn: int, lpn: int) -> None:
+        """Degraded read path: ECC check, read-retry ladder, RAIN
+        reconstruction.
+
+        An uncorrectable read comes from two sources: the retention/ECC
+        model (expected raw bit errors exceed the ECC budget — a *soft*
+        failure real firmware attacks with shifted-sense re-reads) or the
+        fault injector (a *hard* failure no retry cures).  The ladder
+        runs in both cases, charging one extra flash read per step; on
+        exhaustion, a RAIN-protected device rebuilds the page from its
+        stripe peers and relocates the sector, otherwise the sector is
+        reported uncorrectable (counted, not fatal — real drives report
+        the sector and carry on)."""
+        hard = self.injector.read_uncorrectable(ppn, lpn)
+        budget = self._expected_read_errors(ppn)
+        if not hard and (budget is None or budget[0] <= budget[1]):
             return
+        config = self.config
+        for step in range(1, config.read_retry_steps + 1):
+            self.stats.read_retries += 1
+            self._emit(FlashOp(OpKind.READ, ppn, OpReason.HOST,
+                               self.geometry.sector_size))
+            success = (not hard and budget is not None
+                       and budget[0] * config.read_retry_rber_factor ** step
+                       <= budget[1])
+            if self.obs.enabled:
+                self.obs.emit(ReadRetry(ppn=ppn, step=step, success=success))
+            if success:
+                return
+        if self.rain.enabled:
+            peers = self.rain.peers_of(ppn)
+            if peers:
+                for peer in sorted(peers):
+                    self._emit(FlashOp(OpKind.READ, peer, OpReason.PARITY,
+                                       self.geometry.page_size))
+                self.stats.rain_reconstructions += 1
+                relocated = self._relocate_sector(lpn)
+                if self.obs.enabled:
+                    self.obs.emit(RainReconstruction(
+                        ppn=ppn, stripe_reads=len(peers), relocated=relocated,
+                    ))
+                return
+        self.stats.uncorrectable_reads += 1
+
+    def _expected_read_errors(self, ppn: int) -> tuple[float, float] | None:
+        """Retention/ECC model: ``(expected_bit_errors, ecc_limit)`` for
+        a page, or None when age modeling is off or the block unborn."""
+        if not self.config.ops_per_day:
+            return None
         block = ppn // self.geometry.pages_per_block
         birth = int(self.block_birth[block])
         if birth < 0:
-            return
+            return None
         age_days = (self._op_seq - birth) / self.config.ops_per_day
         model = self.reliability
         if block in self.allocator.excluded_blocks:
             model = PSLC_RELIABILITY  # buffer blocks run in pSLC mode
         cycles = int(self.nand.block_erase_count[block])
-        if not model.is_correctable(cycles, age_days):
-            self.stats.uncorrectable_reads += 1
+        return model.expected_bit_errors(cycles, age_days), model.ecc_correctable
+
+    def _relocate_sector(self, lpn: int) -> bool:
+        """Re-program a reconstructed sector to a fresh page so the
+        failing physical copy stops being load-bearing."""
+        was_in_gc = self._in_gc
+        self._in_gc = True
+        try:
+            self._program_data_page([lpn], stream="gc", reason=OpReason.GC,
+                                    silent_map=True)
+        finally:
+            self._in_gc = was_in_gc
+        self.stats.relocated_sectors += 1
+        return True
 
     def trim(self, lpn: int, nsectors: int = 1) -> list[FlashOp]:
         """Discard logical sectors (ATA TRIM)."""
         self._check_range(lpn, nsectors)
+        self._check_writable()
+        self._host_ops += 1
+        self.injector.tick(self._host_ops)
         self._ops = []
         for sector in range(lpn, lpn + nsectors):
             self.stats.trimmed_sectors += 1
@@ -311,13 +399,14 @@ class Ftl:
             if pslc_psa is not None and pslc_psa != psa:
                 self.pslc.invalidate(lpn)
         self._apply_mapping_events(pending_events)
-        if self.rain.on_data_page():
+        if self.rain.on_data_page(ppn):
             self._program_parity_page()
 
     def _program_parity_page(self) -> None:
         self._ensure_free_space()
         ppn = self._allocate_programmable_page("host")
         self.nand.program(ppn, lpn=int(NO_LPN))
+        self.rain.note_parity(ppn)
         # Parity is never valid: it is overhead that GC erases freely.
         self._emit(FlashOp(OpKind.PROGRAM, ppn, OpReason.PARITY,
                            self.geometry.page_size))
@@ -336,7 +425,7 @@ class Ftl:
         self.sector_valid[slot0] = True
         self.block_valid[ppn // geometry.pages_per_block] += 1
         self.mapping.note_flushed(tp_id, ppn)
-        if self.rain.on_data_page():
+        if self.rain.on_data_page(ppn):
             self._program_parity_page()
 
     def _allocate_programmable_page(self, stream: str) -> int:
@@ -359,12 +448,57 @@ class Ftl:
         self.stats.blocks_retired += 1
         self.allocator.abandon_active(stream, plane)
         self.allocator.retire_block(block)
+        migrated_before = self.stats.gc_migrated_sectors
         was_in_gc = self._in_gc
         self._in_gc = True
         try:
             self._migrate_block_contents(block, reason=OpReason.GC)
         finally:
             self._in_gc = was_in_gc
+        if self.obs.enabled:
+            self.obs.emit(BlockRetired(
+                block=block, cause="program_fail",
+                migrated_sectors=(self.stats.gc_migrated_sectors
+                                  - migrated_before),
+            ))
+        self._check_degradation("program_fail")
+
+    # ------------------------------------------------------------------
+    # Graceful degradation
+    # ------------------------------------------------------------------
+
+    def spare_blocks(self) -> int:
+        """Blocks beyond those strictly needed to hold logical capacity:
+        total minus excluded (pSLC), retired (grown bad), and the data
+        footprint.  This is the pool grown bad blocks consume."""
+        geometry = self.geometry
+        sectors_per_block = geometry.sectors_per_page * geometry.pages_per_block
+        data_blocks = -(-self.num_lpns // sectors_per_block)  # ceil
+        usable = (geometry.total_blocks
+                  - len(self.allocator.excluded_blocks)
+                  - len(self.allocator.retired_blocks))
+        return usable - data_blocks
+
+    def _check_degradation(self, cause: str) -> None:
+        """Enter terminal read-only mode when retirement has eaten the
+        spare pool below the configured floor."""
+        if self.degraded_read_only or not self.config.spare_blocks_min:
+            return
+        spares = self.spare_blocks()
+        if spares < self.config.spare_blocks_min:
+            self.degraded_read_only = True
+            if self.obs.enabled:
+                self.obs.emit(DegradedModeChanged(
+                    mode="read_only", reason=cause, spare_blocks=spares,
+                ))
+
+    def _check_writable(self) -> None:
+        if self.degraded_read_only:
+            raise ReadOnlyError(
+                f"device is read-only: spare pool fell below "
+                f"{self.config.spare_blocks_min} blocks "
+                f"({self.stats.blocks_retired} blocks retired)"
+            )
 
     # ------------------------------------------------------------------
     # pSLC
@@ -540,6 +674,13 @@ class Ftl:
             if self.injector.erase_fails(victim):
                 self.stats.blocks_retired += 1
                 self.allocator.retire_block(victim)
+                if self.obs.enabled:
+                    self.obs.emit(BlockRetired(
+                        block=victim, cause="erase_fail",
+                        migrated_sectors=(self.stats.gc_migrated_sectors
+                                          - migrated_before),
+                    ))
+                self._check_degradation("erase_fail")
                 return
             self.nand.erase(victim)
             self._emit(FlashOp(OpKind.ERASE, victim, OpReason.GC))

@@ -125,6 +125,10 @@ class HostDeviceBase:
         remaining = 100 - int(100 * mean_erases / self.ftl.nand.erase_limit)
         self.smart.percent_lifetime_remaining = max(0, min(100, remaining))
         self.smart.reported_uncorrectable = self.ftl.stats.uncorrectable_reads
+        self.smart.grown_bad_blocks = self.ftl.stats.blocks_retired
+        self.smart.relocated_sectors = self.ftl.stats.relocated_sectors
+        self.smart.read_retries = self.ftl.stats.read_retries
+        self.smart.rain_reconstructions = self.ftl.stats.rain_reconstructions
 
     def _record(self, ops: list[FlashOp]) -> None:
         for op in ops:

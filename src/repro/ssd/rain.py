@@ -17,7 +17,16 @@ from __future__ import annotations
 
 
 class RainAccountant:
-    """Tracks stripe fill; one parity page per ``stripe`` data pages."""
+    """Tracks stripe fill; one parity page per ``stripe`` data pages.
+
+    When callers pass page numbers, the accountant additionally remembers
+    stripe membership so the degraded read path can name the peer pages
+    it must read to reconstruct an uncorrectable page
+    (:meth:`peers_of`).  Membership is kept for the life of the run;
+    stripes whose members were since erased still resolve (the
+    reconstruction model charges the reads regardless — real parity maps
+    are rebuilt lazily too).
+    """
 
     def __init__(self, stripe: int) -> None:
         if stripe != 0 and stripe < 2:
@@ -26,20 +35,32 @@ class RainAccountant:
         self._fill = 0
         self.parity_pages = 0
         self.data_pages = 0
+        #: data PPNs of the stripe currently being filled.
+        self._open_members: list[int] = []
+        #: closed stripes awaiting their parity page (LIFO: a nested
+        #: parity program — GC triggered by parity allocation — closes
+        #: and finalizes the inner stripe first).
+        self._pending: list[list[int]] = []
+        #: data PPN -> the other pages of its stripe (peers + parity).
+        self._stripe_peers: dict[int, tuple[int, ...]] = {}
 
     @property
     def enabled(self) -> bool:
         return self.stripe > 0
 
-    def on_data_page(self) -> bool:
+    def on_data_page(self, ppn: int = -1) -> bool:
         """Record one data-page program; True when a parity page is due."""
         self.data_pages += 1
         if not self.enabled:
             return False
+        if ppn >= 0:
+            self._open_members.append(ppn)
         self._fill += 1
         if self._fill >= self.stripe:
             self._fill = 0
             self.parity_pages += 1
+            self._pending.append(self._open_members)
+            self._open_members = []
             return True
         return False
 
@@ -48,8 +69,28 @@ class RainAccountant:
         if self.enabled and self._fill > 0:
             self._fill = 0
             self.parity_pages += 1
+            self._pending.append(self._open_members)
+            self._open_members = []
             return True
         return False
+
+    def note_parity(self, parity_ppn: int) -> None:
+        """Record the parity page of the most recently closed stripe,
+        finalizing peer lookups for its members."""
+        if not self._pending:
+            return
+        members = self._pending.pop()
+        full = members + [parity_ppn]
+        for member in members:
+            self._stripe_peers[member] = tuple(
+                p for p in full if p != member
+            )
+
+    def peers_of(self, ppn: int) -> tuple[int, ...]:
+        """Pages to read to reconstruct *ppn* (stripe peers + parity);
+        empty when the stripe is unknown (page predates tracking or is
+        itself parity)."""
+        return self._stripe_peers.get(ppn, ())
 
     def overhead_ratio(self) -> float:
         """Parity pages per data page so far."""

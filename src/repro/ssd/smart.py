@@ -54,6 +54,10 @@ class SmartCounters:
     #: derived attributes, synced by the device from FTL state.
     percent_lifetime_remaining: int = 100
     reported_uncorrectable: int = 0
+    grown_bad_blocks: int = 0
+    relocated_sectors: int = 0
+    read_retries: int = 0
+    rain_reconstructions: int = 0
 
     _BY_REASON = {
         OpReason.GC: "gc_program_pages",
@@ -119,12 +123,15 @@ class SmartCounters:
 
     def attributes(self) -> list[SmartAttribute]:
         return [
+            SmartAttribute(5, "Reallocated_Block_Count", self.grown_bad_blocks),
             SmartAttribute(12, "Power_Cycle_Count", 1),
             SmartAttribute(173, "Ave_Block-Erase_Count", self.erase_count),
             SmartAttribute(174, "Unexpect_Power_Loss_Ct", self.unexpected_power_loss),
             SmartAttribute(187, "Reported_Uncorrect", self.reported_uncorrectable),
+            SmartAttribute(196, "Reallocated_Event_Count", self.relocated_sectors),
             SmartAttribute(202, "Percent_Lifetime_Remain",
                            self.percent_lifetime_remaining),
+            SmartAttribute(210, "RAIN_Successful_Recovery", self.rain_reconstructions),
             SmartAttribute(246, "Total_Host_Sector_Write", self.host_sectors_written),
             SmartAttribute(247, "Host_Program_Page_Count", self.host_program_pages),
             SmartAttribute(248, "FTL_Program_Page_Count", self.ftl_program_pages),

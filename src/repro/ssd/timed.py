@@ -40,6 +40,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.flash.errors import FailureInjector
 from repro.flash.geometry import Geometry
 from repro.flash.onfi import (
     OnfiOperation,
@@ -133,13 +134,14 @@ class TimedSSD(HostDeviceBase):
         model: str = "repro-ssd-timed",
         controller_overhead_ns: int = 8_000,
         bus_tap: BusTap | None = None,
+        injector: FailureInjector | None = None,
     ) -> None:
         self.config = config
         self.model = model
         self.geometry = config.geometry
         self.timing = profile(config.timing_name)
         self.controller_overhead_ns = controller_overhead_ns
-        self.ftl = Ftl(config)
+        self.ftl = Ftl(config, injector=injector)
         self.smart = SmartCounters()
         self.bus_tap = bus_tap
         #: blocks operated in pSLC mode program/erase at pSLC speed.

@@ -67,6 +67,30 @@ class TestStore:
         hit, _ = cache.get(key)
         assert not hit and cache.stats.discarded == 1
 
+    def test_foreign_salt_entry_is_a_miss(self, cache):
+        # An entry physically present at this key's path but written by
+        # a different code generation must not be served.
+        key = Cell(compute, Payload(13)).key(CODE_SALT)
+        cache.put(key, 13000)
+        import pickle
+        path = cache.path_for(key)
+        path.write_bytes(pickle.dumps({"salt": "someone-elses", "value": 13000}))
+        hit, _ = cache.get(key)
+        assert not hit
+        assert cache.stats.discarded == 1
+        assert not path.exists()
+
+    def test_discard_warns_exactly_once(self, cache, capsys):
+        keys = [Cell(compute, Payload(v)).key(CODE_SALT) for v in (20, 21)]
+        for key in keys:
+            cache.put(key, 0)
+            cache.path_for(key).write_bytes(b"junk")
+        for key in keys:
+            assert cache.get(key) == (False, None)
+        err = capsys.readouterr().err
+        assert err.count("discarding cache entry") == 1
+        assert cache.stats.discarded == 2
+
     def test_clear_drops_only_this_salt(self, cache):
         other = ResultCache(cache.root, salt="other-salt")
         cache.put(Cell(compute, Payload(1)).key(CODE_SALT), 1)

@@ -1,0 +1,114 @@
+"""Runner robustness: transient worker death and pool-less degradation.
+
+A worker killed mid-cell (OOM killer, SIGKILL, a segfaulting native
+extension) surfaces as ``BrokenProcessPool`` on its future.  That is
+transient — the *cell* did not fail, its *host process* did — so the
+runner resubmits the unfinished cells to a fresh pool instead of
+aborting the study.  Deterministic cell exceptions must keep failing
+fast as CellError: retrying those only wastes the retry budget.
+"""
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.exp import Cell, CellError, Runner
+
+
+@dataclass(frozen=True)
+class CrashOnce:
+    """First execution kills the worker process; later ones succeed.
+
+    The sentinel file lives on disk because the retry lands in a fresh
+    process — no in-memory flag survives ``os._exit``.
+    """
+
+    sentinel: str
+    value: int
+
+
+def crash_once_cell(config: CrashOnce, seed: int):
+    if not os.path.exists(config.sentinel):
+        with open(config.sentinel, "w") as fh:
+            fh.write("crashed")
+        os._exit(3)  # abrupt death: no exception, no cleanup
+    return (config.value, seed)
+
+
+@dataclass(frozen=True)
+class Work:
+    value: int
+
+
+def identity_cell(config: Work, seed: int):
+    return (config.value, seed)
+
+
+def failing_cell(config: Work, seed: int):
+    raise ValueError(f"bad value {config.value}")
+
+
+def _fast_runner(jobs: int) -> Runner:
+    runner = Runner(jobs=jobs)
+    runner.retry_backoff_s = 0.0
+    return runner
+
+
+class TestWorkerDeathRetry:
+    def test_crash_once_worker_is_retried(self, tmp_path):
+        cells = [
+            Cell(crash_once_cell,
+                 CrashOnce(str(tmp_path / "sentinel"), value=7), seed=1),
+            Cell(identity_cell, Work(1), seed=2),
+            Cell(identity_cell, Work(2), seed=3),
+        ]
+        runner = _fast_runner(jobs=2)
+        assert runner.run(cells) == [(7, 1), (1, 2), (2, 3)]
+        assert runner.stats.pool_retries >= 1
+
+    def test_results_match_serial_after_retry(self, tmp_path):
+        crash = Cell(crash_once_cell,
+                     CrashOnce(str(tmp_path / "s2"), value=0), seed=0)
+        cells = [crash] + [Cell(identity_cell, Work(i)) for i in range(1, 5)]
+        got = _fast_runner(jobs=3).run(cells)
+        assert got == [(0, 0)] + [(i, 0) for i in range(1, 5)]
+
+    def test_deterministic_failure_still_fails_fast(self):
+        cells = [Cell(identity_cell, Work(0)),
+                 Cell(failing_cell, Work(-5), label="boom"),
+                 Cell(identity_cell, Work(2))]
+        runner = _fast_runner(jobs=2)
+        with pytest.raises(CellError) as err:
+            runner.run(cells)
+        assert err.value.index == 1
+        assert "boom" in str(err.value)
+        assert runner.stats.pool_retries == 0  # no retry wasted on it
+        assert isinstance(err.value.__cause__, ValueError)
+
+
+class TestSerialDegrade:
+    def test_pool_creation_failure_degrades_to_serial(self, monkeypatch):
+        import repro.exp.runner as runner_mod
+
+        def no_pool(*args, **kwargs):
+            raise OSError("fork forbidden")
+
+        monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", no_pool)
+        cells = [Cell(identity_cell, Work(i), seed=i) for i in range(4)]
+        runner = _fast_runner(jobs=4)
+        assert runner.run(cells) == [(i, i) for i in range(4)]
+        assert runner.stats.serial_degrades == 1
+
+    def test_serial_degrade_still_reports_cell_errors(self, monkeypatch):
+        import repro.exp.runner as runner_mod
+
+        monkeypatch.setattr(
+            runner_mod, "ProcessPoolExecutor",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("no pool")))
+        cells = [Cell(identity_cell, Work(0)),
+                 Cell(failing_cell, Work(-1), label="still named")]
+        with pytest.raises(CellError) as err:
+            _fast_runner(jobs=2).run(cells)
+        assert err.value.index == 1
+        assert "still named" in str(err.value)

@@ -1,0 +1,112 @@
+"""PlannedFaultInjector: determinism, triggers, predicates, accounting."""
+
+from repro.faults import FaultPlan, FaultSpec, PlannedFaultInjector
+from repro.ssd.presets import tiny
+
+GEOMETRY = tiny().geometry
+
+
+def _injector(*specs, seed=5):
+    return PlannedFaultInjector(FaultPlan(seed=seed, specs=specs), GEOMETRY)
+
+
+class TestDeterminism:
+    def test_same_plan_same_schedule(self):
+        def run():
+            inj = _injector(
+                FaultSpec("program_fail", probability=0.3, count=0),
+                FaultSpec("uncorrectable_read", probability=0.2, count=0),
+            )
+            for ppn in range(200):
+                inj.program_fails(ppn)
+                inj.read_uncorrectable(ppn, lpn=ppn % 64)
+            return tuple(inj.log)
+
+        assert run() == run()
+        assert len(run()) > 0
+
+    def test_different_seed_different_schedule(self):
+        def run(seed):
+            inj = _injector(
+                FaultSpec("program_fail", probability=0.3, count=0),
+                seed=seed)
+            return tuple(ppn for ppn in range(200) if inj.program_fails(ppn))
+
+        assert run(1) != run(2)
+
+    def test_log_records_in_firing_order(self):
+        inj = _injector(FaultSpec("program_fail", count=2))
+        fired = [ppn for ppn in range(10) if inj.program_fails(ppn)]
+        assert fired == [0, 1]  # immediately-armed, count-bounded
+        assert [t for _, t, _ in inj.log] == [0, 1]
+
+
+class TestTriggers:
+    def test_at_op_arms_via_tick(self):
+        inj = _injector(FaultSpec("erase_fail", at_op=5, count=1))
+        inj.tick(4)
+        assert not inj.erase_fails(0)
+        inj.tick(5)
+        assert inj.erase_fails(1)
+        assert not inj.erase_fails(2)  # count exhausted
+
+    def test_at_time_arms_via_tick(self):
+        inj = _injector(FaultSpec("program_fail", at_time_ns=1000, count=1))
+        inj.tick(1, now_ns=999)
+        assert not inj.program_fails(0)
+        inj.tick(2, now_ns=1000)
+        assert inj.program_fails(0)
+
+    def test_block_predicate_restricts(self):
+        pages = GEOMETRY.pages_per_block
+        inj = _injector(FaultSpec("program_fail", blocks=(3, 4), count=0))
+        assert not inj.program_fails(0)
+        assert inj.program_fails(3 * pages)
+        assert not inj.program_fails(4 * pages)
+
+    def test_lpn_predicate_restricts_reads(self):
+        inj = _injector(
+            FaultSpec("uncorrectable_read", lpns=(10, 12), count=0))
+        assert not inj.read_uncorrectable(0, lpn=9)
+        assert inj.read_uncorrectable(0, lpn=10)
+        assert not inj.read_uncorrectable(0, lpn=12)
+
+
+class TestDieOffline:
+    def test_offline_die_fails_everything_on_it(self):
+        inj = _injector(FaultSpec("die_offline", die=0, at_op=3))
+        assert not inj.program_fails(0)
+        inj.tick(3)
+        assert inj.offline_dies == frozenset({0})
+        ppn_on_die0 = 0
+        assert GEOMETRY.die_of_ppn(ppn_on_die0) == 0
+        assert inj.program_fails(ppn_on_die0)
+        assert inj.read_uncorrectable(ppn_on_die0)
+        # A block on another die is unaffected.
+        other = next(b for b in range(GEOMETRY.total_blocks)
+                     if GEOMETRY.die_of_block(b) != 0)
+        assert not inj.erase_fails(other)
+
+
+class TestPowerCut:
+    def test_power_cut_pending_after_trigger(self):
+        inj = _injector(FaultSpec("power_cut", at_op=7))
+        inj.tick(6)
+        assert not inj.power_cut_pending()
+        inj.tick(7)
+        assert inj.power_cut_pending()
+
+
+class TestAccounting:
+    def test_injected_counts_reconcile_with_log(self):
+        inj = _injector(
+            FaultSpec("program_fail", probability=0.4, count=0),
+            FaultSpec("erase_fail", probability=0.4, count=0),
+        )
+        for i in range(100):
+            inj.program_fails(i)
+            inj.erase_fails(i % GEOMETRY.total_blocks)
+        counts = inj.injected_counts()
+        assert sum(counts.values()) == len(inj.log)
+        assert counts["program_fail"] == inj.program_failures
+        assert counts["erase_fail"] == inj.erase_failures

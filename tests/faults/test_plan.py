@@ -1,0 +1,101 @@
+"""FaultPlan / FaultSpec: validation, triggers, hashing, pickling."""
+
+import pickle
+
+import pytest
+
+from repro.exp.hashing import stable_digest
+from repro.faults import FAULT_KINDS, FaultPlan, FaultSpec
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("disk_on_fire")
+
+    def test_all_known_kinds_accepted(self):
+        for kind in FAULT_KINDS:
+            kwargs = {}
+            if kind == "die_offline":
+                kwargs["die"] = 0
+            if kind == "power_cut":
+                kwargs["at_op"] = 10
+            FaultSpec(kind, **kwargs)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec("program_fail", probability=1.5)
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec("program_fail", probability=-0.1)
+
+    def test_die_offline_needs_die(self):
+        with pytest.raises(ValueError, match="target die"):
+            FaultSpec("die_offline")
+
+    def test_power_cut_needs_trigger(self):
+        with pytest.raises(ValueError, match="power_cut"):
+            FaultSpec("power_cut")
+
+    def test_empty_address_range_rejected(self):
+        with pytest.raises(ValueError, match="blocks"):
+            FaultSpec("program_fail", blocks=(5, 5))
+        with pytest.raises(ValueError, match="lpns"):
+            FaultSpec("uncorrectable_read", lpns=(9, 3))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            FaultSpec("program_fail", count=-1)
+
+
+class TestTriggers:
+    def test_armed_immediately_when_no_trigger(self):
+        assert FaultSpec("program_fail").armed_immediately
+        assert not FaultSpec("program_fail", at_op=5).armed_immediately
+        assert not FaultSpec("program_fail", probability=0.5).armed_immediately
+
+    def test_address_predicates(self):
+        spec = FaultSpec("uncorrectable_read", blocks=(2, 4), lpns=(10, 20))
+        assert spec.matches_block(2) and spec.matches_block(3)
+        assert not spec.matches_block(4)
+        assert spec.matches_lpn(10) and not spec.matches_lpn(20)
+
+    def test_none_predicates_match_everything(self):
+        spec = FaultSpec("program_fail")
+        assert spec.matches_block(0) and spec.matches_block(10**6)
+        assert spec.matches_lpn(0) and spec.matches_lpn(10**6)
+
+
+class TestPlan:
+    def test_of_kind_filters(self):
+        plan = FaultPlan(specs=(
+            FaultSpec("program_fail"),
+            FaultSpec("erase_fail"),
+            FaultSpec("program_fail", at_op=9),
+        ))
+        assert len(plan.of_kind("program_fail")) == 2
+        assert len(plan.of_kind("erase_fail")) == 1
+        assert plan.of_kind("power_cut") == ()
+
+    def test_without_power_cuts(self):
+        plan = FaultPlan(seed=3, specs=(
+            FaultSpec("power_cut", at_op=100),
+            FaultSpec("program_fail"),
+        ))
+        assert plan.has_power_cut
+        stripped = plan.without_power_cuts()
+        assert not stripped.has_power_cut
+        assert stripped.seed == 3
+        assert len(stripped.specs) == 1
+
+    def test_plan_is_picklable_and_hashable(self):
+        plan = FaultPlan(seed=1, specs=(FaultSpec("erase_fail", count=0),))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+        assert hash(plan) == hash(pickle.loads(pickle.dumps(plan)))
+
+    def test_plan_digest_is_stable(self):
+        # Plans take part in exp cache keys: equal plans, equal digests.
+        a = FaultPlan(seed=2, specs=(FaultSpec("program_fail", at_op=4),))
+        b = FaultPlan(seed=2, specs=(FaultSpec("program_fail", at_op=4),))
+        assert stable_digest(a) == stable_digest(b)
+        c = FaultPlan(seed=3, specs=(FaultSpec("program_fail", at_op=4),))
+        assert stable_digest(a) != stable_digest(c)

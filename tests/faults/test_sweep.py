@@ -1,0 +1,96 @@
+"""Crash-consistency sweep: the durability contract holds at every cut."""
+
+import pytest
+
+from repro.exp import Cell, Runner
+from repro.faults import (
+    CrashSweepCell,
+    FaultPlan,
+    FaultSpec,
+    SweepWorkload,
+    host_ops,
+    run_crash_sweep_cell,
+)
+from repro.ssd.presets import tiny
+
+WORKLOAD = SweepWorkload(ops=300, seed=7)
+
+
+def _cell(stride, plan=None, workload=WORKLOAD):
+    return CrashSweepCell(tiny(), workload, stride, plan=plan)
+
+
+class TestWorkload:
+    def test_stream_is_deterministic(self):
+        assert host_ops(WORKLOAD, 512) == host_ops(WORKLOAD, 512)
+
+    def test_stream_respects_fractions(self):
+        ops = host_ops(SweepWorkload(ops=2000, seed=1, write_frac=1.0,
+                                     trim_frac=0.0), 512)
+        assert all(kind == "write" for kind, _, _ in ops)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SweepWorkload(ops=0)
+        with pytest.raises(ValueError):
+            SweepWorkload(write_frac=0.9, trim_frac=0.2)
+        with pytest.raises(ValueError):
+            CrashSweepCell(tiny(), WORKLOAD, stride=0)
+
+
+class TestCleanSweep:
+    @pytest.mark.parametrize("stride", [1, 7, 31])
+    def test_no_loss_at_any_cut_point(self, stride):
+        result = run_crash_sweep_cell(_cell(stride))
+        assert result.ops_run == WORKLOAD.ops
+        assert result.cuts == WORKLOAD.ops // stride
+        assert result.clean, result.detail
+        assert result.lost_sectors == 0
+        assert result.ghost_sectors == 0
+        assert result.recovery_failures == 0
+
+    def test_trim_resurrection_is_counted_not_hidden(self):
+        # Trims write nothing to flash, so replay legitimately revives
+        # them — the contract requires this be *visible*, not absent.
+        result = run_crash_sweep_cell(_cell(7))
+        assert result.resurrected_trims > 0
+
+
+class TestFaultedSweep:
+    PLAN = FaultPlan(seed=3, specs=(
+        FaultSpec("program_fail", probability=0.01, count=0),
+        FaultSpec("erase_fail", probability=0.01, count=0),
+    ))
+
+    def test_contract_holds_under_grown_bad_blocks(self):
+        result = run_crash_sweep_cell(_cell(13, plan=self.PLAN))
+        assert result.clean, result.detail
+        assert result.blocks_retired > 0
+        assert len(result.fault_log) > 0
+
+    def test_power_cut_specs_are_stripped(self):
+        # The sweep owns cut placement; a plan's power cuts must not
+        # fire inside the workload loop.
+        plan = FaultPlan(seed=3, specs=(FaultSpec("power_cut", at_op=5),))
+        result = run_crash_sweep_cell(_cell(50, plan=plan))
+        assert result.fault_log == ()
+        assert result.clean
+
+
+class TestReproducibility:
+    def test_same_spec_byte_identical_result(self):
+        spec = _cell(11, plan=TestFaultedSweep.PLAN)
+        assert run_crash_sweep_cell(spec) == run_crash_sweep_cell(spec)
+
+    def test_jobs_one_equals_jobs_four(self):
+        cells = [
+            Cell(run_crash_sweep_cell,
+                 _cell(stride, plan=TestFaultedSweep.PLAN),
+                 label=f"k={stride}")
+            for stride in (17, 29, 43, 61)
+        ]
+        serial = Runner(jobs=1).run(cells)
+        parallel = Runner(jobs=4).run(cells)
+        assert serial == parallel
+        assert all(r.fault_log == s.fault_log
+                   for r, s in zip(parallel, serial))

@@ -219,3 +219,27 @@ class TestCapacityPool:
         pool.schedule_release(50, 4)
         # The release predates the request: admission is at the request.
         assert pool.acquire(200, 4, overshoot=4) == 200
+
+
+class TestPowerCut:
+    def test_power_loss_raised_at_cut_time(self):
+        from repro.sim import PowerLoss
+
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(100, fired.append, "before")
+        kernel.schedule(900, fired.append, "after")
+        kernel.power_cut(500)
+        with pytest.raises(PowerLoss) as err:
+            kernel.run_until(1000)
+        assert err.value.at_ns == 500
+        assert fired == ["before"]  # later events abandoned
+
+    def test_power_loss_carries_cut_time(self):
+        from repro.sim import PowerLoss
+
+        kernel = Kernel()
+        kernel.power_cut(250)
+        with pytest.raises(PowerLoss, match="250 ns"):
+            kernel.run_until(300)
+        assert kernel.now == 250

@@ -1,0 +1,143 @@
+"""Recovery honors the ECC model: report losses, never resurrect rot.
+
+The scan used to map whatever the OOB said regardless of whether the
+page was still readable — silently resurrecting data the drive could
+not actually return.  These tests pin the fixed semantics: an
+uncorrectable newest copy is *lost and reported* (no fallback to a
+stale older copy), unless RAIN parity is present, in which case the
+page is rebuilt and counted as such.
+"""
+
+import numpy as np
+
+from repro.faults import FaultPlan, FaultSpec, PlannedFaultInjector
+from repro.flash.errors import ReliabilityModel
+from repro.ssd.ftl import Ftl
+from repro.ssd.mapping import UNMAPPED
+from repro.ssd.presets import tiny
+from repro.ssd.recovery import recover_ftl
+
+#: same fragile flash as the read-path reliability tests.
+FRAGILE = ReliabilityModel(
+    base_rber=1e-7,
+    rated_cycles=200,
+    retention_rber_per_day=1e-3,
+    ecc_correctable=40,
+)
+
+
+def _aged_ftl(config):
+    """Cold data written once, then ~10 simulated days of churn."""
+    ftl = Ftl(config, reliability=FRAGILE)
+    for lpn in range(32):
+        ftl.write(lpn)
+    ftl.flush()
+    for i in range(1000):
+        ftl.write(32 + i % (ftl.num_lpns - 32))
+    ftl.flush()
+    return ftl
+
+
+class TestAgedRecovery:
+    def test_uncorrectable_pages_reported_not_resurrected(self):
+        config = tiny().with_changes(ops_per_day=100)
+        ftl = _aged_ftl(config)
+        recovered, report = recover_ftl(config, ftl.nand.clone(),
+                                        reliability=FRAGILE)
+        assert report.unrecoverable_pages > 0
+        assert report.sectors_lost > 0
+        # The aged cold sectors read back unmapped — not as stale data.
+        lost = [lpn for lpn in range(32)
+                if int(recovered.mapping.l2p[lpn]) == UNMAPPED
+                and recovered.pslc.lookup(lpn) is None]
+        assert len(lost) == report.sectors_lost
+
+    def test_modeling_off_recovers_everything(self):
+        config = tiny()  # ops_per_day=0: retention modeling disabled
+        ftl = _aged_ftl(config)
+        _, report = recover_ftl(config, ftl.nand.clone())
+        assert report.unrecoverable_pages == 0
+        assert report.sectors_lost == 0
+
+    def test_rain_reconstructs_instead_of_losing(self):
+        config = tiny().with_changes(ops_per_day=100, rain_stripe=4)
+        ftl = _aged_ftl(config)
+        recovered, report = recover_ftl(config, ftl.nand.clone(),
+                                        reliability=FRAGILE)
+        assert report.rain_reconstructed_pages > 0
+        assert report.unrecoverable_pages == 0
+        assert report.sectors_lost == 0
+        for lpn in range(32):
+            mapped = (int(recovered.mapping.l2p[lpn]) != UNMAPPED
+                      or recovered.pslc.lookup(lpn) is not None)
+            assert mapped, f"lpn {lpn} lost despite RAIN"
+
+
+class TestInjectedHardFaults:
+    def test_injected_uncorrectable_page_is_lost_at_scan(self):
+        config = tiny()
+        ftl = Ftl(config)
+        for lpn in range(16):
+            ftl.write(lpn)
+        ftl.flush()
+        target_ppn = int(ftl.mapping.l2p[4]) // config.geometry.sectors_per_page
+        block = target_ppn // config.geometry.pages_per_block
+        injector = PlannedFaultInjector(
+            FaultPlan(seed=1, specs=(
+                FaultSpec("uncorrectable_read",
+                          blocks=(block, block + 1), count=0),
+            )),
+            config.geometry,
+        )
+        recovered, report = recover_ftl(config, ftl.nand.clone(),
+                                        injector=injector)
+        assert report.unrecoverable_pages > 0
+        assert report.sectors_lost > 0
+        assert int(recovered.mapping.l2p[4]) == UNMAPPED
+
+    def test_stale_copy_never_wins_over_unreadable_newest(self):
+        # lpn 3 is written twice; only the block holding the NEWEST copy
+        # becomes unreadable.  Recovery must lose the sector, not fall
+        # back to the readable-but-stale first copy.
+        config = tiny()
+        ftl = Ftl(config)
+        for lpn in range(8):
+            ftl.write(lpn)
+        ftl.flush()
+        stale_psa = int(ftl.mapping.l2p[3])
+        for _ in range(40):  # push the next copy into a different block
+            ftl.write(100)
+        ftl.write(3)
+        ftl.flush()
+        newest_psa = int(ftl.mapping.l2p[3])
+        spp = config.geometry.sectors_per_page
+        ppb = config.geometry.pages_per_block
+        newest_block = newest_psa // spp // ppb
+        assert stale_psa // spp // ppb != newest_block
+        injector = PlannedFaultInjector(
+            FaultPlan(seed=1, specs=(
+                FaultSpec("uncorrectable_read",
+                          blocks=(newest_block, newest_block + 1), count=0),
+            )),
+            config.geometry,
+        )
+        recovered, report = recover_ftl(config, ftl.nand.clone(),
+                                        injector=injector)
+        got = int(recovered.mapping.l2p[3])
+        assert got != stale_psa, "resurrected stale data"
+        assert got == UNMAPPED
+        assert report.sectors_lost >= 1
+
+
+class TestRecoveredStillOperational:
+    def test_writes_continue_after_lossy_recovery(self):
+        config = tiny().with_changes(ops_per_day=100)
+        ftl = _aged_ftl(config)
+        recovered, report = recover_ftl(config, ftl.nand.clone(),
+                                        reliability=FRAGILE)
+        assert report.sectors_lost > 0
+        rng = np.random.default_rng(5)
+        for _ in range(1000):
+            recovered.write(int(rng.integers(recovered.num_lpns)))
+        recovered.flush()
+        recovered.check_invariants()

@@ -8,7 +8,7 @@ from repro.cli import build_parser, main
 #: one (test_every_subcommand_has_smoke_coverage enforces it).
 ALL_SUBCOMMANDS = [
     "presets", "simulate", "trace", "latency", "nand-page", "waf-study",
-    "fidelity", "compression", "jtag-study", "probe-features",
+    "fidelity", "compression", "jtag-study", "probe-features", "faultsweep",
 ]
 
 
@@ -127,11 +127,32 @@ class TestCommands:
         assert "gc_started" in out
         assert out_path.exists()
 
+    def test_faultsweep(self, capsys):
+        assert main(["faultsweep", "--preset", "tiny", "--scale", "1",
+                     "--ops", "200", "--strides", "13,47",
+                     "--jobs", "1", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "crash-consistency sweep" in out
+        assert "all cut points clean" in out
+
+    def test_faultsweep_with_faults(self, capsys):
+        assert main(["faultsweep", "--preset", "tiny", "--scale", "1",
+                     "--ops", "200", "--strides", "29",
+                     "--fault-rate", "0.01",
+                     "--jobs", "1", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "all cut points clean" in out
+
+    def test_faultsweep_bad_strides(self, capsys):
+        assert main(["faultsweep", "--strides", "1,zap",
+                     "--jobs", "1", "--no-cache"]) == 1
+        assert "bad --strides" in capsys.readouterr().out
+
     def test_every_subcommand_has_smoke_coverage(self):
         """Each subcommand in cli.py has a TestCommands smoke test."""
         covered = {
             "presets", "simulate", "trace", "latency", "nand-page",
             "waf-study", "fidelity", "compression", "jtag-study",
-            "probe-features",
+            "probe-features", "faultsweep",
         }
         assert covered == set(ALL_SUBCOMMANDS)
