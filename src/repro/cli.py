@@ -14,6 +14,8 @@ documentation of the public API::
     repro-ssd probe-features --cache-sectors 128
     repro-ssd faultsweep --preset tiny --strides 1,7,31
     repro-ssd presets
+    repro-ssd policies
+    repro-ssd policy-grid --io-count 1000 --jobs 4
 """
 
 from __future__ import annotations
@@ -66,6 +68,23 @@ def cmd_presets(args) -> int:
         ["preset", "logical", "ch", "page B", "gc", "cache", "rain", "pslc"],
         rows, title="device presets",
     ))
+    return 0
+
+
+def cmd_policies(args) -> int:
+    """List every registered FTL policy, per design knob."""
+    from repro.ssd.policy import REGISTRIES
+
+    for knob, registry in REGISTRIES.items():
+        rows = []
+        for entry in registry:
+            fields = ", ".join(entry.schema) if entry.schema else "-"
+            rows.append([entry.name, entry.summary, fields])
+        print(format_table(
+            ["policy", "summary", "config fields"],
+            rows, title=f"{knob} ({len(registry)} registered)",
+        ))
+        print()
     return 0
 
 
@@ -258,6 +277,49 @@ def cmd_fidelity(args) -> int:
     return 0
 
 
+def cmd_policy_grid(args) -> int:
+    """Sweep the GC × cache-designation × allocation cross product."""
+    from repro.core.modeling.policy_grid import (
+        GRID_ALLOCATION_POLICIES,
+        GRID_CACHE_DESIGNATIONS,
+        GRID_GC_POLICIES,
+        grid_rows,
+        run_policy_grid,
+    )
+    from repro.ssd.presets import mqsim_baseline
+
+    def axis(raw, default):
+        return tuple(s.strip() for s in raw.split(",") if s.strip()) \
+            if raw else default
+
+    runner = _make_runner(args)
+    study = run_policy_grid(
+        mqsim_baseline(scale=args.scale),
+        block_sizes_sectors=(args.bs,),
+        io_count=args.io_count,
+        gc_policies=axis(args.gc, GRID_GC_POLICIES),
+        designations=axis(args.cache, GRID_CACHE_DESIGNATIONS),
+        allocations=axis(args.alloc, GRID_ALLOCATION_POLICIES),
+        runner=runner,
+    )
+    rows = [
+        [r["gc_policy"], r["cache_designation"], r["allocation"],
+         round(r["p50_us"], 1), round(r["p99_us"], 1),
+         round(r["p999_us"], 1), round(r["iops"])]
+        for r in sorted(grid_rows(study), key=lambda r: r["p99_us"])
+    ]
+    print(format_table(
+        ["gc", "cache", "alloc", "p50 (us)", "p99 (us)", "p99.9 (us)",
+         "IOPS"],
+        rows,
+        title=f"policy design grid ({len(rows)} points, "
+              f"{args.bs * 4}K random writes)",
+    ))
+    print(f"\np99 spread across the grid: {study.p99_spread(args.bs):.2f}x")
+    print(runner.describe())
+    return 0
+
+
 def cmd_compression(args) -> int:
     from repro.ssd.compression import make_scheme
     from repro.workloads.compressibility import REGIMES, CompressibilityModel
@@ -410,6 +472,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=int, default=2)
     p.set_defaults(fn=cmd_presets)
 
+    p = sub.add_parser("policies",
+                       help="list registered FTL policies per design knob")
+    p.set_defaults(fn=cmd_policies)
+
     p = sub.add_parser("simulate", help="counter-mode workload + SMART")
     common(p)
     p.add_argument("--writes", type=int, default=20_000)
@@ -461,6 +527,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--io-count", type=int, default=2_000)
     parallel(p)
     p.set_defaults(fn=cmd_fidelity)
+
+    p = sub.add_parser("policy-grid",
+                       help="sweep the GC x cache x allocation policy grid")
+    p.add_argument("--scale", type=int, default=4)
+    p.add_argument("--io-count", type=int, default=2_000)
+    p.add_argument("--bs", type=int, default=1, help="request size in sectors")
+    p.add_argument("--gc", default="",
+                   help="comma-separated gc_policy axis override")
+    p.add_argument("--cache", default="",
+                   help="comma-separated cache_designation axis override")
+    p.add_argument("--alloc", default="",
+                   help="comma-separated allocation axis override")
+    parallel(p)
+    p.set_defaults(fn=cmd_policy_grid)
 
     p = sub.add_parser("compression", help="Fig 2 compression schemes")
     p.add_argument("--regime", default="high",

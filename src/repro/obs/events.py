@@ -171,6 +171,8 @@ class GcStarted(TraceEvent):
     victim: int
     valid_sectors: int
     trigger: str
+    #: victim-selection policy driving this collection ("" if unknown).
+    policy: str = ""
 
 
 @dataclass(frozen=True)
@@ -202,6 +204,9 @@ class FlashOpIssued(TraceEvent):
     target: int  #: ppn (reads/programs) or block (erases)
     reason: str  #: host / gc / meta / parity / pslc / wear / refresh
     nbytes: int
+    #: policy on whose behalf the op was issued (victim policy during
+    #: GC, wear policy during leveling, "" on the plain host path).
+    policy: str = ""
 
 
 @dataclass(frozen=True)

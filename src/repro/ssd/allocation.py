@@ -6,17 +6,14 @@ spreads consecutive writes over its parallelism dimensions — Channel, Way
 CWDP vs. PDWC as one of its three "basic design features" in the Fig 3
 experiment.
 
-A scheme string such as ``"CWDP"`` lists dimensions from
-fastest-varying to slowest: under CWDP consecutive writes round-robin
-across channels first (maximal bus parallelism for small bursts), whereas
-under PDWC they fill both planes and both dies of one channel position
-before moving to the next channel (deep queues on few dies).
-
-The allocator also owns block lifecycle: per-plane free-block pools, one
-active (partially-written) block per ``(plane, stream)``, bad-block
-retirement, and handing erased blocks back.  Write *streams* keep host
-data, GC migrations, and mapping metadata in separate active blocks, as
-real FTLs do to avoid mixing lifetimes.
+The ordering itself (and optional stream separation) is a pluggable
+policy from :mod:`repro.ssd.policy.allocation`; this module owns block
+lifecycle: per-plane free-block pools, one active (partially-written)
+block per ``(plane, stream)``, bad-block retirement, and handing erased
+blocks back.  Write *streams* keep host data, GC migrations, and mapping
+metadata in separate active blocks, as real FTLs do to avoid mixing
+lifetimes; stream-separating policies can add streams of their own
+(e.g. ``hotcold``'s ``cold`` stream).
 """
 
 from __future__ import annotations
@@ -25,8 +22,10 @@ from dataclasses import dataclass
 
 from repro.flash.geometry import Geometry
 from repro.flash.nand import NandArray
+from repro.ssd.policy.allocation import allocation_policies
+from repro.ssd.policy.base import AllocationPolicy
 
-#: Separate open-block streams.
+#: Builtin open-block streams (policies may add more via extra_streams).
 STREAMS = ("host", "gc", "meta")
 
 
@@ -40,16 +39,28 @@ class _ActiveBlock:
     next_page: int
 
 
+def _resolve_policy(scheme: str | AllocationPolicy) -> AllocationPolicy:
+    if not isinstance(scheme, str):
+        return scheme
+    if scheme in allocation_policies:
+        return allocation_policies.resolve(scheme)()
+    if scheme.upper() in allocation_policies:
+        return allocation_policies.resolve(scheme.upper())()
+    # Unknown either way: raise the registry's listing error.
+    return allocation_policies.resolve(scheme)()
+
+
 class PageAllocator:
-    """Hands out physical pages according to an allocation scheme.
+    """Hands out physical pages according to an allocation policy.
 
     Parameters
     ----------
     geometry, nand:
         The flash being allocated over.
     scheme:
-        A permutation string over ``C``, ``W``, ``D``, ``P`` (at least the
-        letters present vary; missing letters default to slowest order).
+        A registered policy name — a dimension permutation such as
+        ``"CWDP"``/``"PDWC"`` or a named policy like ``"hotcold"`` — or
+        an :class:`~repro.ssd.policy.base.AllocationPolicy` object.
     excluded_blocks:
         Blocks owned by someone else (e.g. the pSLC buffer) — never
         allocated here.
@@ -59,13 +70,19 @@ class PageAllocator:
         self,
         geometry: Geometry,
         nand: NandArray,
-        scheme: str = "CWDP",
+        scheme: str | AllocationPolicy = "CWDP",
         excluded_blocks: frozenset[int] = frozenset(),
     ) -> None:
         self.geometry = geometry
         self.nand = nand
-        self.scheme = scheme.upper()
-        self._dims = self._parse_scheme(self.scheme, geometry)
+        self.policy = _resolve_policy(scheme)
+        self.policy.bind(geometry)
+        self.scheme = self.policy.name
+        self.streams: tuple[str, ...] = STREAMS + tuple(self.policy.extra_streams)
+        # Bound once: the hot allocation path calls the policy's method
+        # directly, with no per-allocation dispatch.
+        self.plane_for_index = self.policy.plane_for_index
+        self.route = self.policy.route
         self.excluded_blocks = excluded_blocks
 
         planes = geometry.planes_total
@@ -78,7 +95,7 @@ class PageAllocator:
             pool.reverse()  # pop() yields lowest block index first
 
         self._active: dict[tuple[int, str], _ActiveBlock] = {}
-        self._stream_counters: dict[str, int] = {s: 0 for s in STREAMS}
+        self._stream_counters: dict[str, int] = {s: 0 for s in self.streams}
         self._retired: set[int] = set()
         #: monotonically increasing allocation stamp per block (for FIFO GC).
         self.block_alloc_seq: dict[int, int] = {}
@@ -88,44 +105,6 @@ class PageAllocator:
         #: incrementally on block state changes so victim selection is
         #: O(candidates), not a full plane scan per GC invocation.
         self._sealed: list[set[int]] = [set() for _ in range(planes)]
-
-    # ------------------------------------------------------------------
-    # Scheme machinery
-    # ------------------------------------------------------------------
-
-    @staticmethod
-    def _parse_scheme(scheme: str, geometry: Geometry) -> list[tuple[str, int]]:
-        sizes = {
-            "C": geometry.channels,
-            "W": geometry.chips_per_channel,
-            "D": geometry.dies_per_chip,
-            "P": geometry.planes_per_die,
-        }
-        seen = []
-        for letter in scheme:
-            if letter not in sizes:
-                raise ValueError(f"allocation scheme letter {letter!r} invalid")
-            if letter in (l for l, _ in seen):
-                raise ValueError(f"allocation scheme repeats {letter!r}")
-            seen.append((letter, sizes[letter]))
-        for letter, size in sizes.items():
-            if letter not in (l for l, _ in seen):
-                seen.append((letter, size))
-        return seen
-
-    def plane_for_index(self, index: int) -> int:
-        """Plane id targeted by the *index*-th write of a stream."""
-        coords = {}
-        rest = index
-        for letter, size in self._dims:
-            coords[letter] = rest % size
-            rest //= size
-        g = self.geometry
-        plane = (
-            ((coords["C"] * g.chips_per_channel + coords["W"]) * g.dies_per_chip
-             + coords["D"]) * g.planes_per_die + coords["P"]
-        )
-        return plane
 
     def _plane_of_block(self, block_index: int) -> int:
         return block_index // self.geometry.blocks_per_plane
@@ -137,8 +116,8 @@ class PageAllocator:
     def allocate_page(self, stream: str = "host") -> int:
         """Return the PPN of the next page for *stream*.
 
-        Follows the scheme's plane ordering; if the scheme's target plane
-        is exhausted the allocator falls over to the next plane with
+        Follows the policy's plane ordering; if the target plane is
+        exhausted the allocator falls over to the next plane with
         space, so allocation only fails when the whole device is full.
         """
         if stream not in self._stream_counters:

@@ -19,20 +19,33 @@ from collections import OrderedDict
 
 from repro.obs.events import CacheAdmit, CacheFlush
 from repro.obs.sinks import NULL_SINK, TraceSink
+from repro.ssd.policy.base import CacheEvictionPolicy
+from repro.ssd.policy.cache import cache_eviction_policies
 
 
 class WriteCache:
-    """LRU cache of pending host sector writes.
+    """Cache of pending host sector writes with a pluggable eviction order.
 
     ``insert`` returns ``True`` on a *write hit* — the sector was already
     pending, so the new version replaces it and no flash write is owed for
     the older one (write absorption).  When occupancy exceeds the
-    capacity, the FTL asks for flush batches until it fits again.
+    capacity, the FTL asks for flush batches until it fits again.  The
+    eviction policy (default ``lru``) decides which pending sector each
+    flush batch drains next and whether a hit refreshes recency.
     """
 
-    def __init__(self, capacity_sectors: int) -> None:
+    def __init__(
+        self,
+        capacity_sectors: int,
+        eviction: str | CacheEvictionPolicy = "lru",
+    ) -> None:
         if capacity_sectors < 1:
             raise ValueError("capacity_sectors must be >= 1")
+        if isinstance(eviction, str):
+            eviction = cache_eviction_policies.resolve(eviction)()
+        self.eviction = eviction.name
+        self._on_hit = eviction.on_hit  # bound once: no per-op dispatch
+        self._pop = eviction.pop
         self.capacity = capacity_sectors
         self._pending: OrderedDict[int, None] = OrderedDict()
         self.obs: TraceSink = NULL_SINK
@@ -54,7 +67,7 @@ class WriteCache:
         pending write to the same LPN."""
         self.insertions += 1
         if lpn in self._pending:
-            self._pending.move_to_end(lpn)
+            self._on_hit(lpn, self._pending)
             self.hits += 1
             if self.obs.enabled:
                 self.obs.emit(CacheAdmit(lpn=lpn, absorbed=True))
@@ -75,8 +88,7 @@ class WriteCache:
             raise ValueError("max_sectors must be >= 1")
         batch = []
         while self._pending and len(batch) < max_sectors:
-            lpn, _ = self._pending.popitem(last=False)
-            batch.append(lpn)
+            batch.append(self._pop(self._pending))
         batch.sort()
         if batch and self.obs.enabled:
             self.obs.emit(CacheFlush(sectors=len(batch),

@@ -14,18 +14,24 @@ from dataclasses import dataclass, field, replace
 
 from repro.flash.geometry import Geometry
 from repro.flash.timing import PROFILES
+from repro.ssd.policy import (
+    allocation_policies,
+    cache_admission_policies,
+    cache_designations,
+    cache_eviction_policies,
+    victim_policies,
+    wear_policies,
+)
 
-#: GC victim-selection policies understood by :mod:`repro.ssd.gc`.
-GC_POLICIES = ("greedy", "randomized_greedy", "random", "fifo", "cost_benefit")
+#: GC victim-selection policies (registered in :mod:`repro.ssd.policy.victim`).
+GC_POLICIES = victim_policies.names()
 
 #: Write-cache designations (the Fig 3 "write cache designation" knob).
-CACHE_DESIGNATIONS = ("data", "mapping")
+CACHE_DESIGNATIONS = cache_designations.names()
 
-#: Page-allocation orderings over Channel / Way / Die / Plane.
-ALLOCATION_SCHEMES = (
-    "CWDP", "CWPD", "CDWP", "CDPW", "CPWD", "CPDW",
-    "WCDP", "WDCP", "DWCP", "DCWP", "PDWC", "PWDC", "DPWC",
-)
+#: Page-allocation orderings over Channel / Way / Die / Plane, plus
+#: named policies such as the stream-separating ``hotcold``.
+ALLOCATION_SCHEMES = allocation_policies.names()
 
 #: Intra-SSD compression schemes (Fig 2); these live in their own modeled
 #: log path (:mod:`repro.ssd.compression`), not in the sector-granularity FTL.
@@ -64,6 +70,11 @@ class SsdConfig:
     cache_designation: str = "data"
     #: RAM budget of the write cache, in host sectors.
     cache_sectors: int = 256
+    #: whether host sectors enter the cache (``always``) or bypass it
+    #: into a direct page-packing staging buffer (``bypass``).
+    cache_admission: str = "always"
+    #: flush ordering of pending cache sectors (``lru`` or ``fifo``).
+    cache_eviction: str = "lru"
 
     # --- mapping --------------------------------------------------------
     #: LPNs covered by one translation page (one metadata flash write).
@@ -96,6 +107,8 @@ class SsdConfig:
     #: enable static wear leveling (cold block rotation).
     wear_leveling: bool = False
     wear_leveling_delta: int = 100
+    #: which block static leveling migrates (``coldest``, ``sampled_cold``).
+    wear_policy: str = "coldest"
     #: retention refresh: rewrite blocks older than this many host
     #: sector-writes during idle maintenance (0 disables).
     refresh_after_ops: int = 0
@@ -119,12 +132,14 @@ class SsdConfig:
     def __post_init__(self) -> None:
         if self.timing_name not in PROFILES:
             raise ValueError(f"unknown timing profile {self.timing_name!r}")
-        if self.gc_policy not in GC_POLICIES:
-            raise ValueError(f"unknown gc_policy {self.gc_policy!r}")
-        if self.cache_designation not in CACHE_DESIGNATIONS:
-            raise ValueError(f"unknown cache_designation {self.cache_designation!r}")
-        if self.allocation_scheme not in ALLOCATION_SCHEMES:
-            raise ValueError(f"unknown allocation_scheme {self.allocation_scheme!r}")
+        # Policy knobs resolve through the registries, whose errors name
+        # every valid choice.
+        victim_policies.validate(self.gc_policy)
+        cache_designations.validate(self.cache_designation)
+        cache_admission_policies.validate(self.cache_admission)
+        cache_eviction_policies.validate(self.cache_eviction)
+        allocation_policies.validate(self.allocation_scheme)
+        wear_policies.validate(self.wear_policy)
         if not 0.0 <= self.op_ratio < 0.5:
             raise ValueError("op_ratio must be in [0, 0.5)")
         if self.gc_high_water_blocks < self.gc_low_water_blocks:

@@ -55,6 +55,7 @@ from repro.ssd.config import SsdConfig
 from repro.ssd.gc import VictimSelector
 from repro.ssd.mapping import UNMAPPED, MappingEvents, MappingTable
 from repro.ssd.ops import FlashOp, OpKind, OpReason
+from repro.ssd.policy import cache_admission_policies, cache_designations
 from repro.ssd.rain import RainAccountant
 from repro.ssd.slc import PslcBuffer
 from repro.ssd.wearlevel import WearLeveler
@@ -141,17 +142,26 @@ class Ftl:
         self.allocator = PageAllocator(
             geometry, self.nand, config.allocation_scheme, excluded_blocks=excluded
         )
+        # Stream routing (e.g. hotcold separation) only exists when the
+        # allocation policy declares extra streams; the default path
+        # skips the per-page route call entirely.
+        self._routed = bool(self.allocator.policy.extra_streams)
+        self._route = self.allocator.route
 
-        dirty_limit = config.mapping_dirty_tp_limit
-        if config.cache_designation == "mapping":
-            # The RAM budget buys dirty-TP slots instead of data buffering:
-            # one TP occupies one flash page of RAM.
-            extra = config.cache_sectors * geometry.sector_size // geometry.page_size
-            dirty_limit += extra
-            cache_sectors = geometry.sectors_per_page
-        else:
-            cache_sectors = max(config.cache_sectors, geometry.sectors_per_page)
-        self.cache = WriteCache(cache_sectors)
+        designation = cache_designations.resolve(config.cache_designation)()
+        plan = designation.plan(config.cache_sectors, geometry)
+        dirty_limit = config.mapping_dirty_tp_limit + plan.extra_dirty_tps
+        self.cache = WriteCache(plan.cache_sectors,
+                                eviction=config.cache_eviction)
+
+        admission = cache_admission_policies.resolve(config.cache_admission)()
+        #: fast-path flag: skip the per-sector admit() call when the
+        #: policy admits unconditionally (the default).
+        self._admit_always = admission.always
+        self._admit = admission.admit
+        #: direct page-packing staging buffer for cache-bypassing
+        #: sectors (at most one page's worth pending).
+        self._staged: list[int] = []
 
         self.mapping = MappingTable(
             num_lpns=self.num_lpns,
@@ -173,6 +183,8 @@ class Ftl:
         self.leveler = WearLeveler(
             geometry, self.nand, self.allocator,
             delta=config.wear_leveling_delta,
+            policy=config.wear_policy,
+            sample_size=config.gc_sample_size,
         ) if config.wear_leveling else None
         #: host-sector-write sequence when each block was first programmed
         #: since its last erase (-1 = not programmed); drives refresh age.
@@ -191,6 +203,9 @@ class Ftl:
         #: True while GC migration is writing; migration draws on the
         #: watermark reserve instead of recursively triggering GC.
         self._in_gc = False
+        #: name of the policy currently driving maintenance traffic
+        #: (labels FlashOpIssued events; "" on the plain host path).
+        self._active_policy = ""
 
     def attach_sink(self, sink: TraceSink) -> None:
         """Route this FTL's trace events (and those of its write cache,
@@ -219,6 +234,9 @@ class Ftl:
         for sector in range(lpn, lpn + nsectors):
             self.stats.host_sector_writes += 1
             self._op_seq += 1
+            if not self._admit_always and not self._admit(sector, self.cache):
+                self._stage_direct(sector)
+                continue
             if self.cache.insert(sector):
                 self.stats.cache_absorbed += 1
             while self.cache.needs_flush:
@@ -235,6 +253,8 @@ class Ftl:
             self.stats.host_sector_reads += 1
             if sector in self.cache:
                 continue  # RAM hit
+            if self._staged and sector in self._staged:
+                continue  # RAM hit in the bypass staging buffer
             psa = self.pslc.lookup(sector)
             if psa is None:
                 psa, events = self.mapping.lookup(sector)
@@ -329,6 +349,8 @@ class Ftl:
         for sector in range(lpn, lpn + nsectors):
             self.stats.trimmed_sectors += 1
             self.cache.drop(sector)
+            if self._staged and sector in self._staged:
+                self._staged = [s for s in self._staged if s != sector]
             self.pslc.invalidate(sector)
             old, events = self.mapping.trim(sector)
             self._invalidate_old_copy(sector, old, UNMAPPED)
@@ -338,6 +360,8 @@ class Ftl:
     def flush(self) -> list[FlashOp]:
         """Drain the write cache and close open RAIN stripes."""
         self._ops = []
+        while self._staged:
+            self._flush_staged()
         while len(self.cache):
             self._flush_one_batch()
         if self.rain.flush():
@@ -364,6 +388,24 @@ class Ftl:
             self._program_data_page(batch, stream="host", reason=OpReason.HOST)
         self._maybe_drain_pslc()
 
+    def _stage_direct(self, sector: int) -> None:
+        """Cache-bypass path: collect sectors in a one-page staging
+        buffer and program it the moment it fills."""
+        self._staged.append(sector)
+        if len(self._staged) >= self.geometry.sectors_per_page:
+            self._flush_staged()
+
+    def _flush_staged(self) -> None:
+        spp = self.geometry.sectors_per_page
+        batch, self._staged = sorted(self._staged[:spp]), self._staged[spp:]
+        if not batch:
+            return
+        if self.pslc.enabled and self.pslc.has_space():
+            self._stage_batch_in_pslc(batch)
+        else:
+            self._program_data_page(batch, stream="host", reason=OpReason.HOST)
+        self._maybe_drain_pslc()
+
     def _program_data_page(
         self, lpns: list[int], stream: str, reason: OpReason,
         *, silent_map: bool = False,
@@ -372,6 +414,8 @@ class Ftl:
         self._ensure_free_space()
         geometry = self.geometry
         spp = geometry.sectors_per_page
+        if self._routed:
+            stream = self._route(stream, lpns)
         ppn = self._allocate_programmable_page(stream)
         self.nand.program(ppn, lpn=lpns[0], oob=tuple(lpns[:spp]))
         self._emit(FlashOp(OpKind.PROGRAM, ppn, reason, geometry.page_size))
@@ -595,6 +639,7 @@ class Ftl:
             block = decision.victim_block
             self._gc_in_flight.add(block)
             self._in_gc = True
+            self._active_policy = self.leveler.policy
             try:
                 self._migrate_block_contents(block, reason=OpReason.WEAR)
                 self.nand.erase(block)
@@ -603,6 +648,7 @@ class Ftl:
             finally:
                 self._gc_in_flight.discard(block)
                 self._in_gc = False
+                self._active_policy = ""
             self.stats.wear_migrations += 1
             done += 1
         return done
@@ -663,12 +709,14 @@ class Ftl:
         if self.obs.enabled:
             self.obs.emit(GcStarted(victim=victim,
                                     valid_sectors=int(self.block_valid[victim]),
-                                    trigger=trigger))
+                                    trigger=trigger,
+                                    policy=self.selector.policy))
         migrated_before = self.stats.gc_migrated_sectors
         ops_before = len(self._ops)
         erased = False
         self._gc_in_flight.add(victim)
         self._in_gc = True
+        self._active_policy = self.selector.policy
         try:
             self._migrate_block_contents(victim, reason=OpReason.GC)
             if self.injector.erase_fails(victim):
@@ -689,6 +737,7 @@ class Ftl:
         finally:
             self._gc_in_flight.discard(victim)
             self._in_gc = False
+            self._active_policy = ""
             if self.obs.enabled:
                 self.obs.emit(GcFinished(
                     victim=victim,
@@ -777,7 +826,8 @@ class Ftl:
         if self.obs.enabled:
             self.obs.emit(FlashOpIssued(kind=op.kind.value, target=op.target,
                                         reason=op.reason.value,
-                                        nbytes=op.nbytes))
+                                        nbytes=op.nbytes,
+                                        policy=self._active_policy))
 
     def _check_range(self, lpn: int, nsectors: int) -> None:
         if nsectors < 1:

@@ -5,8 +5,11 @@ GC victim-selection policy belongs to changes write amplification in
 first-order ways; the paper varies "randomized-greedy algorithm or greedy"
 as one of its three Fig 3 knobs.
 
-The policies here choose *which* full block to reclaim; the FTL performs
-the migration and erase.  All randomness is seeded for reproducibility.
+The actual selection algorithms live in
+:mod:`repro.ssd.policy.victim`; the :class:`VictimSelector` here owns
+the per-run state they share (candidate pool, seeded RNG stream, sample
+size) and acts as their decision *view*.  All randomness is seeded for
+reproducibility.
 """
 
 from __future__ import annotations
@@ -20,6 +23,8 @@ from repro.flash.nand import NandArray
 from repro.obs.events import GcVictimSelected
 from repro.obs.sinks import NULL_SINK, TraceSink
 from repro.ssd.allocation import PageAllocator
+from repro.ssd.policy.base import VictimPolicy
+from repro.ssd.policy.victim import victim_policies
 
 
 class VictimSelector:
@@ -28,15 +33,16 @@ class VictimSelector:
     Parameters
     ----------
     policy:
-        One of ``greedy``, ``randomized_greedy``, ``random``, ``fifo``,
-        ``cost_benefit``.
+        A registered policy name (see ``victim_policies.names()``, e.g.
+        ``greedy``, ``randomized_greedy``, ``d_choices``) or an object
+        satisfying :class:`~repro.ssd.policy.base.VictimPolicy`.
     valid_sectors:
         Device-wide per-block valid-sector counts, maintained by the FTL.
     """
 
     def __init__(
         self,
-        policy: str,
+        policy: str | VictimPolicy,
         geometry: Geometry,
         nand: NandArray,
         allocator: PageAllocator,
@@ -44,21 +50,20 @@ class VictimSelector:
         sample_size: int = 8,
         seed: int = 12345,
     ) -> None:
-        self.policy = policy
+        if isinstance(policy, str):
+            policy = victim_policies.resolve(policy)()
+        self._policy: VictimPolicy = policy
+        self.policy = policy.name
         self.geometry = geometry
         self.nand = nand
         self.allocator = allocator
         self.valid_sectors = valid_sectors
         self.sample_size = max(2, sample_size)
         self.obs: TraceSink = NULL_SINK
-        self._rng = np.random.default_rng(seed)
-        self._select = {
-            "greedy": self._greedy,
-            "randomized_greedy": self._randomized_greedy,
-            "random": self._random,
-            "fifo": self._fifo,
-            "cost_benefit": self._cost_benefit,
-        }[policy]
+        #: seeded stream shared by every randomized policy; policies read
+        #: it (and ``sample_size``) at choose() time, never capture it.
+        self.rng = np.random.default_rng(seed)
+        self._choose = policy.choose  # bound once: no per-GC dispatch
         # Seed the allocator's sealed-block index from current NAND
         # state: callers may have programmed flash before attaching a
         # selector (crash-recovery replay, tests staging block states).
@@ -109,7 +114,7 @@ class VictimSelector:
         pool = self.candidates(plane, exclude)
         if not pool:
             return None
-        victim = self._select(pool)
+        victim = self._choose(pool, self)
         if self.obs.enabled:
             self.obs.emit(GcVictimSelected(
                 plane=plane, victim=victim, pool_size=len(pool),
@@ -117,42 +122,3 @@ class VictimSelector:
                 policy=self.policy,
             ))
         return victim
-
-    # ------------------------------------------------------------------
-    # Policies
-    # ------------------------------------------------------------------
-
-    def _greedy(self, pool: list[int]) -> int:
-        return min(pool, key=lambda b: int(self.valid_sectors[b]))
-
-    def _randomized_greedy(self, pool: list[int]) -> int:
-        if len(pool) <= self.sample_size:
-            sample = pool
-        else:
-            index = self._rng.choice(len(pool), size=self.sample_size, replace=False)
-            sample = [pool[i] for i in index]
-        return min(sample, key=lambda b: int(self.valid_sectors[b]))
-
-    def _random(self, pool: list[int]) -> int:
-        return pool[int(self._rng.integers(len(pool)))]
-
-    def _fifo(self, pool: list[int]) -> int:
-        seq = self.allocator.block_alloc_seq
-        return min(pool, key=lambda b: seq.get(b, 0))
-
-    def _cost_benefit(self, pool: list[int]) -> int:
-        """Rosenblum/Ousterhout cost-benefit: maximize age*(1-u)/(2u)."""
-        seq = self.allocator.block_alloc_seq
-        now = max(seq.values(), default=0) + 1
-        sectors_per_block = (
-            self.geometry.pages_per_block * self.geometry.sectors_per_page
-        )
-
-        def score(block: int) -> float:
-            u = int(self.valid_sectors[block]) / sectors_per_block
-            age = now - seq.get(block, 0)
-            if u >= 1.0:
-                return -1.0
-            return age * (1.0 - u) / (2.0 * u + 1e-9)
-
-        return max(pool, key=score)

@@ -1,0 +1,80 @@
+"""Pluggable FTL policy engine.
+
+Each FTL design knob resolves through one :class:`PolicyRegistry`:
+
+==================  ====================================  ==============
+``SsdConfig`` knob  registry                              protocol
+==================  ====================================  ==============
+gc_policy           :data:`victim_policies`               VictimPolicy
+allocation_scheme   :data:`allocation_policies`           AllocationPolicy
+cache_designation   :data:`cache_designations`            CacheDesignationPolicy
+cache_admission     :data:`cache_admission_policies`      CacheAdmissionPolicy
+cache_eviction      :data:`cache_eviction_policies`       CacheEvictionPolicy
+wear_policy         :data:`wear_policies`                 WearPolicy
+==================  ====================================  ==============
+
+To add a policy: subclass nothing, satisfy the protocol, decorate with
+``@<registry>.register("your-name")``, and every config, preset, CLI
+sweep and the ``repro-ssd policies`` listing picks it up.  See
+DESIGN.md ("Policy engine") for a worked 30-line example.
+"""
+
+from repro.ssd.policy.allocation import (
+    SCHEME_NAMES,
+    HotColdAllocation,
+    SchemeAllocation,
+    allocation_policies,
+)
+from repro.ssd.policy.base import (
+    AllocationPolicy,
+    CacheAdmissionPolicy,
+    CacheDesignationPolicy,
+    CacheEvictionPolicy,
+    CachePlan,
+    VictimPolicy,
+    WearPolicy,
+)
+from repro.ssd.policy.cache import (
+    cache_admission_policies,
+    cache_designations,
+    cache_eviction_policies,
+)
+from repro.ssd.policy.registry import PolicyEntry, PolicyRegistry
+from repro.ssd.policy.victim import victim_policies
+from repro.ssd.policy.wear import wear_policies
+
+#: config knob -> registry, in ``SsdConfig`` field order (drives the
+#: ``repro-ssd policies`` listing).
+REGISTRIES: dict[str, PolicyRegistry] = {
+    reg.knob: reg
+    for reg in (
+        victim_policies,
+        allocation_policies,
+        cache_designations,
+        cache_admission_policies,
+        cache_eviction_policies,
+        wear_policies,
+    )
+}
+
+__all__ = [
+    "PolicyEntry",
+    "PolicyRegistry",
+    "REGISTRIES",
+    "SCHEME_NAMES",
+    "VictimPolicy",
+    "AllocationPolicy",
+    "CacheAdmissionPolicy",
+    "CacheDesignationPolicy",
+    "CacheEvictionPolicy",
+    "CachePlan",
+    "WearPolicy",
+    "SchemeAllocation",
+    "HotColdAllocation",
+    "victim_policies",
+    "allocation_policies",
+    "cache_designations",
+    "cache_admission_policies",
+    "cache_eviction_policies",
+    "wear_policies",
+]

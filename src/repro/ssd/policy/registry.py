@@ -1,0 +1,120 @@
+"""String → factory registries for FTL design knobs.
+
+The paper's Fig 3 point is that *basic* FTL policy choices — invisible
+from outside the device — swing tail latency by an order of magnitude.
+Each knob (GC victim selection, page allocation, write-cache
+designation, cache admission/eviction, wear leveling) gets one
+:class:`PolicyRegistry`; :class:`~repro.ssd.config.SsdConfig` keeps its
+plain-string knobs and resolves them here, so a config file, a preset,
+and a sweep grid all name policies by the same stable strings.
+
+Every entry carries the factory, a one-line summary (the first line of
+the factory's docstring unless overridden) and a *schema*: the
+``SsdConfig`` fields the policy reads, with a one-line description each.
+``repro-ssd policies`` renders exactly this metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class PolicyEntry:
+    """One registered policy: how to build it and how to document it."""
+
+    name: str
+    factory: Callable[[], Any]
+    summary: str
+    #: config fields the policy consumes -> one-line description.
+    schema: Mapping[str, str] = field(default_factory=dict)
+
+
+class PolicyRegistry:
+    """Name → factory registry for one FTL design knob.
+
+    Factories take no arguments and return a fresh policy object;
+    per-run parameters (sample sizes, seeds) are read from the
+    consuming component at decision time, which keeps policy objects
+    stateless where possible and byte-identical to the pre-registry
+    dispatch.
+    """
+
+    def __init__(self, knob: str) -> None:
+        #: the ``SsdConfig`` field this registry resolves (used in errors).
+        self.knob = knob
+        self._entries: dict[str, PolicyEntry] = {}
+
+    # -- registration ---------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        factory: Callable[[], Any] | None = None,
+        *,
+        summary: str | None = None,
+        schema: Mapping[str, str] | None = None,
+    ):
+        """Register *factory* under *name*.
+
+        Usable as a decorator (``@registry.register("greedy")`` over a
+        class) or called directly with an explicit factory.  The
+        summary defaults to the first line of the factory's docstring.
+        """
+
+        def _add(fn: Callable[[], Any]):
+            if name in self._entries:
+                raise ValueError(
+                    f"{self.knob} policy {name!r} registered twice")
+            doc = summary
+            if doc is None:
+                doc = (fn.__doc__ or "").strip().splitlines()[0] if fn.__doc__ \
+                    else ""
+            if not doc:
+                raise ValueError(
+                    f"{self.knob} policy {name!r} needs a docstring or an "
+                    f"explicit summary")
+            self._entries[name] = PolicyEntry(
+                name=name, factory=fn, summary=doc, schema=dict(schema or {}))
+            return fn
+
+        if factory is not None:
+            return _add(factory)
+        return _add
+
+    # -- resolution -----------------------------------------------------
+
+    def resolve(self, name: str) -> Callable[[], Any]:
+        """The factory registered under *name*; unknown names raise a
+        ``ValueError`` that lists every valid choice."""
+        return self.entry(name).factory
+
+    def entry(self, name: str) -> PolicyEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self.knob} {name!r}; valid choices: "
+                f"{', '.join(sorted(self._entries))}"
+            ) from None
+
+    def validate(self, name: str) -> str:
+        """Raise (with the valid choices) unless *name* is registered."""
+        self.entry(name)
+        return name
+
+    # -- introspection --------------------------------------------------
+
+    def names(self) -> tuple[str, ...]:
+        """Registered names in registration order."""
+        return tuple(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[PolicyEntry]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,147 @@
+"""GC victim-selection policies.
+
+Van Houdt's mean-field analysis (SIGMETRICS '13) showed that the family
+a victim-selection policy belongs to changes write amplification in
+first-order ways; the paper varies "randomized-greedy algorithm or
+greedy" as one of its three Fig 3 knobs.  Policies choose *which* full
+block to reclaim; the FTL performs the migration and erase.
+
+All randomness draws from the consuming selector's seeded ``rng``
+stream, so a given (policy, seed) pair reproduces the exact block
+sequence of the pre-registry implementation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ssd.policy.registry import PolicyRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ssd.gc import VictimSelector
+
+#: registry behind ``SsdConfig.gc_policy``.
+victim_policies = PolicyRegistry("gc_policy")
+
+
+@victim_policies.register("greedy")
+class GreedyVictim:
+    """Reclaim the block with the fewest valid sectors (min migration)."""
+
+    name = "greedy"
+
+    def choose(self, pool: list[int], view: "VictimSelector") -> int:
+        valid = view.valid_sectors
+        return min(pool, key=lambda b: int(valid[b]))
+
+
+@victim_policies.register(
+    "randomized_greedy",
+    schema={"gc_sample_size": "sample size d (drawn without replacement)"},
+)
+class RandomizedGreedyVictim:
+    """Greedy over a random sample of d candidates (windowed greedy)."""
+
+    name = "randomized_greedy"
+
+    def choose(self, pool: list[int], view: "VictimSelector") -> int:
+        if len(pool) <= view.sample_size:
+            sample = pool
+        else:
+            index = view.rng.choice(len(pool), size=view.sample_size,
+                                    replace=False)
+            sample = [pool[i] for i in index]
+        valid = view.valid_sectors
+        return min(sample, key=lambda b: int(valid[b]))
+
+
+@victim_policies.register("random")
+class RandomVictim:
+    """Uniformly random reclaimable block (the WAF worst case)."""
+
+    name = "random"
+
+    def choose(self, pool: list[int], view: "VictimSelector") -> int:
+        return pool[int(view.rng.integers(len(pool)))]
+
+
+@victim_policies.register("fifo")
+class FifoVictim:
+    """Oldest-allocated block first (log-structured round-robin)."""
+
+    name = "fifo"
+
+    def choose(self, pool: list[int], view: "VictimSelector") -> int:
+        seq = view.allocator.block_alloc_seq
+        return min(pool, key=lambda b: seq.get(b, 0))
+
+
+@victim_policies.register("cost_benefit")
+class CostBenefitVictim:
+    """Rosenblum/Ousterhout cost-benefit: maximize age*(1-u)/(2u)."""
+
+    name = "cost_benefit"
+
+    def choose(self, pool: list[int], view: "VictimSelector") -> int:
+        seq = view.allocator.block_alloc_seq
+        now = max(seq.values(), default=0) + 1
+        sectors_per_block = (
+            view.geometry.pages_per_block * view.geometry.sectors_per_page
+        )
+        valid = view.valid_sectors
+
+        def score(block: int) -> float:
+            u = int(valid[block]) / sectors_per_block
+            age = now - seq.get(block, 0)
+            if u >= 1.0:
+                return -1.0
+            return age * (1.0 - u) / (2.0 * u + 1e-9)
+
+        return max(pool, key=score)
+
+
+@victim_policies.register(
+    "d_choices",
+    schema={"gc_sample_size": "sample size d (drawn with replacement)"},
+)
+class DChoicesVictim:
+    """Van Houdt d-choices: d uniform draws WITH replacement, pick the
+    emptiest — candidate cost is O(d) regardless of pool size."""
+
+    name = "d_choices"
+
+    def choose(self, pool: list[int], view: "VictimSelector") -> int:
+        if len(pool) == 1:
+            return pool[0]
+        index = view.rng.integers(len(pool), size=view.sample_size)
+        sample = {pool[int(i)] for i in index}
+        valid = view.valid_sectors
+        # Block-id tiebreak keeps the pick deterministic across the
+        # set's (insertion-ordered but draw-dependent) iteration order.
+        return min(sample, key=lambda b: (int(valid[b]), b))
+
+
+@victim_policies.register("cat")
+class CatVictim:
+    """Cost-Age-Times (Chiang/Chang): minimize u/(1-u) * cleans / age —
+    utilization weighted by how often the block was already erased, so
+    worn blocks get reclaimed less eagerly."""
+
+    name = "cat"
+
+    def choose(self, pool: list[int], view: "VictimSelector") -> int:
+        seq = view.allocator.block_alloc_seq
+        now = max(seq.values(), default=0) + 1
+        sectors_per_block = (
+            view.geometry.pages_per_block * view.geometry.sectors_per_page
+        )
+        valid = view.valid_sectors
+        erases = view.nand.block_erase_count
+
+        def cost(block: int) -> tuple[float, int]:
+            u = int(valid[block]) / sectors_per_block
+            age = now - seq.get(block, 0)
+            score = (u / (1.0 - u + 1e-9)) * (int(erases[block]) + 1) / age
+            return (score, block)
+
+        return min(pool, key=cost)

@@ -1,0 +1,57 @@
+"""Static wear-leveling victim policies.
+
+The leveler triggers when the erase-count spread exceeds its delta;
+these policies choose *which* populated block gets rotated back into
+circulation.  The decision view is the
+:class:`~repro.ssd.wearlevel.WearLeveler` itself: policies iterate its
+``eligible_blocks()`` and read erase counts from ``view.nand``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ssd.policy.registry import PolicyRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ssd.wearlevel import WearLeveler
+
+#: registry behind ``SsdConfig.wear_policy``.
+wear_policies = PolicyRegistry("wear_policy")
+
+
+@wear_policies.register("coldest")
+class ColdestFirstWear:
+    """Migrate the fully-written block with the lowest erase count (the
+    coldest data pins the least-worn block)."""
+
+    name = "coldest"
+
+    def pick(self, view: "WearLeveler") -> int | None:
+        erases = view.nand.block_erase_count
+        best: tuple[int, int] | None = None
+        for block in view.eligible_blocks():
+            count = int(erases[block])
+            if best is None or count < best[0]:
+                best = (count, block)
+        return None if best is None else best[1]
+
+
+@wear_policies.register(
+    "sampled_cold",
+    schema={"gc_sample_size": "blocks sampled per leveling decision"})
+class SampledColdWear:
+    """Coldest of a seeded random sample of eligible blocks — bounds the
+    per-decision scan on large arrays at some leveling precision cost."""
+
+    name = "sampled_cold"
+
+    def pick(self, view: "WearLeveler") -> int | None:
+        eligible = list(view.eligible_blocks())
+        if not eligible:
+            return None
+        d = min(len(eligible), max(2, view.sample_size))
+        index = view.rng.choice(len(eligible), size=d, replace=False)
+        erases = view.nand.block_erase_count
+        return min((eligible[int(i)] for i in index),
+                   key=lambda b: (int(erases[b]), b))

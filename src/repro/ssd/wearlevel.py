@@ -20,6 +20,8 @@ from repro.flash.nand import NandArray
 from repro.obs.events import WearRebalance
 from repro.obs.sinks import NULL_SINK, TraceSink
 from repro.ssd.allocation import PageAllocator
+from repro.ssd.policy.base import WearPolicy
+from repro.ssd.policy.wear import wear_policies
 
 
 @dataclass
@@ -33,8 +35,9 @@ class WearLeveler:
     """Chooses cold blocks to rotate back into circulation.
 
     Triggers when the erase-count spread (max - min over non-retired
-    blocks) exceeds ``delta``; the victim is the fully-written block
-    with the lowest erase count (the coldest data).
+    blocks) exceeds ``delta``; which block then migrates is delegated
+    to a :class:`~repro.ssd.policy.base.WearPolicy` (default
+    ``coldest``: the fully-written block with the lowest erase count).
     """
 
     def __init__(
@@ -43,13 +46,22 @@ class WearLeveler:
         nand: NandArray,
         allocator: PageAllocator,
         delta: int = 100,
+        policy: str | WearPolicy = "coldest",
+        sample_size: int = 8,
+        seed: int = 12345,
     ) -> None:
         if delta < 1:
             raise ValueError("delta must be >= 1")
+        if isinstance(policy, str):
+            policy = wear_policies.resolve(policy)()
+        self.policy = policy.name
+        self._pick = policy.pick  # bound once: no per-decision dispatch
         self.geometry = geometry
         self.nand = nand
         self.allocator = allocator
         self.delta = delta
+        self.sample_size = max(2, sample_size)
+        self.rng = np.random.default_rng(seed)
         self.obs: TraceSink = NULL_SINK
         self.migrations = 0
 
@@ -67,25 +79,30 @@ class WearLeveler:
     def should_level(self) -> bool:
         return self.spread() > self.delta
 
-    def pick_victim(self) -> WearDecision | None:
-        """The coldest fully-written, non-active block."""
+    def eligible_blocks(self):
+        """Fully-written blocks that are neither active, retired, nor
+        excluded — the pool wear policies choose from, in block order."""
         geometry = self.geometry
         active = self.allocator.active_blocks()
         retired = self.allocator.retired_blocks
         excluded = self.allocator.excluded_blocks
-        best: tuple[int, int] | None = None
+        write_ptr = self.nand.block_write_ptr
         for block in range(geometry.total_blocks):
             if block in active or block in retired or block in excluded:
                 continue
-            if self.nand.block_write_ptr[block] < geometry.pages_per_block:
+            if write_ptr[block] < geometry.pages_per_block:
                 continue
-            erases = int(self.nand.block_erase_count[block])
-            if best is None or erases < best[0]:
-                best = (erases, block)
-        if best is None:
+            yield block
+
+    def pick_victim(self) -> WearDecision | None:
+        """The policy's migration victim, or None if nothing is eligible."""
+        victim = self._pick(self)
+        if victim is None:
             return None
         self.migrations += 1
         if self.obs.enabled:
-            self.obs.emit(WearRebalance(victim=best[1], erase_count=best[0],
-                                        spread=self.spread()))
-        return WearDecision(victim_block=best[1])
+            self.obs.emit(WearRebalance(
+                victim=victim,
+                erase_count=int(self.nand.block_erase_count[victim]),
+                spread=self.spread()))
+        return WearDecision(victim_block=victim)

@@ -24,10 +24,12 @@ from repro.obs import (
 
 class TestEvents:
     def test_to_record_is_flat_and_named(self):
-        event = GcStarted(victim=7, valid_sectors=12, trigger="foreground")
+        event = GcStarted(victim=7, valid_sectors=12, trigger="foreground",
+                          policy="greedy")
         record = event.to_record()
         assert record == {"event": "gc_started", "victim": 7,
-                          "valid_sectors": 12, "trigger": "foreground"}
+                          "valid_sectors": 12, "trigger": "foreground",
+                          "policy": "greedy"}
 
     def test_metric_value(self):
         assert CacheStall(stall_ns=500, occupied=8, capacity=8).metric_value() == 500.0

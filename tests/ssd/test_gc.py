@@ -128,7 +128,7 @@ class TestOtherPolicies:
         assert selector.select_victim(0) == blocks[0]
 
     def test_unknown_policy_rejected(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="valid choices"):
             build("psychic")
 
 

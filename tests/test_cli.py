@@ -9,6 +9,7 @@ from repro.cli import build_parser, main
 ALL_SUBCOMMANDS = [
     "presets", "simulate", "trace", "latency", "nand-page", "waf-study",
     "fidelity", "compression", "jtag-study", "probe-features", "faultsweep",
+    "policies", "policy-grid",
 ]
 
 
@@ -97,6 +98,26 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "write buffer" in out
 
+    def test_policies(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        # One section per registry, every knob present.
+        for knob in ("gc_policy", "allocation_scheme", "cache_designation",
+                     "cache_admission", "cache_eviction", "wear_policy"):
+            assert knob in out
+        # New registry-era policies are listed with their one-liners.
+        assert "d_choices" in out and "cat" in out and "hotcold" in out
+        assert "gc_sample_size" in out  # schema column
+
+    def test_policy_grid(self, capsys):
+        assert main(["policy-grid", "--scale", "8", "--io-count", "150",
+                     "--jobs", "1", "--no-cache",
+                     "--gc", "greedy,d_choices", "--alloc", "CWDP"]) == 0
+        out = capsys.readouterr().out
+        assert "policy design grid (4 points" in out
+        assert "p99 spread across the grid" in out
+        assert "d_choices" in out
+
     def test_fidelity(self, capsys):
         assert main(["fidelity", "--scale", "8", "--io-count", "150"]) == 0
         out = capsys.readouterr().out
@@ -153,6 +174,6 @@ class TestCommands:
         covered = {
             "presets", "simulate", "trace", "latency", "nand-page",
             "waf-study", "fidelity", "compression", "jtag-study",
-            "probe-features", "faultsweep",
+            "probe-features", "faultsweep", "policies", "policy-grid",
         }
         assert covered == set(ALL_SUBCOMMANDS)
