@@ -16,6 +16,8 @@ documentation of the public API::
     repro-ssd presets
     repro-ssd policies
     repro-ssd policy-grid --io-count 1000 --jobs 4
+    repro-ssd infer --seed 7
+    repro-ssd transparency --points 8 --jobs 4
 """
 
 from __future__ import annotations
@@ -320,6 +322,58 @@ def cmd_policy_grid(args) -> int:
     return 0
 
 
+def cmd_infer(args) -> int:
+    """One policy-inference round trip on a seeded random grid point."""
+    from repro.infer import (
+        KNOBS,
+        random_points,
+        run_blackbox_trip,
+        run_graybox_trip,
+    )
+
+    point = random_points(1, seed=args.seed)[0]
+    results = []
+    if args.mode in ("both", "blackbox"):
+        results.append(run_blackbox_trip(point))
+    if args.mode in ("both", "graybox"):
+        results.append(run_graybox_trip(point))
+    rows = []
+    for knob in KNOBS:
+        row = [knob, getattr(point, knob)]
+        for result in results:
+            r = result.recovery(knob)
+            verdict = r.recovered if r.recovered is not None else "-"
+            if r.correct:
+                verdict += " ok"
+            if r.confirmed:
+                verdict += "+confirmed"
+            row.append(verdict)
+        rows.append(row)
+    headers = ["knob", "truth"] + [r.mode for r in results]
+    print(format_table(headers, rows,
+                       title=f"policy inference (seed {args.seed}: "
+                             f"{point.label()})"))
+    for result in results:
+        print()
+        print(result.transcript)
+    return 0
+
+
+def cmd_transparency(args) -> int:
+    """Scored round-trip sweep over N random policy-grid points."""
+    from repro.infer import run_transparency_sweep
+
+    runner = _make_runner(args)
+    score = run_transparency_sweep(args.points, seed=args.seed,
+                                   runner=runner)
+    print(score.render())
+    if score.graybox_total > score.blackbox_total:
+        print("\ngray-box access recovers strictly more than the "
+              "host interface — the paper's transparency gap, measured.")
+    print(runner.describe())
+    return 0
+
+
 def cmd_compression(args) -> int:
     from repro.ssd.compression import make_scheme
     from repro.workloads.compressibility import REGIMES, CompressibilityModel
@@ -541,6 +595,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated allocation axis override")
     parallel(p)
     p.set_defaults(fn=cmd_policy_grid)
+
+    p = sub.add_parser("infer",
+                       help="recover the six policy knobs from one "
+                            "firmware image (black-box + gray-box)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="selects the random policy-grid point")
+    p.add_argument("--mode", default="both",
+                   choices=["both", "blackbox", "graybox"])
+    p.set_defaults(fn=cmd_infer)
+
+    p = sub.add_parser("transparency",
+                       help="per-knob recovery-rate score over N random "
+                            "policy points")
+    p.add_argument("--points", type=int, default=8)
+    p.add_argument("--seed", type=int, default=42)
+    parallel(p)
+    p.set_defaults(fn=cmd_transparency)
 
     p = sub.add_parser("compression", help="Fig 2 compression schemes")
     p.add_argument("--regime", default="high",

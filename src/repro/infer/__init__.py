@@ -1,0 +1,42 @@
+"""Automated policy-inference harness (the paper's thesis, tested).
+
+Builds firmware from a random six-knob policy point, recovers the
+knobs from outside the device — black-box (host interface, SMART, bus
+probe) and gray-box (firmware image + JTAG) — and scores per-knob
+recovery rates as a *transparency score*.
+"""
+
+from repro.infer.fingerprint import Fingerprint, probe_fingerprint
+from repro.infer.grid import (
+    KNOBS,
+    PolicyPoint,
+    infer_base,
+    random_points,
+    registry_names,
+)
+from repro.infer.harness import (
+    InferenceResult,
+    KnobRecovery,
+    RoundTrip,
+    run_blackbox_trip,
+    run_graybox_trip,
+    run_round_trip,
+)
+from repro.infer.score import (
+    KnobScore,
+    TransparencyScore,
+    run_transparency_cell,
+    run_transparency_sweep,
+    transparency_cells,
+)
+from repro.infer.toolloop import PHASES, Step, ToolLoop
+
+__all__ = [
+    "KNOBS", "PolicyPoint", "infer_base", "random_points", "registry_names",
+    "ToolLoop", "Step", "PHASES",
+    "KnobRecovery", "InferenceResult", "RoundTrip",
+    "run_graybox_trip", "run_blackbox_trip", "run_round_trip",
+    "KnobScore", "TransparencyScore", "transparency_cells",
+    "run_transparency_cell", "run_transparency_sweep",
+    "Fingerprint", "probe_fingerprint",
+]

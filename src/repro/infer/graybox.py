@@ -1,0 +1,357 @@
+"""Gray-box inference: firmware analysis cross-checked over JTAG.
+
+The paper's §3.2 path: obtain the firmware update file, strip the
+obfuscation, statically analyze the policy cores, then use the debug
+port to confirm every hypothesis against the live device — dump the
+loaded code, read the data structures the code references, and poke the
+device with host I/O while watching those structures change.
+
+The static side is a linear-sweep scanner over the four policy-core
+sections (``pgc``/``palloc``/``pcache``/``pwear``).  It tracks
+``MOVI``/``MOVT`` register constants, harvests pointer loads, records
+MMIO stores in program order, and pattern-matches the xorshift PRNG
+idiom.  Which tables a core references, whether it draws random
+candidates, and the order it latches placement coordinates together pin
+all six policy knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.jtag import Debugger, JtagProbe, TapController
+from repro.infer.toolloop import ToolLoop
+from repro.ssd.firmware.builder import (
+    GC_FEATURES,
+    MMIO_BASE,
+    MMIO_CACHE_CAP,
+    MMIO_CACHE_TP,
+    MMIO_DIM_LATCHES,
+    POLICY_TABLE_TAG_BYTES,
+    POLICY_TABLE_TAGS,
+    SRAM_BASE,
+    Section,
+    parse_image,
+)
+from repro.ssd.firmware.device import IDCODE, HackableSSD
+from repro.ssd.firmware.isa import Op, disassemble, find_pointer_loads
+from repro.ssd.firmware.obfuscation import deobfuscate
+
+#: MMIO latch offset -> geometry-dimension letter (inverse of the
+#: builder's latch map; part of the analyst's MMIO documentation).
+_LATCH_LETTER = {offset: letter for letter, offset in MMIO_DIM_LATCHES.items()}
+
+#: tag bytes -> table name (what a strings pass over the firmware gives).
+_TAG_NAME = {tag: name for name, tag in POLICY_TABLE_TAGS.items()}
+
+#: registers that hold data, cleared by any non-constant write.
+_WRITES_RD = {Op.LDR, Op.ADD, Op.SUB, Op.AND, Op.ORR, Op.LSR, Op.LSL,
+              Op.XOR, Op.ADDX, Op.XORX}
+
+_FULL = 0xFFFFFFFF
+
+
+@dataclass
+class SectionFacts:
+    """Everything the static scanner extracts from one policy core."""
+
+    name: str
+    pointers: list[int] = field(default_factory=list)
+    #: table name -> entry base address (tag-confirmed over JTAG).
+    tables: dict[str, int] = field(default_factory=dict)
+    sram_refs: list[int] = field(default_factory=list)
+    #: MMIO stores in program order: (register offset, stored const|None).
+    mmio_stores: list[tuple[int, int | None]] = field(default_factory=list)
+    has_xorshift: bool = False
+
+    def mmio_const(self, offset: int) -> int | None:
+        for off, value in self.mmio_stores:
+            if off == offset and value is not None:
+                return value
+        return None
+
+
+def scan_section(section: Section) -> SectionFacts:
+    """Static pass: constants, pointer loads, MMIO stores, PRNG idiom."""
+    lines = disassemble(section.data, base=section.load_addr)
+    facts = SectionFacts(section.name)
+    facts.pointers = sorted({v for _, _, v in find_pointer_loads(lines)})
+    regs: dict[int, int] = {}
+    insns = [ln.insn for ln in lines if ln.insn is not None]
+    for insn in insns:
+        if insn.op is Op.MOVI:
+            regs[insn.rd] = insn.imm
+        elif insn.op is Op.MOVT:
+            if insn.rd in regs:
+                regs[insn.rd] = (regs[insn.rd] & 0xFFFF) | (insn.imm << 16)
+            else:
+                regs.pop(insn.rd, None)
+        elif insn.op is Op.STR:
+            base = regs.get(insn.rn)
+            if base == MMIO_BASE:
+                facts.mmio_stores.append((insn.imm, regs.get(insn.rd)))
+        elif insn.op in _WRITES_RD:
+            regs.pop(insn.rd, None)
+    # xorshift: LSL tmp,state ; XORX state,tmp ; LSR tmp,state ;
+    # XORX state,tmp — the exact shift-register update the cores use.
+    for a, b, c, d in zip(insns, insns[1:], insns[2:], insns[3:]):
+        if (a.op is Op.LSL and b.op is Op.XORX and c.op is Op.LSR
+                and d.op is Op.XORX and a.rd == b.rn == c.rd == d.rn
+                and a.rn == b.rd == c.rn == d.rd):
+            facts.has_xorshift = True
+            break
+    return facts
+
+
+class GrayboxInference:
+    """One gray-box run against a :class:`HackableSSD`."""
+
+    #: the four policy cores and the knobs each one decides.
+    SECTION_KNOBS = {
+        "pgc": ("gc_policy",),
+        "palloc": ("allocation",),
+        "pcache": ("cache_designation", "cache_admission", "cache_eviction"),
+        "pwear": ("wear_policy",),
+    }
+
+    def __init__(self, device: HackableSSD, loop: ToolLoop) -> None:
+        self.device = device
+        self.loop = loop
+        self.debugger = Debugger(JtagProbe(TapController(device, IDCODE)))
+        self.sections: list[Section] = []
+        self.facts: dict[str, SectionFacts] = {}
+
+    # ------------------------------------------------------------------
+    # probe + analyze
+    # ------------------------------------------------------------------
+
+    def acquire_image(self) -> None:
+        idcode = self.debugger.check_connection(IDCODE)
+        self.loop.record("probe", "jtag.check_connection",
+                         "attach debug probe", f"IDCODE 0x{idcode:08X}")
+        update = self.device.firmware_update_file
+        self.loop.record("probe", "update_file.read",
+                         "fetch vendor firmware update file",
+                         f"{len(update)} bytes, obfuscated")
+        plain, guess = deobfuscate(update)
+        self.loop.record("analyze", "obfuscation.deobfuscate",
+                         "strip keystream",
+                         f"period {guess.period} "
+                         f"confidence {guess.confidence:.3f}")
+        all_sections = parse_image(plain)
+        self.sections = [s for s in all_sections
+                         if s.name in self.SECTION_KNOBS]
+        self.loop.record("analyze", "image.parse",
+                         "locate policy-core sections",
+                         [s.name for s in self.sections])
+        if len(self.sections) != len(self.SECTION_KNOBS):
+            raise RuntimeError("firmware image has no policy cores "
+                               "(built without a policy config?)")
+
+    def scan(self) -> None:
+        for section in self.sections:
+            facts = scan_section(section)
+            self._classify_pointers(facts)
+            self.facts[section.name] = facts
+            self.loop.record(
+                "analyze", "isa.scan", f"static scan of {section.name}",
+                {"tables": sorted(facts.tables), "xorshift": facts.has_xorshift,
+                 "sram_refs": len(facts.sram_refs),
+                 "mmio_stores": [f"0x{o:02x}" for o, _ in facts.mmio_stores]})
+
+    def _classify_pointers(self, facts: SectionFacts) -> None:
+        """Resolve each harvested pointer: SRAM scratch, or a tagged
+        DRAM table (the 8-byte tag sits just below the entry base)."""
+        for ptr in facts.pointers:
+            if SRAM_BASE <= ptr < SRAM_BASE + 0x10000:
+                facts.sram_refs.append(ptr)
+                continue
+            if ptr >= MMIO_BASE or ptr < SRAM_BASE:
+                continue
+            tag = self.debugger.dump(ptr - POLICY_TABLE_TAG_BYTES, 8)
+            name = _TAG_NAME.get(tag)
+            self.loop.record("probe", "jtag.dump",
+                             f"read tag below pointer 0x{ptr:08x}",
+                             name or tag.hex())
+            if name is not None:
+                facts.tables[name] = ptr
+
+    # ------------------------------------------------------------------
+    # hypothesize
+    # ------------------------------------------------------------------
+
+    def hypothesize(self) -> dict[str, str]:
+        recovered: dict[str, str] = {}
+        gc = self.facts["pgc"]
+        signature = (gc.has_xorshift, bool(gc.sram_refs),
+                     "valid" in gc.tables, "seq" in gc.tables,
+                     "erase" in gc.tables)
+        matches = [name for name, feats in GC_FEATURES.items()
+                   if feats == signature]
+        recovered["gc_policy"] = matches[0] if matches else "unknown"
+        self.loop.record("hypothesize", "gc.features",
+                         "rng/scratch/valid/seq/erase signature",
+                         {"signature": list(signature),
+                          "policy": recovered["gc_policy"]})
+
+        alloc = self.facts["palloc"]
+        if "heat" in alloc.tables:
+            recovered["allocation"] = "hotcold"
+        else:
+            letters = [_LATCH_LETTER[off] for off, _ in alloc.mmio_stores
+                       if off in _LATCH_LETTER]
+            recovered["allocation"] = "".join(letters)
+        self.loop.record("hypothesize", "alloc.latch_order",
+                         "dimension-latch store order",
+                         recovered["allocation"])
+
+        cache = self.facts["pcache"]
+        extra_tps = cache.mmio_const(MMIO_CACHE_TP) or 0
+        recovered["cache_designation"] = "mapping" if extra_tps else "data"
+        recovered["cache_admission"] = ("always" if "cacheslot" in cache.tables
+                                        else "bypass")
+        recovered["cache_eviction"] = ("lru" if "recency" in cache.tables
+                                       else "fifo")
+        self.loop.record("hypothesize", "cache.structure",
+                         "designation consts + admission/eviction tables",
+                         {"cap": cache.mmio_const(MMIO_CACHE_CAP),
+                          "extra_tps": extra_tps,
+                          "designation": recovered["cache_designation"],
+                          "admission": recovered["cache_admission"],
+                          "eviction": recovered["cache_eviction"]})
+
+        wear = self.facts["pwear"]
+        recovered["wear_policy"] = ("sampled_cold" if wear.has_xorshift
+                                    else "coldest")
+        self.loop.record("hypothesize", "wear.features",
+                         "erase-table scan: sampled vs exhaustive",
+                         recovered["wear_policy"])
+        return recovered
+
+    # ------------------------------------------------------------------
+    # confirm
+    # ------------------------------------------------------------------
+
+    def confirm(self, recovered: dict[str, str]) -> dict[str, bool]:
+        confirmed = dict.fromkeys(recovered, False)
+        confirmed_rom = self._confirm_rom()
+        self._warmup()
+        live = self._confirm_liveness()
+        confirmed["gc_policy"] = confirmed_rom and live
+        confirmed["wear_policy"] = confirmed_rom and live
+        confirmed["cache_designation"] = confirmed_rom
+        admission_ok, eviction_ok = self._confirm_cache(recovered)
+        confirmed["cache_admission"] = confirmed_rom and admission_ok
+        confirmed["cache_eviction"] = confirmed_rom and eviction_ok
+        if recovered["allocation"] == "hotcold":
+            confirmed["allocation"] = confirmed_rom and self._confirm_heat()
+        else:
+            confirmed["allocation"] = confirmed_rom
+        return confirmed
+
+    def _confirm_rom(self) -> bool:
+        ok = True
+        for section in self.sections:
+            live = self.debugger.dump(section.load_addr, len(section.data))
+            match = live == section.data
+            ok = ok and match
+            self.loop.record("confirm", "jtag.dump",
+                             f"loaded {section.name} matches update file",
+                             "match" if match else "MISMATCH")
+        return ok
+
+    def _warmup(self) -> None:
+        """Scatter host writes so the policy tables carry live state."""
+        ssd = self.device.ssd
+        span = min(ssd.num_sectors, 1024)
+        for i in range(600):
+            ssd.write_sectors((i * 13) % span, 2)
+        ssd.flush()
+        self.loop.record("probe", "host.write",
+                         "warmup: 600 scattered writes + flush")
+
+    def _confirm_liveness(self) -> bool:
+        """Referenced GC tables must show non-erased contents."""
+        ok = True
+        for name, base in sorted(self.facts["pgc"].tables.items()):
+            words = np.frombuffer(self.debugger.dump(base, 64), dtype="<u4")
+            live = bool((words != _FULL).any())
+            ok = ok and live
+            self.loop.record("confirm", "jtag.dump",
+                             f"{name} table head is live", live)
+        return ok
+
+    def _confirm_cache(self, recovered: dict[str, str]) -> tuple[bool, bool]:
+        """Watch the pending set through the debug port while writing.
+
+        Eight one-sector writes land in cache slots for ``always``
+        admission and nowhere for ``bypass``; rewriting the oldest
+        sector then distinguishes ``lru`` (slot 0 moves on) from
+        ``fifo`` (slot 0 keeps the original victim).
+        """
+        facts = self.facts["pcache"]
+        base = facts.tables.get("cacheslot")
+        ssd = self.device.ssd
+        ssd.flush()
+        # Stay under the capacity the core itself latched, so nothing
+        # gets flushed out from under the probe mid-burst.
+        burst = min(facts.mmio_const(MMIO_CACHE_CAP) or 8, 8)
+        for lba in range(40, 40 + burst):
+            ssd.write_sectors(lba, 1)
+        if base is None:
+            # Bypass build: the core has no pending-set pointer at all,
+            # which is itself the confirmation — nothing to watch.
+            self.loop.record("confirm", "cache.slots",
+                             "no pending-set pointer in pcache",
+                             "bypass confirmed")
+            ssd.flush()
+            return recovered["cache_admission"] == "bypass", True
+        slot0 = int(np.frombuffer(self.debugger.dump(base, 4), "<u4")[0])
+        self.loop.record("confirm", "jtag.dump",
+                         f"pending slot 0 after writes 40..{40 + burst - 1}",
+                         slot0)
+        admission_ok = slot0 == 40
+        ssd.write_sectors(40, 1)  # hit: lru refreshes, fifo does not
+        slot0 = int(np.frombuffer(self.debugger.dump(base, 4), "<u4")[0])
+        self.loop.record("confirm", "jtag.dump",
+                         "pending slot 0 after rewriting 40", slot0)
+        expect = 41 if recovered["cache_eviction"] == "lru" else 40
+        ssd.flush()
+        return admission_ok, slot0 == expect
+
+    def _confirm_heat(self) -> bool:
+        """Two flushed page writes must bump the heat slot by exactly 2.
+
+        The heat table is indexed by sector (the core masks the incoming
+        LBA), so the probe watches the slot of the burst's first sector.
+        """
+        base = self.facts["palloc"].tables["heat"]
+        ssd = self.device.ssd
+        geometry = self.device.config.geometry
+        spp = geometry.page_size // geometry.sector_size
+        sector = 77 * spp
+        slot = sector & 0xFFF
+        before = int(np.frombuffer(
+            self.debugger.dump(base + 4 * slot, 4), "<u4")[0])
+        for _ in range(2):
+            ssd.write_sectors(sector, spp)
+            ssd.flush()
+        after = int(np.frombuffer(
+            self.debugger.dump(base + 4 * slot, 4), "<u4")[0])
+        self.loop.record("confirm", "jtag.dump",
+                         f"heat[{slot}] across two flushed page writes",
+                         {"before": before, "after": after})
+        return after - before == 2
+
+
+def run_graybox(device: HackableSSD,
+                loop: ToolLoop) -> tuple[dict[str, str], dict[str, bool]]:
+    """Full gray-box pass: returns (recovered, confirmed) by knob."""
+    inference = GrayboxInference(device, loop)
+    inference.acquire_image()
+    inference.scan()
+    recovered = inference.hypothesize()
+    confirmed = inference.confirm(recovered)
+    return recovered, confirmed

@@ -1,0 +1,70 @@
+"""Deterministic probe→analyze→hypothesize→confirm tool loop.
+
+The inference harness is structured the way an autonomous firmware
+analyst works: run a tool against the device (*probe*), reduce the raw
+observation (*analyze*), commit to a knob setting (*hypothesize*), and
+cross-check the hypothesis with an independent tool (*confirm*).  Every
+step is recorded so two runs with the same image and seed produce
+byte-identical transcripts — the seed-determinism contract the CLI and
+tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Canonical step phases, in workflow order.
+PHASES = ("probe", "analyze", "hypothesize", "confirm")
+
+
+def fmt(value) -> str:
+    """Render one observation value deterministically.
+
+    Floats are rounded so latency jitter below the reporting precision
+    cannot leak into transcripts; containers render element-wise.
+    """
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(fmt(v) for v in value) + "]"
+    if isinstance(value, dict):
+        inner = ", ".join(f"{k}={fmt(v)}" for k, v in sorted(value.items()))
+        return "{" + inner + "}"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Step:
+    """One recorded tool invocation."""
+
+    index: int
+    phase: str
+    tool: str
+    detail: str
+    observation: str
+
+    def render(self) -> str:
+        return (f"[{self.index:03d}] {self.phase:<11s} {self.tool:<22s} "
+                f"{self.detail}" +
+                (f" -> {self.observation}" if self.observation else ""))
+
+
+@dataclass
+class ToolLoop:
+    """Ordered transcript of one inference run."""
+
+    mode: str
+    steps: list[Step] = field(default_factory=list)
+
+    def record(self, phase: str, tool: str, detail: str,
+               observation="") -> Step:
+        if phase not in PHASES:
+            raise ValueError(f"unknown phase {phase!r}")
+        step = Step(len(self.steps), phase, tool, str(detail),
+                    fmt(observation) if observation != "" else "")
+        self.steps.append(step)
+        return step
+
+    def render(self) -> str:
+        header = f"tool loop ({self.mode}, {len(self.steps)} steps)"
+        return "\n".join([header] + [s.render() for s in self.steps])

@@ -48,9 +48,44 @@ MMIO_LBA = 0x0
 MMIO_LEN = 0x4
 MMIO_DOORBELL = 0x8
 
+#: MMIO latch registers written by the policy cores.  The allocation
+#: core stores the C/W/D/P coordinates of each page it places, in the
+#: scheme's fastest-to-slowest order — so the *sequence* of store
+#: offsets in the code is the dimension permutation itself.
+MMIO_DIM_LATCHES = {"C": 0x10, "W": 0x14, "D": 0x18, "P": 0x1C}
+MMIO_STREAM = 0x20
+MMIO_CACHE_CAP = 0x24
+MMIO_CACHE_TP = 0x28
+MMIO_GC_VICTIM = 0x2C
+
 NUM_MAP_ARRAYS = 8
 MAP_ENTRY_BYTES = 4
 PSLC_BUCKET_BYTES = 8
+
+#: DRAM policy tables (what the policy cores' pointer loads resolve to).
+#: Each table slot is a 16-byte header (8-byte ASCII tag + padding)
+#: followed by 4096 little-endian u32 entries; the recorded base points
+#: at entry 0, so the tag sits at ``base - POLICY_TABLE_TAG_BYTES``.
+POLICY_TABLE_ENTRIES = 4096
+POLICY_TABLE_TAG_BYTES = 16
+POLICY_TABLE_STRIDE = 0x5000
+POLICY_TABLE_NAMES = (
+    "pool", "valid", "seq", "erase", "heat", "cacheslot", "recency",
+)
+POLICY_TABLE_TAGS = {
+    "pool": b"GCPOOL\x00\x00",      # GC candidate pool (sealed blocks)
+    "valid": b"BLKVALID",           # per-block valid-sector counts
+    "seq": b"ALLOCSEQ",             # per-block allocation stamps (age)
+    "erase": b"ERASECNT",           # per-block erase counts (wear)
+    "heat": b"HEATTBL\x00",         # per-LPN write heat (stream routing)
+    "cacheslot": b"CACHESLT",       # write-cache pending set, eviction order
+    "recency": b"RECENCY\x00",      # eviction recency stamps
+}
+
+#: SRAM scratch the randomized GC scan spills its drawn sample into.
+SCRATCH_BASE = SRAM_BASE + 0x2000
+#: SRAM staging buffer the bypass admission path packs sectors into.
+STAGING_BASE = SRAM_BASE + 0x3000
 
 
 @dataclass(frozen=True)
@@ -66,6 +101,9 @@ class MemoryMap:
     code_base: int = CODE_BASE
     sram_base: int = SRAM_BASE
     mmio_base: int = MMIO_BASE
+    #: ``(name, entry-0 address)`` per policy table, in layout order.
+    #: Empty for maps built before the policy cores existed.
+    policy_table_bases: tuple[tuple[str, int], ...] = ()
 
     @property
     def map_array_bytes(self) -> int:
@@ -93,6 +131,24 @@ class MemoryMap:
     def pslc_bucket_address(self, bucket: int) -> int:
         return self.pslc_index_base + bucket * PSLC_BUCKET_BYTES
 
+    def policy_table(self, name: str) -> int:
+        """Entry-0 address of one policy table."""
+        for table, base in self.policy_table_bases:
+            if table == name:
+                return base
+        raise KeyError(f"no policy table {name!r}")
+
+    @property
+    def policy_region(self) -> tuple[int, int] | None:
+        """``(start, end)`` of DRAM holding the policy tables (tags
+        included), or ``None`` on pre-policy maps."""
+        if not self.policy_table_bases:
+            return None
+        first = self.policy_table_bases[0][1] - POLICY_TABLE_TAG_BYTES
+        last = (self.policy_table_bases[-1][1]
+                + POLICY_TABLE_ENTRIES * MAP_ENTRY_BYTES)
+        return first, last
+
 
 def memory_map_for(config: SsdConfig, pslc_buckets: int = 4096) -> MemoryMap:
     """Lay out DRAM for a device configuration."""
@@ -105,12 +161,22 @@ def memory_map_for(config: SsdConfig, pslc_buckets: int = 4096) -> MemoryMap:
     # The pSLC index comes from a different allocation pool: leave a
     # guard gap so it is not stride-contiguous with the map arrays.
     pslc_base = DRAM_BASE + NUM_MAP_ARRAYS * stride + 0x10000
+    # Policy tables live past the pSLC index, again behind a guard gap
+    # so the stride-fit over map-array pointers never picks them up.
+    policy_base = (pslc_base
+                   + _round_up(pslc_buckets * PSLC_BUCKET_BYTES, 0x1000)
+                   + 0x10000)
+    policy_tables = tuple(
+        (name, policy_base + i * POLICY_TABLE_STRIDE + POLICY_TABLE_TAG_BYTES)
+        for i, name in enumerate(POLICY_TABLE_NAMES)
+    )
     return MemoryMap(
         num_lpns=num_lpns,
         entries_per_array=entries,
         map_array_bases=bases,
         pslc_index_base=pslc_base,
         pslc_buckets=pslc_buckets,
+        policy_table_bases=policy_tables,
     )
 
 
@@ -209,6 +275,251 @@ lookup:
 """
 
 
+# ----------------------------------------------------------------------
+# Policy cores: machine code whose data references and control flow
+# encode the six policy knobs.  These sections are what the gray-box
+# inference harness (src/repro/infer) statically analyzes; the names
+# deliberately avoid the ``core*`` prefix so the legacy §3.2 discovery
+# pipeline's map-array stride fit is untouched.
+# ----------------------------------------------------------------------
+
+#: Static fingerprint of each GC victim policy's decision inputs:
+#: (xorshift rng, SRAM scratch spill, valid xref, seq xref, erase xref).
+#: All seven rows are distinct, which is exactly what makes the knob
+#: recoverable from the code alone.
+GC_FEATURES: dict[str, tuple[bool, bool, bool, bool, bool]] = {
+    "greedy":            (False, False, True,  False, False),
+    "randomized_greedy": (True,  True,  True,  False, False),
+    "random":            (True,  False, False, False, False),
+    "fifo":              (False, False, False, True,  False),
+    "cost_benefit":      (False, False, True,  True,  False),
+    "d_choices":         (True,  False, True,  False, False),
+    "cat":               (False, False, True,  True,  True),
+}
+
+
+def _ptr(reg: int, value: int, comment: str = "") -> list[str]:
+    tail = f"            ; {comment}" if comment else ""
+    return [f"    movi r{reg}, 0x{_lo(value):x}{tail}",
+            f"    movt r{reg}, 0x{_hi(value):x}"]
+
+
+def _xorshift(state: int = 7, tmp: int = 8) -> list[str]:
+    """The MUL-free PRNG idiom every sampled policy compiles to."""
+    return [
+        f"    lsl r{tmp}, r{state}, 0x7      ; xorshift rng step",
+        f"    xorx r{state}, r{tmp}",
+        f"    lsr r{tmp}, r{state}, 0x9",
+        f"    xorx r{state}, r{tmp}",
+    ]
+
+
+def _table_load(idx_reg: int, base_reg: int, comment: str) -> list[str]:
+    """Load ``table[idx]`` through a dedicated base-pointer register."""
+    return [
+        f"    lsl r10, r{idx_reg}, 0x2",
+        "    orr r13, r10, 0x0",
+        f"    addx r13, r{base_reg}",
+        f"    ldr r14, [r13, 0x0]        ; {comment}",
+    ]
+
+
+def gc_core_source(memory_map: MemoryMap, config: SsdConfig) -> str:
+    """The victim-selection core for ``config.gc_policy``."""
+    policy = config.gc_policy
+    if policy not in GC_FEATURES:
+        raise ValueError(f"no firmware template for gc policy {policy!r}")
+    rng, scratch, valid, seq, erase = GC_FEATURES[policy]
+    lines = ["gc_entry:"]
+    lines += _ptr(1, memory_map.policy_table("pool"), "GC candidate pool")
+    lines += ["    movi r2, 0x0               ; scan cursor"]
+    if valid:
+        lines += _ptr(3, memory_map.policy_table("valid"), "valid counts")
+    if seq:
+        lines += _ptr(4, memory_map.policy_table("seq"), "allocation stamps")
+    if erase:
+        lines += _ptr(5, memory_map.policy_table("erase"), "erase counts")
+    if scratch:
+        lines += _ptr(6, SCRATCH_BASE, "drawn-sample scratch")
+    if rng:
+        lines += ["    movi r7, 0xace1            ; rng seed"]
+    lines += ["gc_scan:"]
+    if rng:
+        lines += _xorshift()
+        lines += ["    orr r9, r7, 0x0",
+                  "    and r9, r9, 0xff           ; random candidate index"]
+        bound = 1 if policy == "random" else max(2, config.gc_sample_size)
+    else:
+        lines += ["    orr r9, r2, 0x0            ; sequential candidate index"]
+        bound = POLICY_TABLE_ENTRIES
+    lines += [
+        "    lsl r10, r9, 0x2",
+        "    orr r11, r10, 0x0",
+        "    addx r11, r1",
+        "    ldr r12, [r11, 0x0]        ; candidate block id",
+    ]
+    if valid:
+        lines += _table_load(12, 3, "valid-sector count")
+    if seq:
+        lines += _table_load(12, 4, "allocation stamp (block age)")
+    if erase:
+        lines += _table_load(12, 5, "erase count (block temperature)")
+    if scratch:
+        lines += ["    str r12, [r6, 0x0]         ; note draw (no replacement)"]
+    lines += [
+        "    add r2, r2, 0x1",
+        f"    cmp r2, 0x{bound:x}",
+        "    bne gc_scan",
+    ]
+    lines += _ptr(0, memory_map.mmio_base)
+    lines += [
+        f"    str r12, [r0, 0x{MMIO_GC_VICTIM:x}]        ; latch chosen victim",
+        "    wfi",
+        "    b gc_entry",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def alloc_core_source(memory_map: MemoryMap, config: SsdConfig) -> str:
+    """The page-placement core for ``config.allocation_scheme``.
+
+    The scheme permutation is written out literally: one coordinate
+    extraction + MMIO latch store per dimension, fastest first.  The
+    ``hotcold`` policy prepends its heat-table lookup and cold-stream
+    latch to a CWDP base order.
+    """
+    from repro.ssd.policy.allocation import SchemeAllocation
+
+    name = config.allocation_scheme
+    hotcold = name == "hotcold"
+    scheme = "CWDP" if hotcold else name
+    dims = SchemeAllocation._parse_scheme(scheme, config.geometry)
+    lines = ["alloc_entry:"]
+    lines += _ptr(1, memory_map.mmio_base, "request registers")
+    lines += [f"    ldr r0, [r1, 0x{MMIO_LBA:x}]          ; allocation cursor"]
+    if hotcold:
+        lines += _ptr(2, memory_map.policy_table("heat"), "per-LPN write heat")
+        lines += [
+            "    and r3, r0, 0xfff          ; lpn -> heat slot",
+            "    lsl r3, r3, 0x2",
+            "    orr r5, r3, 0x0",
+            "    addx r5, r2",
+            "    ldr r6, [r5, 0x0]          ; previous write count",
+            "    add r6, r6, 0x1",
+            "    str r6, [r5, 0x0]          ; bump heat",
+            "    cmp r6, 0x1",
+            "    bne place                  ; rewritten: stay on host stream",
+            "    movi r7, 0x1",
+            f"    str r7, [r1, 0x{MMIO_STREAM:x}]         ; first touch: cold stream",
+        ]
+    lines += ["place:"]
+    shift = 0
+    for letter, size in dims:
+        bits = max(0, size - 1).bit_length()
+        mask = (1 << bits) - 1
+        latch = MMIO_DIM_LATCHES[letter]
+        lines += [
+            f"    lsr r4, r0, 0x{shift:x}",
+            f"    and r4, r4, 0x{mask:x}",
+            f"    str r4, [r1, 0x{latch:x}]          ; {letter} coordinate",
+        ]
+        shift += bits
+    lines += ["    wfi", "    b alloc_entry"]
+    return "\n".join(lines) + "\n"
+
+
+def cache_core_source(memory_map: MemoryMap, config: SsdConfig) -> str:
+    """The write-cache core: designation constants, admission path,
+    and eviction bookkeeping."""
+    from repro.ssd.policy.cache import (
+        cache_admission_policies,
+        cache_designations,
+    )
+
+    plan = cache_designations.resolve(config.cache_designation)().plan(
+        config.cache_sectors, config.geometry
+    )
+    admits = bool(getattr(
+        cache_admission_policies.resolve(config.cache_admission), "always", True
+    ))
+    lines = ["cache_entry:"]
+    lines += _ptr(1, memory_map.mmio_base, "request registers")
+    lines += [
+        f"    movi r2, 0x{plan.cache_sectors:x}",
+        f"    str r2, [r1, 0x{MMIO_CACHE_CAP:x}]          ; cache capacity (sectors)",
+        f"    movi r3, 0x{plan.extra_dirty_tps:x}",
+        f"    str r3, [r1, 0x{MMIO_CACHE_TP:x}]          ; dirty-TP slots bought",
+        f"    ldr r0, [r1, 0x{MMIO_LBA:x}]          ; incoming sector",
+    ]
+    if admits:
+        lines += _ptr(4, memory_map.policy_table("cacheslot"), "pending set")
+        lines += [
+            "    and r5, r0, 0xfff",
+            "    lsl r5, r5, 0x2",
+            "    orr r6, r5, 0x0",
+            "    addx r6, r4",
+            "    str r0, [r6, 0x0]          ; admit into the pending set",
+        ]
+    else:
+        lines += _ptr(4, STAGING_BASE, "direct staging buffer")
+        lines += ["    str r0, [r4, 0x0]          ; bypass: pack straight through"]
+    # The flush engine is compiled in regardless of admission, so the
+    # eviction knob stays recoverable even on bypass builds.
+    if config.cache_eviction == "lru":
+        lines += _ptr(8, memory_map.policy_table("recency"), "recency stamps")
+        lines += [
+            "    ldr r9, [r8, 0x0]",
+            "    add r9, r9, 0x1",
+            "    str r9, [r8, 0x0]          ; hit refreshes the sector's age",
+        ]
+    lines += ["    wfi", "    b cache_entry"]
+    return "\n".join(lines) + "\n"
+
+
+def wear_core_source(memory_map: MemoryMap, config: SsdConfig) -> str:
+    """The wear-leveling core: coldest-block scan, full or sampled."""
+    sampled = config.wear_policy == "sampled_cold"
+    lines = ["wear_entry:"]
+    lines += _ptr(1, memory_map.policy_table("erase"), "erase counts")
+    lines += ["    movi r2, 0x0               ; scan cursor"]
+    if sampled:
+        lines += ["    movi r7, 0xbeef            ; rng seed"]
+    lines += ["wear_scan:"]
+    if sampled:
+        lines += _xorshift()
+        lines += ["    orr r9, r7, 0x0",
+                  "    and r9, r9, 0xff           ; sampled candidate"]
+        bound = 8
+    else:
+        lines += ["    orr r9, r2, 0x0            ; exhaustive coldest scan"]
+        bound = POLICY_TABLE_ENTRIES
+    lines += [
+        "    lsl r10, r9, 0x2",
+        "    orr r11, r10, 0x0",
+        "    addx r11, r1",
+        "    ldr r12, [r11, 0x0]        ; candidate erase count",
+        "    add r2, r2, 0x1",
+        f"    cmp r2, 0x{bound:x}",
+        "    bne wear_scan",
+    ]
+    lines += _ptr(0, memory_map.mmio_base)
+    lines += [
+        f"    str r12, [r0, 0x{MMIO_GC_VICTIM:x}]        ; latch migration source",
+        "    wfi",
+        "    b wear_entry",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+#: section name -> source generator for the four policy cores.
+POLICY_SECTIONS = (
+    ("pgc", gc_core_source),
+    ("palloc", alloc_core_source),
+    ("pcache", cache_core_source),
+    ("pwear", wear_core_source),
+)
+
+
 #: vendor-ish strings embedded in the image (RE pipelines grep these).
 IMAGE_STRINGS = (
     b"EVO840-REPRO-FTL\x00",
@@ -288,8 +599,16 @@ def parse_image(data: bytes) -> list[Section]:
     return sections
 
 
-def build_firmware(memory_map: MemoryMap) -> FirmwareImage:
-    """Assemble all cores and pack the image."""
+def build_firmware(memory_map: MemoryMap,
+                   config: SsdConfig | None = None) -> FirmwareImage:
+    """Assemble all cores and pack the image.
+
+    With *config* the image also carries the four policy cores
+    (``pgc``/``palloc``/``pcache``/``pwear``) compiled from the config's
+    six policy knobs — the substrate the gray-box inference harness
+    reverse engineers.  Without it the image is byte-identical to the
+    pre-policy five-section layout.
+    """
     core0 = assemble(sata_core_source(memory_map))
     core1 = assemble(flash_core_source(memory_map, 1))
     core2 = assemble(flash_core_source(memory_map, 2))
@@ -304,4 +623,10 @@ def build_firmware(memory_map: MemoryMap) -> FirmwareImage:
     # keystream attack, like the padded tail of real vendor images.
     image.sections.append(Section("config", code_base + 0x4000,
                                   b"\x00" * 2048))
+    if config is not None:
+        for i, (name, source) in enumerate(POLICY_SECTIONS):
+            image.sections.append(Section(
+                name, code_base + 0x5000 + i * 0x1000,
+                assemble(source(memory_map, config)),
+            ))
     return image

@@ -34,6 +34,9 @@ from repro.ssd.firmware.builder import (
     MMIO_LBA,
     MMIO_LEN,
     NUM_MAP_ARRAYS,
+    POLICY_TABLE_ENTRIES,
+    POLICY_TABLE_TAG_BYTES,
+    POLICY_TABLE_TAGS,
     PSLC_BUCKET_BYTES,
     FirmwareImage,
     MemoryMap,
@@ -68,11 +71,17 @@ class HackableSSD:
     """An SSD with a debug port left on the board."""
 
     def __init__(self, config: SsdConfig | None = None, scale: int = 2,
-                 update_seed: int = 0x3C, update_period: int = 64) -> None:
+                 update_seed: int = 0x3C, update_period: int = 64,
+                 policy_firmware: bool = False) -> None:
         self.config = config if config is not None else evo840_like(scale)
         self.ssd = SimulatedSSD(self.config, model="840 EVO (repro)")
         self.memory_map: MemoryMap = memory_map_for(self.config)
-        self.firmware: FirmwareImage = build_firmware(self.memory_map)
+        #: with policy firmware the image carries the four policy cores
+        #: and the DRAM policy tables are served from live FTL state.
+        self.policy_firmware = policy_firmware
+        self.firmware: FirmwareImage = build_firmware(
+            self.memory_map, self.config if policy_firmware else None
+        )
         self.firmware_plain: bytes = self.firmware.to_bytes()
         #: what the vendor's download site serves.
         self.firmware_update_file: bytes = obfuscate(
@@ -241,11 +250,78 @@ class HackableSSD:
             table = self._serialize_pslc_index()
             start = addr - mm.pslc_index_base
             return table[start : start + take]
+        # DRAM: policy tables (live FTL state, policy firmware only).
+        region = mm.policy_region if self.policy_firmware else None
+        if region is not None and addr < region[1]:
+            if addr < region[0]:
+                return b"\xff" * min(max_len, region[0] - addr)
+            return self._read_policy_region(addr, max_len)
         if addr < MMIO_BASE:
             take = min(max_len, MMIO_BASE - addr)
             return b"\xff" * take
         # MMIO registers.
         return self._read_mmio(addr, max_len)
+
+    def _read_policy_region(self, addr: int, max_len: int) -> bytes:
+        """Serve one policy-table slot: 8-byte tag, padding, entries."""
+        mm = self.memory_map
+        table_bytes = POLICY_TABLE_ENTRIES * MAP_ENTRY_BYTES
+        for name, base in mm.policy_table_bases:
+            slot_start = base - POLICY_TABLE_TAG_BYTES
+            slot_end = base + table_bytes
+            if addr < slot_start:
+                return b"\xff" * min(max_len, slot_start - addr)
+            if addr < base:
+                header = POLICY_TABLE_TAGS[name].ljust(
+                    POLICY_TABLE_TAG_BYTES, b"\x00"
+                )
+                offset = addr - slot_start
+                return header[offset : offset + min(max_len, base - addr)]
+            if addr < slot_end:
+                blob = self._policy_table_values(name).tobytes()
+                offset = addr - base
+                return blob[offset : offset + min(max_len, slot_end - addr)]
+        return b"\xff" * min(max_len, MMIO_BASE - addr)
+
+    def _policy_table_values(self, name: str) -> np.ndarray:
+        """Live little-endian u32 contents of one policy table."""
+        ftl = self.ssd.ftl
+        n = POLICY_TABLE_ENTRIES
+        values = np.full(n, 0xFFFFFFFF, dtype="<u4")
+        if name == "pool":
+            # The candidate list GC scans: one entry per physical block.
+            total = min(self.config.geometry.total_blocks, n)
+            values[:total] = np.arange(total, dtype="<u4")
+        elif name == "valid":
+            valid = np.asarray(ftl.block_valid)
+            k = min(valid.shape[0], n)
+            values[:k] = valid[:k].astype("<u4")
+        elif name == "seq":
+            values[: min(self.config.geometry.total_blocks, n)] = 0
+            for block, stamp in ftl.allocator.block_alloc_seq.items():
+                if block < n:
+                    values[block] = stamp & 0xFFFFFFFF
+        elif name == "erase":
+            erase = np.asarray(ftl.nand.block_erase_count)
+            k = min(erase.shape[0], n)
+            values[:k] = erase[:k].astype("<u4")
+        elif name == "heat":
+            values[:] = 0
+            heat = getattr(ftl.allocator.policy, "_writes", None)
+            if heat:
+                for lpn, count in heat.items():
+                    values[lpn % n] = count & 0xFFFFFFFF
+        elif name == "cacheslot":
+            # Pending sectors in eviction order — what the flush engine
+            # would pop first sits in slot 0.
+            pending = list(ftl.cache._pending.keys())[:n]
+            if pending:
+                values[: len(pending)] = np.asarray(pending, dtype="<u4")
+        elif name == "recency":
+            values[:] = 0
+        else:
+            raise KeyError(f"no policy table {name!r}")
+        return values
 
     def _read_map_arrays(self, addr: int, max_len: int) -> bytes:
         mm = self.memory_map

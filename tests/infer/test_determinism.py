@@ -1,0 +1,53 @@
+"""Seed determinism: same image + seed → byte-identical output.
+
+The satellite contract for ``repro-ssd infer``: recovered knobs *and*
+the tool-loop transcript must be byte-identical across runs, because
+the sweep cache and CI smoke both rely on content-stable results.
+"""
+
+from repro.cli import main
+from repro.infer import (
+    PolicyPoint,
+    random_points,
+    run_blackbox_trip,
+    run_graybox_trip,
+)
+
+
+def test_random_points_are_seed_stable():
+    assert random_points(8, seed=42) == random_points(8, seed=42)
+    assert random_points(8, seed=42) != random_points(8, seed=43)
+
+
+def test_graybox_trip_is_deterministic():
+    point = PolicyPoint(gc_policy="cat", allocation="hotcold")
+    first = run_graybox_trip(point)
+    second = run_graybox_trip(point)
+    assert first.recoveries == second.recoveries
+    assert first.transcript == second.transcript
+
+
+def test_blackbox_trip_is_deterministic():
+    point = PolicyPoint(cache_designation="mapping")
+    first = run_blackbox_trip(point)
+    second = run_blackbox_trip(point)
+    assert first.recoveries == second.recoveries
+    assert first.transcript == second.transcript
+
+
+def test_cli_infer_output_is_byte_identical(capsys):
+    argv = ["infer", "--seed", "5", "--mode", "graybox"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    assert "graybox" in first and "tool loop" in first
+
+
+def test_cli_infer_seed_changes_the_point(capsys):
+    assert main(["infer", "--seed", "5", "--mode", "graybox"]) == 0
+    first = capsys.readouterr().out
+    assert main(["infer", "--seed", "6", "--mode", "graybox"]) == 0
+    second = capsys.readouterr().out
+    assert first.splitlines()[0] != second.splitlines()[0]

@@ -1,0 +1,60 @@
+"""Gray-box inference: full six-knob recovery with confirmation."""
+
+import pytest
+
+from repro.infer import PolicyPoint, infer_base
+from repro.infer.graybox import run_graybox, scan_section
+from repro.infer.toolloop import ToolLoop
+from repro.ssd.firmware.builder import build_firmware, memory_map_for
+from repro.ssd.firmware.device import HackableSSD
+
+BASE = infer_base()
+
+ALL_NONDEFAULT = PolicyPoint(
+    gc_policy="cat", allocation="DPWC", cache_designation="mapping",
+    cache_admission="bypass", cache_eviction="fifo",
+    wear_policy="sampled_cold")
+
+HOTCOLD = PolicyPoint(gc_policy="d_choices", allocation="hotcold",
+                      cache_admission="always")
+
+
+def recover(point):
+    device = HackableSSD(point.apply(BASE), policy_firmware=True)
+    loop = ToolLoop("graybox")
+    recovered, confirmed = run_graybox(device, loop)
+    return recovered, confirmed, loop
+
+
+@pytest.mark.parametrize("point", [PolicyPoint(), ALL_NONDEFAULT, HOTCOLD],
+                         ids=["default", "all-nondefault", "hotcold"])
+def test_full_recovery_with_confirmation(point):
+    recovered, confirmed, _ = recover(point)
+    for knob in recovered:
+        assert recovered[knob] == getattr(point, knob), knob
+        assert confirmed[knob], knob
+
+
+def test_transcript_covers_all_phases():
+    _, _, loop = recover(PolicyPoint())
+    phases = {s.phase for s in loop.steps}
+    assert phases == {"probe", "analyze", "hypothesize", "confirm"}
+
+
+def test_scanner_reads_generated_cores():
+    config = HOTCOLD.apply(BASE)
+    image = build_firmware(memory_map_for(config), config)
+    facts = scan_section(image.section("palloc"))
+    # hotcold's heat pointer is harvested; latches stored in CWDP order.
+    assert len(facts.pointers) >= 2
+    latches = [off for off, _ in facts.mmio_stores if off in
+               (0x10, 0x14, 0x18, 0x1C)]
+    assert latches == [0x10, 0x14, 0x18, 0x1C]
+    gc = scan_section(image.section("pgc"))
+    assert gc.has_xorshift  # d_choices samples randomly
+
+
+def test_plain_firmware_is_rejected():
+    device = HackableSSD(BASE)  # no policy cores in the image
+    with pytest.raises(RuntimeError, match="no policy cores"):
+        run_graybox(device, ToolLoop("graybox"))

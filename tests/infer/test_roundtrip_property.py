@@ -1,0 +1,63 @@
+"""Property: firmware-built devices behave exactly like configured FTLs.
+
+For any registry-valid policy point, a :class:`HackableSSD` built with
+policy firmware must expose a device whose observable behavior (SMART
+counters, returned flash-op stream) is identical to a plain
+:class:`SimulatedSSD` configured at the same point, for any workload
+prefix.  This is what makes the round trip meaningful: the firmware is
+another *view* of the policy, not another implementation of it.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.infer.grid import KNOBS, PolicyPoint, infer_base, registry_names
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.firmware.device import HackableSSD
+
+BASE = infer_base()
+
+points = st.builds(
+    PolicyPoint,
+    **{knob: st.sampled_from(registry_names(knob)) for knob in KNOBS},
+)
+
+writes = st.lists(
+    st.tuples(st.integers(0, BASE.logical_sectors - 9),
+              st.integers(1, 8)),
+    min_size=1, max_size=40,
+)
+
+
+def smart_view(device):
+    smart = device.smart
+    return (smart.host_program_pages, smart.ftl_program_pages,
+            smart.erase_count, smart.host_sectors_written)
+
+
+@settings(max_examples=15, deadline=None)
+@given(point=points, workload=writes, flush_every=st.integers(1, 9))
+def test_firmware_device_matches_configured_ftl(point, workload, flush_every):
+    config = point.apply(BASE)
+    built = HackableSSD(config, policy_firmware=True).ssd
+    direct = SimulatedSSD(config)
+    for i, (lba, count) in enumerate(workload):
+        ops_built = built.write_sectors(lba, count)
+        ops_direct = direct.write_sectors(lba, count)
+        assert ops_built == ops_direct
+        if i % flush_every == 0:
+            assert built.flush() == direct.flush()
+    built.flush()
+    direct.flush()
+    assert smart_view(built) == smart_view(direct)
+
+
+@settings(max_examples=10, deadline=None)
+@given(point=points)
+def test_every_point_builds_policy_firmware(point):
+    device = HackableSSD(point.apply(BASE), policy_firmware=True)
+    names = [s.name for s in device.firmware.sections]
+    assert names[5:] == ["pgc", "palloc", "pcache", "pwear"]
+    assert all(len(s.data) for s in device.firmware.sections)

@@ -9,7 +9,7 @@ from repro.cli import build_parser, main
 ALL_SUBCOMMANDS = [
     "presets", "simulate", "trace", "latency", "nand-page", "waf-study",
     "fidelity", "compression", "jtag-study", "probe-features", "faultsweep",
-    "policies", "policy-grid",
+    "policies", "policy-grid", "infer", "transparency",
 ]
 
 
@@ -81,6 +81,8 @@ class TestCommands:
         assert "re-bp32" in out and "chunk4" in out
 
     def test_jtag_study(self, capsys):
+        # The infer harness wraps this gray-box path; the standalone
+        # Fig 6 study must keep working as its own entry point.
         assert main(["jtag-study", "--scale", "4"]) == 0
         out = capsys.readouterr().out
         assert "map arrays" in out
@@ -93,10 +95,30 @@ class TestCommands:
         assert "measured mixed" in out
 
     def test_probe_features(self, capsys):
+        # The infer harness wraps this black-box path; the standalone
+        # SSDCheck-style probes must keep working as their own entry
+        # point.
         assert main(["probe-features", "--scale", "2",
                      "--cache-sectors", "64", "--writes", "2000"]) == 0
         out = capsys.readouterr().out
         assert "write buffer" in out
+
+    def test_infer(self, capsys):
+        assert main(["infer", "--seed", "3", "--mode", "graybox"]) == 0
+        out = capsys.readouterr().out
+        assert "policy inference (seed 3" in out
+        assert "tool loop (graybox" in out
+        for knob in ("gc_policy", "allocation", "cache_designation",
+                     "cache_admission", "cache_eviction", "wear_policy"):
+            assert knob in out
+
+    def test_transparency(self, capsys):
+        assert main(["transparency", "--points", "2", "--seed", "1",
+                     "--jobs", "1", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "transparency score over 2 random grid points" in out
+        assert "gray-box" in out
+        assert "recovers strictly more" in out
 
     def test_policies(self, capsys):
         assert main(["policies"]) == 0
@@ -175,5 +197,6 @@ class TestCommands:
             "presets", "simulate", "trace", "latency", "nand-page",
             "waf-study", "fidelity", "compression", "jtag-study",
             "probe-features", "faultsweep", "policies", "policy-grid",
+            "infer", "transparency",
         }
         assert covered == set(ALL_SUBCOMMANDS)
