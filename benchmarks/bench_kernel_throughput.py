@@ -1,0 +1,189 @@
+"""Throughput floor for the batched simulation hot path.
+
+Correctness is pinned by goldens; simulator *speed* is pinned here.  Each
+scenario runs the refactored fast path head-to-head against a
+measured-in-job baseline — the same build with ``fast_path=False``, which
+forces the pre-refactor-shaped general code everywhere (per-op ONFI
+re-encoding, allocating mapping results, full plane scans, per-slot
+bookkeeping) — and asserts a minimum speedup *ratio*.  Ratios compare two
+runs on the same machine in the same job, so the floor is
+machine-tolerant where an absolute ops/sec floor would not be.
+
+Every scenario also asserts the two modes produce byte-identical
+simulated timelines: the refactor changes representation, never
+semantics.
+
+Scenarios:
+
+* ``closed_loop`` — the NullSink closed-loop path: one job, iodepth 1,
+  sequential single-sector writes, no sink attached.  The headline
+  end-to-end number.
+* ``gc_steady``   — same, but the region wraps so the device runs in
+  steady-state foreground GC (exercises the vectorized victim-block
+  scan and the O(1) watermark check).
+* ``open_loop``   — open-loop submission at a sustainable rate
+  (exercises bulk generator stepping: no per-op ready-heap churn).
+* ``wear_stats``  — ``NandArray.wear_summary`` from the incremental
+  aggregates vs a full array rescan per call.
+* ``kernel_batch`` — ``Kernel.schedule_batch`` one-shot admission vs a
+  per-event ``schedule`` loop.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.flash.nand import NandArray
+from repro.sim.kernel import Kernel
+from repro.ssd.presets import mqsim_baseline
+from repro.ssd.timed import TimedSSD
+from repro.workloads.engine import run_timed
+from repro.workloads.patterns import Region
+from repro.workloads.spec import JobSpec
+
+#: Pinned speedup floors (fast path vs measured-in-job baseline).  The
+#: measured ratios carry ~30-40% margin so a loaded CI machine does not
+#: flake; a real hot-path regression still trips them.
+FLOORS = {
+    "closed_loop": 1.35,
+    "gc_steady": 1.25,
+    "open_loop": 1.40,
+    "wear_stats": 8.0,
+    "kernel_batch": 0.90,
+}
+
+CLOSED_OPS = 25_000
+GC_OPS = 40_000
+OPEN_OPS = 25_000
+WEAR_CALLS = 1_500
+BATCH_EVENTS = 150_000
+
+
+def _timed_run(fast: bool, io_count: int, region: Region | None = None,
+               **job_kwargs):
+    config = mqsim_baseline()
+    device = TimedSSD(config, fast_path=fast)
+    job = JobSpec(name="bench", rw="write",
+                  region=region or Region(0, config.logical_sectors),
+                  io_count=io_count, bs_sectors=1, iodepth=1, seed=7,
+                  **job_kwargs)
+    started = time.perf_counter()
+    result = run_timed(device, [job])
+    elapsed = time.perf_counter() - started
+    job_result = result.jobs["bench"]
+    fingerprint = (result.elapsed_ns,
+                   round(float(job_result.latencies_us.sum()), 6))
+    return io_count / elapsed, fingerprint
+
+
+def _scenario_closed() -> dict:
+    fast, fp_fast = _timed_run(True, CLOSED_OPS)
+    base, fp_base = _timed_run(False, CLOSED_OPS)
+    assert fp_fast == fp_base, "fast path changed the simulated timeline"
+    return {"fast": fast, "baseline": base, "ops": CLOSED_OPS}
+
+
+def _scenario_gc() -> dict:
+    region = Region(0, 20_000)  # wraps -> steady-state foreground GC
+    fast, fp_fast = _timed_run(True, GC_OPS, region=region)
+    base, fp_base = _timed_run(False, GC_OPS, region=region)
+    assert fp_fast == fp_base, "fast path changed the simulated timeline"
+    return {"fast": fast, "baseline": base, "ops": GC_OPS}
+
+
+def _scenario_open() -> dict:
+    kwargs = dict(submission="open", rate_iops=50_000.0)
+    fast, fp_fast = _timed_run(True, OPEN_OPS, **kwargs)
+    base, fp_base = _timed_run(False, OPEN_OPS, **kwargs)
+    assert fp_fast == fp_base, "fast path changed the simulated timeline"
+    return {"fast": fast, "baseline": base, "ops": OPEN_OPS}
+
+
+def _scenario_wear() -> dict:
+    nand = NandArray(mqsim_baseline().geometry)
+    rng = np.random.default_rng(5)
+    for block in rng.integers(0, nand.total_blocks, size=400):
+        nand.erase(int(block))
+
+    started = time.perf_counter()
+    for _ in range(WEAR_CALLS):
+        incremental = nand.wear_summary()
+    inc_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(WEAR_CALLS):
+        nand.reindex_wear()  # what a per-call full scan used to pay
+        rescan = nand.wear_summary()
+    scan_s = time.perf_counter() - started
+
+    assert incremental == rescan
+    return {"fast": WEAR_CALLS / inc_s, "baseline": WEAR_CALLS / scan_s,
+            "ops": WEAR_CALLS}
+
+
+def _scenario_batch() -> dict:
+    rng = np.random.default_rng(3)
+    times = rng.integers(0, 10_000_000, size=BATCH_EVENTS).tolist()
+
+    def noop() -> None:
+        pass
+
+    kernel = Kernel()
+    schedule = kernel.schedule
+    started = time.perf_counter()
+    for at_ns in times:
+        schedule(at_ns, noop)
+    loop_s = time.perf_counter() - started
+    kernel.run()
+    fired_loop = next(kernel._seq)
+
+    kernel = Kernel()
+    events = [(at_ns, noop, ()) for at_ns in times]
+    started = time.perf_counter()
+    kernel.schedule_batch(events)
+    batch_s = time.perf_counter() - started
+    kernel.run()
+    fired_batch = next(kernel._seq)
+
+    assert fired_loop == fired_batch  # both admitted every event
+    return {"fast": BATCH_EVENTS / batch_s,
+            "baseline": BATCH_EVENTS / loop_s, "ops": BATCH_EVENTS}
+
+
+SCENARIOS = [
+    ("closed_loop", _scenario_closed),
+    ("gc_steady", _scenario_gc),
+    ("open_loop", _scenario_open),
+    ("wear_stats", _scenario_wear),
+    ("kernel_batch", _scenario_batch),
+]
+
+
+@pytest.mark.benchmark(group="kernel-throughput")
+def test_kernel_throughput_floor(benchmark, figure_output):
+    def experiment():
+        return {name: fn() for name, fn in SCENARIOS}
+
+    results = run_once(benchmark, experiment)
+
+    rows = []
+    failures = []
+    for name, _ in SCENARIOS:
+        r = results[name]
+        ratio = r["fast"] / r["baseline"]
+        rows.append([name, r["ops"], round(r["baseline"]), round(r["fast"]),
+                     round(ratio, 2), FLOORS[name]])
+        if ratio < FLOORS[name]:
+            failures.append(f"{name}: {ratio:.2f}x < floor {FLOORS[name]}x")
+
+    figure_output(
+        "kernel_throughput",
+        "Simulation hot-path throughput — fast path vs measured-in-job "
+        "baseline (fast_path=False)",
+        ["scenario", "ops", "baseline ops/s", "fast ops/s", "speedup",
+         "floor"],
+        rows,
+    )
+    assert not failures, "throughput floor violated: " + "; ".join(failures)

@@ -12,14 +12,23 @@ every FTL must respect:
   logical page number so that mapping state can be rebuilt after power loss
   (and so a reverse engineer can correlate physical and logical addresses).
 
-The array is numpy-backed and stores metadata only by default.  Callers
-that care about byte content (the firmware/RE experiments) can enable
-``store_data`` which keeps an actual ``bytes`` payload per programmed page.
+Every piece of per-page and per-block state is a flat numpy array —
+including the full per-slot OOB records, which used to live in a
+``dict[int, tuple]`` that cost one allocation per program and a Python
+loop per erase.  ``program`` touches a handful of array cells, ``erase``
+is pure slice resets, and ``clone`` is array copies; aggregate wear
+figures (:meth:`wear_summary`) and per-block stats (:meth:`block_stats`)
+are maintained incrementally instead of being recomputed by full scans
+on every call.
+
+The array stores metadata only by default.  Callers that care about byte
+content (the firmware/RE experiments) can enable ``store_data`` which
+keeps an actual ``bytes`` payload per programmed page.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -28,6 +37,10 @@ from repro.flash.geometry import Geometry
 #: Marker stored in the OOB LPN slot of a page that holds no logical data
 #: (e.g. mapping metadata or parity).
 NO_LPN = np.int64(-1)
+
+#: ``page_oob_len`` value for a page whose writer stored no OOB record
+#: (distinct from an explicitly-stored empty record of length 0).
+_NO_OOB = -1
 
 
 class FlashViolation(Exception):
@@ -93,8 +106,11 @@ class NandArray:
         self.geometry = geometry
         self.erase_limit = erase_limit
         self.store_data = store_data
-        total_pages = geometry.total_pages
-        total_blocks = geometry.total_blocks
+        # Derived geometry scalars, hoisted: the properties recompute
+        # their products on every access and program/erase are hot.
+        total_pages = self.total_pages = geometry.total_pages
+        total_blocks = self.total_blocks = geometry.total_blocks
+        self._pages_per_block = geometry.pages_per_block
         self.page_state = np.zeros(total_pages, dtype=np.uint8)
         #: OOB logical-page stamp for each physical page (NO_LPN when none).
         self.page_lpn = np.full(total_pages, NO_LPN, dtype=np.int64)
@@ -103,14 +119,28 @@ class NandArray:
         #: power-loss recovery.
         self.page_seq = np.full(total_pages, -1, dtype=np.int64)
         self.block_erase_count = np.zeros(total_blocks, dtype=np.int32)
-        #: Next programmable page index within each block.
+        #: Next programmable page index within each block.  Under the
+        #: sequential-programming rule this doubles as the block's
+        #: programmed-page count, which :meth:`block_stats` relies on.
         self.block_write_ptr = np.zeros(total_blocks, dtype=np.int32)
+        #: Full per-slot OOB records: row ``ppn`` holds
+        #: ``page_oob_len[ppn]`` valid entries (cells past the length are
+        #: unspecified; ``page_oob_len == -1`` means no record stored).
+        self._oob_slots = max(1, geometry.sectors_per_page)
+        self.page_oob = np.full((total_pages, self._oob_slots), NO_LPN,
+                                dtype=np.int64)
+        self.page_oob_len = np.full(total_pages, _NO_OOB, dtype=np.int16)
         self.counters = NandCounters()
         self._data: dict[int, bytes] = {}
-        #: full per-slot OOB records (tuple of slot LPN codes), when the
-        #: writer provides them.
-        self._oob: dict[int, tuple[int, ...]] = {}
         self._program_counter = 0
+        # Incremental wear aggregates (see wear_summary / reindex_wear):
+        # running total / max / sum-of-squares plus an erase-count
+        # histogram whose smallest occupied bucket is the minimum.
+        self._erase_total = 0
+        self._erase_max = 0
+        self._erase_sumsq = 0
+        self._erase_min = 0
+        self._erase_hist: dict[int, int] = {0: total_blocks}
 
     # ------------------------------------------------------------------
     # Core operations
@@ -125,24 +155,23 @@ class NandArray:
         Raises :class:`FlashViolation` if the page is not free or is not
         the block's next sequential page.
         """
-        geometry = self.geometry
-        if not 0 <= ppn < geometry.total_pages:
+        if not 0 <= ppn < self.total_pages:
             raise FlashViolation(f"program: ppn {ppn} out of range")
         if self.page_state[ppn] != PageState.FREE:
             raise FlashViolation(
                 f"program: ppn {ppn} already programmed (erase-before-write)"
             )
-        block, page = divmod(ppn, geometry.pages_per_block)
+        block, page = divmod(ppn, self._pages_per_block)
         expected = int(self.block_write_ptr[block])
         if page != expected:
             raise FlashViolation(
                 f"program: block {block} requires sequential programming; "
                 f"next page is {expected}, got {page}"
             )
-        if data is not None and len(data) > geometry.page_size:
+        if data is not None and len(data) > self.geometry.page_size:
             raise FlashViolation(
                 f"program: payload of {len(data)} bytes exceeds page size "
-                f"{geometry.page_size}"
+                f"{self.geometry.page_size}"
             )
         self.page_state[ppn] = PageState.PROGRAMMED
         self.page_lpn[ppn] = lpn
@@ -151,7 +180,14 @@ class NandArray:
         self.block_write_ptr[block] = page + 1
         self.counters.programs += 1
         if oob is not None:
-            self._oob[ppn] = tuple(int(x) for x in oob)
+            n = len(oob)
+            if n > self._oob_slots:
+                raise FlashViolation(
+                    f"program: OOB record of {n} slots exceeds the page's "
+                    f"{self._oob_slots} OOB slots"
+                )
+            self.page_oob[ppn, :n] = oob
+            self.page_oob_len[ppn] = n
         if self.store_data and data is not None:
             self._data[ppn] = bytes(data)
 
@@ -161,7 +197,7 @@ class NandArray:
         Reading a free page is legal on real hardware (it returns all-FF);
         here it returns ``(NO_LPN, None)``.
         """
-        if not 0 <= ppn < self.geometry.total_pages:
+        if not 0 <= ppn < self.total_pages:
             raise FlashViolation(f"read: ppn {ppn} out of range")
         self.counters.reads += 1
         if self.page_state[ppn] == PageState.FREE:
@@ -169,21 +205,26 @@ class NandArray:
         return int(self.page_lpn[ppn]), self._data.get(ppn)
 
     def erase(self, block_index: int) -> None:
-        """Erase one block, freeing all its pages and incrementing wear."""
-        geometry = self.geometry
-        if not 0 <= block_index < geometry.total_blocks:
+        """Erase one block, freeing all its pages and incrementing wear.
+
+        Pure slice resets over the page arrays; the wear aggregates are
+        updated in O(1).
+        """
+        if not 0 <= block_index < self.total_blocks:
             raise FlashViolation(f"erase: block {block_index} out of range")
-        start = block_index * geometry.pages_per_block
-        end = start + geometry.pages_per_block
+        start = block_index * self._pages_per_block
+        end = start + self._pages_per_block
         self.page_state[start:end] = PageState.FREE
         self.page_lpn[start:end] = NO_LPN
         self.page_seq[start:end] = -1
+        self.page_oob_len[start:end] = _NO_OOB
         self.block_write_ptr[block_index] = 0
-        self.block_erase_count[block_index] += 1
+        cycles = int(self.block_erase_count[block_index])
+        self.block_erase_count[block_index] = cycles + 1
+        self._bump_wear(cycles)
         self.counters.erases += 1
-        for ppn in range(start, end):
-            self._oob.pop(ppn, None)
-            if self.store_data:
+        if self.store_data:
+            for ppn in range(start, end):
                 self._data.pop(ppn, None)
 
     def clone(self) -> "NandArray":
@@ -201,6 +242,8 @@ class NandArray:
         twin.page_seq = self.page_seq.copy()
         twin.block_erase_count = self.block_erase_count.copy()
         twin.block_write_ptr = self.block_write_ptr.copy()
+        twin.page_oob = self.page_oob.copy()
+        twin.page_oob_len = self.page_oob_len.copy()
         twin.counters = NandCounters(
             reads=self.counters.reads,
             programs=self.counters.programs,
@@ -208,9 +251,53 @@ class NandArray:
             program_failures=self.counters.program_failures,
         )
         twin._data = dict(self._data)
-        twin._oob = dict(self._oob)
         twin._program_counter = self._program_counter
+        twin._erase_total = self._erase_total
+        twin._erase_max = self._erase_max
+        twin._erase_sumsq = self._erase_sumsq
+        twin._erase_min = self._erase_min
+        twin._erase_hist = dict(self._erase_hist)
         return twin
+
+    # ------------------------------------------------------------------
+    # Incremental wear accounting
+    # ------------------------------------------------------------------
+
+    def _bump_wear(self, old_cycles: int) -> None:
+        """Move one block from *old_cycles* to ``old_cycles + 1`` in the
+        wear aggregates (O(1) amortized)."""
+        new_cycles = old_cycles + 1
+        self._erase_total += 1
+        self._erase_sumsq += 2 * old_cycles + 1  # (c+1)^2 - c^2
+        if new_cycles > self._erase_max:
+            self._erase_max = new_cycles
+        hist = self._erase_hist
+        remaining = hist[old_cycles] - 1
+        if remaining:
+            hist[old_cycles] = remaining
+        else:
+            del hist[old_cycles]
+        hist[new_cycles] = hist.get(new_cycles, 0) + 1
+        if old_cycles == self._erase_min and old_cycles not in hist:
+            # The minimum bucket emptied; the new minimum is the smallest
+            # occupied bucket (rare — amortized over many erases).
+            self._erase_min = min(hist)
+
+    def reindex_wear(self) -> None:
+        """Rebuild the incremental wear aggregates from
+        ``block_erase_count``.
+
+        Needed when erase counts change behind the array's back (tests
+        that stage wear by writing ``block_erase_count`` directly).
+        Mirrors the definition :meth:`erase` maintains incrementally.
+        """
+        erases = self.block_erase_count
+        self._erase_total = int(erases.sum())
+        self._erase_max = int(erases.max())
+        self._erase_min = int(erases.min())
+        self._erase_sumsq = int((erases.astype(np.int64) ** 2).sum())
+        values, counts = np.unique(erases, return_counts=True)
+        self._erase_hist = {int(v): int(c) for v, c in zip(values, counts)}
 
     # ------------------------------------------------------------------
     # Inspection
@@ -221,18 +308,18 @@ class NandArray:
 
     def read_oob(self, ppn: int) -> tuple[int, ...] | None:
         """Full per-slot OOB record of a page, if the writer stored one."""
-        return self._oob.get(ppn)
+        n = int(self.page_oob_len[ppn])
+        if n < 0:
+            return None
+        return tuple(int(x) for x in self.page_oob[ppn, :n])
 
     def block_stats(self, block_index: int) -> BlockStats:
-        geometry = self.geometry
-        start = block_index * geometry.pages_per_block
-        end = start + geometry.pages_per_block
-        programmed = int(
-            np.count_nonzero(self.page_state[start:end] == PageState.PROGRAMMED)
-        )
+        """O(1): under the sequential-programming rule a block's
+        programmed-page count *is* its write pointer (pages free only by
+        whole-block erase, which resets both)."""
         return BlockStats(
             erase_count=int(self.block_erase_count[block_index]),
-            programmed_pages=programmed,
+            programmed_pages=int(self.block_write_ptr[block_index]),
             write_pointer=int(self.block_write_ptr[block_index]),
         )
 
@@ -243,12 +330,22 @@ class NandArray:
         return self.page_lpn[start : start + geometry.pages_per_block].copy()
 
     def wear_summary(self) -> dict[str, float]:
-        """Aggregate wear figures used by wear-leveling tests."""
-        erases = self.block_erase_count
+        """Aggregate wear figures used by wear-leveling tests.
+
+        O(1): served from the incrementally-maintained aggregates, not by
+        scanning ``block_erase_count`` (call :meth:`reindex_wear` first if
+        erase counts were staged directly).
+        """
+        n = self.geometry.total_blocks
+        total = self._erase_total
+        mean = total / n
+        variance = self._erase_sumsq / n - mean * mean
+        if variance < 0.0:  # floating-point guard for near-zero spread
+            variance = 0.0
         return {
-            "min": float(erases.min()),
-            "max": float(erases.max()),
-            "mean": float(erases.mean()),
-            "std": float(erases.std()),
-            "total": float(erases.sum()),
+            "min": float(self._erase_min),
+            "max": float(self._erase_max),
+            "mean": float(mean),
+            "std": float(np.sqrt(variance)),
+            "total": float(total),
         }

@@ -110,6 +110,33 @@ class Kernel:
         heapq.heappush(self._fel,
                        (max(int(at_ns), self.now), next(self._seq), fn, args))
 
+    def schedule_batch(self, events: "list[tuple[int, Callable, tuple]]") -> None:
+        """Admit many ``(at_ns, fn, args)`` events in one call.
+
+        Equivalent to calling :meth:`schedule` once per event in list
+        order — sequence numbers are drawn from the same counter, so the
+        firing order is identical — but when the batch is large relative
+        to the event list it is cheaper to extend and re-heapify once
+        (O(n + k)) than to pay one sift-up per push (O(k log n)).
+        """
+        now = self.now
+        seq = self._seq
+        items = [
+            (at if (at := int(at_ns)) > now else now, next(seq), fn, args)
+            for at_ns, fn, args in events
+        ]
+        fel = self._fel
+        if len(items) > 64 and len(items) >= len(fel):
+            # The batch dominates the heap: one O(n + k) heapify beats
+            # k sift-ups.  (Repeated small batches against a large heap
+            # must NOT re-heapify — that would be O(k * n) overall.)
+            fel.extend(items)
+            heapq.heapify(fel)
+        else:
+            push = heapq.heappush
+            for item in items:
+                push(fel, item)
+
     def call_after(self, delay_ns: int, fn: Callable, *args) -> None:
         self.schedule(self.now + max(0, int(delay_ns)), fn, *args)
 
@@ -261,13 +288,23 @@ class CapacityPool:
         after admission (in-flight data the device has accepted but not
         yet flushed; the timed SSD passes the request size).
         """
-        self.release_due(now_ns)
-        self.occupied += max(0, amount)
-        when = now_ns
+        # release_due(now_ns), inlined: acquire is the write hot path.
         releases = self._releases
-        while self.occupied > self.capacity and releases:
+        occupied = self.occupied
+        while releases and releases[0][0] <= now_ns:
+            occupied -= heapq.heappop(releases)[1]
+            if occupied < 0:
+                occupied = 0
+        if amount > 0:
+            occupied += amount
+        when = now_ns
+        capacity = self.capacity
+        while occupied > capacity and releases:
             when, freed = heapq.heappop(releases)
-            self.occupied = max(0, self.occupied - freed)
-        if self.occupied > self.capacity + overshoot:
-            self.occupied = self.capacity + overshoot
+            occupied -= freed
+            if occupied < 0:
+                occupied = 0
+        if occupied > capacity + overshoot:
+            occupied = capacity + overshoot
+        self.occupied = occupied
         return when if when > now_ns else now_ns

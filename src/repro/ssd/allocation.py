@@ -85,7 +85,8 @@ class PageAllocator:
         self.route = self.policy.route
         self.excluded_blocks = excluded_blocks
 
-        planes = geometry.planes_total
+        self._ppb = geometry.pages_per_block
+        planes = self._planes = geometry.planes_total
         self._free_blocks: list[list[int]] = [[] for _ in range(planes)]
         for block_index in range(geometry.total_blocks):
             if block_index in excluded_blocks:
@@ -105,6 +106,12 @@ class PageAllocator:
         #: incrementally on block state changes so victim selection is
         #: O(candidates), not a full plane scan per GC invocation.
         self._sealed: list[set[int]] = [set() for _ in range(planes)]
+        #: GC low watermark registered via :meth:`set_gc_watermark`
+        #: (-1 = none).  ``_low_planes`` counts planes whose free pool is
+        #: at or below it, so the FTL's free-space check is O(1) instead
+        #: of a per-program scan over every plane.
+        self._gc_low_water = -1
+        self._low_planes = 0
 
     def _plane_of_block(self, block_index: int) -> int:
         return block_index // self.geometry.blocks_per_plane
@@ -124,7 +131,7 @@ class PageAllocator:
             raise ValueError(f"unknown stream {stream!r}")
         index = self._stream_counters[stream]
         self._stream_counters[stream] = index + 1
-        planes = self.geometry.planes_total
+        planes = self._planes
         target = self.plane_for_index(index)
         for offset in range(planes):
             plane = (target + offset) % planes
@@ -136,7 +143,7 @@ class PageAllocator:
     def _page_in_plane(self, plane: int, stream: str) -> int | None:
         key = (plane, stream)
         active = self._active.get(key)
-        if active is None or active.next_page >= self.geometry.pages_per_block:
+        if active is None or active.next_page >= self._ppb:
             block = self._pop_free_block(plane)
             if block is None:
                 return None
@@ -146,14 +153,17 @@ class PageAllocator:
                 self._sealed[plane].add(active.block_index)
             active = _ActiveBlock(block, 0)
             self._active[key] = active
-        ppn = active.block_index * self.geometry.pages_per_block + active.next_page
+        ppn = active.block_index * self._ppb + active.next_page
         active.next_page += 1
         return ppn
 
     def _pop_free_block(self, plane: int) -> int | None:
         pool = self._free_blocks[plane]
+        low = self._gc_low_water
         while pool:
             block = pool.pop()
+            if len(pool) == low:
+                self._low_planes += 1
             if block in self._retired:
                 continue
             self._alloc_seq += 1
@@ -173,7 +183,10 @@ class PageAllocator:
         plane = self._plane_of_block(block_index)
         self.block_alloc_seq.pop(block_index, None)
         self._sealed[plane].discard(block_index)
-        self._free_blocks[plane].append(block_index)
+        pool = self._free_blocks[plane]
+        pool.append(block_index)
+        if len(pool) == self._gc_low_water + 1:
+            self._low_planes -= 1
 
     def retire_block(self, block_index: int) -> None:
         """Permanently remove a bad block from circulation."""
@@ -182,6 +195,8 @@ class PageAllocator:
         pool = self._free_blocks[plane]
         if block_index in pool:
             pool.remove(block_index)
+            if len(pool) == self._gc_low_water:
+                self._low_planes += 1
         self._sealed[plane].discard(block_index)
         for key, active in list(self._active.items()):
             if active.block_index == block_index:
@@ -230,6 +245,21 @@ class PageAllocator:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    def set_gc_watermark(self, low: int) -> None:
+        """Register the FTL's GC low watermark and (re)build the count of
+        planes at or below it; from here on the count is maintained
+        incrementally by every pool mutation."""
+        self._gc_low_water = low
+        self._low_planes = sum(
+            1 for pool in self._free_blocks if len(pool) <= low
+        )
+
+    @property
+    def planes_at_watermark(self) -> int:
+        """How many planes currently sit at or below the GC watermark.
+        Zero means a free-space check can skip the plane scan entirely."""
+        return self._low_planes
 
     def free_blocks_in_plane(self, plane: int) -> int:
         return len(self._free_blocks[plane])

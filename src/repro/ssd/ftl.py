@@ -114,8 +114,16 @@ class Ftl:
         nand: NandArray | None = None,
         injector: FailureInjector | None = None,
         reliability: ReliabilityModel | None = None,
+        *,
+        fast_path: bool = True,
     ) -> None:
         self.config = config
+        #: ``fast_path=False`` forces the pre-refactor-shaped general
+        #: code paths everywhere (per-slot bookkeeping, full plane scans,
+        #: allocating mapping results).  It exists as the measured-in-job
+        #: reference for the throughput bench and the fast==reference
+        #: equivalence tests; results are byte-identical either way.
+        self._fast = fast_path
         geometry = config.geometry
         self.geometry = geometry
         self.nand = nand if nand is not None else NandArray(
@@ -125,7 +133,7 @@ class Ftl:
         self.reliability = (reliability if reliability is not None
                             else RELIABILITY_BY_TIMING[config.timing_name])
 
-        spp = geometry.sectors_per_page
+        spp = self._spp = geometry.sectors_per_page
         self.num_lpns = config.logical_sectors
         total_psas = geometry.total_pages * spp
         #: physical-sector -> logical-sector reverse map (see p2l codes above).
@@ -171,6 +179,8 @@ class Ftl:
             chunk_lpns=config.mapping_chunk_lpns,
             resident_chunks=config.mapping_resident_chunks,
         )
+        self.mapping.fast_path = fast_path
+        self.allocator.set_gc_watermark(config.gc_low_water_blocks)
         self.selector = VictimSelector(
             config.gc_policy,
             geometry,
@@ -230,6 +240,19 @@ class Ftl:
         self._check_writable()
         self._host_ops += 1
         self.injector.tick(self._host_ops)
+        if self._fast and nsectors == 1 and self._admit_always:
+            # Single-sector admit-always lane: the dominant request shape
+            # (one heap-ordered request per host op) without the range
+            # loop or the per-sector admission dispatch.
+            ops = self._ops = []
+            self.stats.host_sector_writes += 1
+            self._op_seq += 1
+            cache = self.cache
+            if cache.insert(lpn):
+                self.stats.cache_absorbed += 1
+            while cache.needs_flush:
+                self._flush_one_batch()
+            return ops
         self._ops = []
         for sector in range(lpn, lpn + nsectors):
             self.stats.host_sector_writes += 1
@@ -379,7 +402,7 @@ class Ftl:
     # ------------------------------------------------------------------
 
     def _flush_one_batch(self) -> None:
-        batch = self.cache.take_flush_batch(self.geometry.sectors_per_page)
+        batch = self.cache.take_flush_batch(self._spp)
         if not batch:
             return
         if self.pslc.enabled and self.pslc.has_space():
@@ -413,7 +436,7 @@ class Ftl:
         """Program one page holding *lpns* and update all bookkeeping."""
         self._ensure_free_space()
         geometry = self.geometry
-        spp = geometry.sectors_per_page
+        spp = self._spp
         if self._routed:
             stream = self._route(stream, lpns)
         ppn = self._allocate_programmable_page(stream)
@@ -426,23 +449,39 @@ class Ftl:
         # old copy is still marked valid — GC would then migrate that
         # superseded copy with a *newer* program sequence than the live
         # data, and newest-wins recovery would resurrect stale sectors.
-        pending_events = MappingEvents()
-        for slot, lpn in enumerate(lpns[:spp]):
-            psa = ppn * spp + slot
-            self.p2l[psa] = lpn
-            self.sector_valid[psa] = True
-            self.block_valid[block] += 1
+        pending_events: MappingEvents | None = None
+        lpns = lpns[:spp]
+        base = ppn * spp
+        p2l = self.p2l
+        sector_valid = self.sector_valid
+        mapping = self.mapping
+        # One bump instead of one read-modify-write per slot: nothing
+        # reads block_valid mid-loop (metadata work is deferred), so the
+        # interleaving is unobservable — including for duplicate LPNs,
+        # where a later slot's invalidation of an earlier slot's copy
+        # decrements the same counter exactly as the per-slot order did.
+        self.block_valid[block] += len(lpns)
+        pslc_enabled = self.pslc.enabled
+        for slot, lpn in enumerate(lpns):
+            psa = base + slot
+            p2l[psa] = lpn
+            sector_valid[psa] = True
             if silent_map:
-                old = self.mapping.silent_update(lpn, psa)
+                old = mapping.silent_update(lpn, psa)
             else:
-                old, events = self.mapping.update(lpn, psa)
-                pending_events.merge(events)
+                old, events = mapping.update(lpn, psa)
+                if not events.empty:
+                    if pending_events is None:
+                        pending_events = MappingEvents()
+                    pending_events.merge(events)
             self._invalidate_old_copy(lpn, old, psa)
-            # A fresh main-area copy supersedes any pSLC-resident one.
-            pslc_psa = self.pslc.lookup(lpn)
-            if pslc_psa is not None and pslc_psa != psa:
-                self.pslc.invalidate(lpn)
-        self._apply_mapping_events(pending_events)
+            if pslc_enabled:
+                # A fresh main-area copy supersedes any pSLC-resident one.
+                pslc_psa = self.pslc.lookup(lpn)
+                if pslc_psa is not None and pslc_psa != psa:
+                    self.pslc.invalidate(lpn)
+        if pending_events is not None:
+            self._apply_mapping_events(pending_events)
         if self.rain.on_data_page(ppn):
             self._program_parity_page()
 
@@ -691,6 +730,10 @@ class Ftl:
     def _ensure_free_space(self) -> None:
         if self._in_gc:
             return
+        if self._fast and not self.allocator.planes_at_watermark:
+            # No plane is at or below the low watermark, so the scan
+            # below would visit every plane and do nothing.
+            return
         low = self.config.gc_low_water_blocks
         high = self.config.gc_high_water_blocks
         for plane in range(self.geometry.planes_total):
@@ -752,23 +795,38 @@ class Ftl:
         geometry = self.geometry
         spp = geometry.sectors_per_page
         first_psa = block * geometry.pages_per_block * spp
-        live_lpns: list[int] = []
-        live_tps: list[int] = []
-        pages_to_read: set[int] = set()
-        for psa in range(first_psa, first_psa + geometry.pages_per_block * spp):
-            if not self.sector_valid[psa]:
-                continue
-            code = int(self.p2l[psa])
-            pages_to_read.add(psa // spp)
-            if code <= META_P2L_BASE:
-                live_tps.append(_p2l_to_tp(code))
-            elif code >= 0:
-                live_lpns.append(code)
-            self.sector_valid[psa] = False
-            self.p2l[psa] = P2L_NONE
+        last_psa = first_psa + geometry.pages_per_block * spp
+        if self._fast:
+            # Array form of the scan below: nonzero() walks ascending, so
+            # live_lpns/live_tps keep the same psa order, and clearing
+            # the whole slice only re-falsifies already-invalid slots.
+            window = self.sector_valid[first_psa:last_psa]
+            psas = np.nonzero(window)[0] + first_psa
+            codes = self.p2l[psas]
+            live_tps = [_p2l_to_tp(int(c)) for c in codes[codes <= META_P2L_BASE]]
+            live_lpns = [int(c) for c in codes[codes >= 0]]
+            pages_sorted = np.unique(psas // spp)
+            self.sector_valid[first_psa:last_psa] = False
+            self.p2l[psas] = P2L_NONE
+        else:
+            live_lpns = []
+            live_tps = []
+            pages_to_read: set[int] = set()
+            for psa in range(first_psa, last_psa):
+                if not self.sector_valid[psa]:
+                    continue
+                code = int(self.p2l[psa])
+                pages_to_read.add(psa // spp)
+                if code <= META_P2L_BASE:
+                    live_tps.append(_p2l_to_tp(code))
+                elif code >= 0:
+                    live_lpns.append(code)
+                self.sector_valid[psa] = False
+                self.p2l[psa] = P2L_NONE
+            pages_sorted = sorted(pages_to_read)
         self.block_valid[block] = 0
-        for ppn in sorted(pages_to_read):
-            self._emit(FlashOp(OpKind.READ, ppn, reason, geometry.page_size))
+        for ppn in pages_sorted:
+            self._emit(FlashOp(OpKind.READ, int(ppn), reason, geometry.page_size))
         self.stats.gc_migrated_sectors += len(live_lpns)
         for start in range(0, len(live_lpns), spp):
             self._program_data_page(

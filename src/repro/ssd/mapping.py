@@ -60,6 +60,13 @@ class MappingEvents:
         return not (self.flush_tps or self.load_tp_ppns or self.loaded_chunks)
 
 
+#: Shared no-metadata result returned by the lookup/update fast paths.
+#: Callers only read returned events (or merge them into their own
+#: accumulator), so one immutable-by-convention instance serves them all
+#: without a per-call allocation.
+EMPTY_EVENTS = MappingEvents()
+
+
 @dataclass
 class MappingStats:
     """Counters for analysis and the RE experiments."""
@@ -103,6 +110,9 @@ class MappingTable:
         self._resident: OrderedDict[int, None] = OrderedDict()
         self._since_sync = 0
         self.stats = MappingStats()
+        #: False forces the allocating general paths (reference mode for
+        #: the throughput bench); results are identical either way.
+        self.fast_path = True
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -135,6 +145,9 @@ class MappingTable:
         """Translate one LPN; may require a chunk load."""
         self._check_lpn(lpn)
         self.stats.lookups += 1
+        if self.fast_path and not self.chunk_lpns:
+            # Unchunked map: lookups never trigger metadata work.
+            return int(self.l2p[lpn]), EMPTY_EVENTS
         events = self._ensure_resident(lpn)
         return int(self.l2p[lpn]), events
 
@@ -142,6 +155,20 @@ class MappingTable:
         """Map *lpn* to physical sector *psa*; returns (old_psa, events)."""
         self._check_lpn(lpn)
         self.stats.updates += 1
+        # Fast path: unchunked map, TP already dirty, no checkpoint due —
+        # exactly the case where the general path below would allocate two
+        # MappingEvents just to report "nothing happened".  This is the
+        # steady state of every sequential/looping write workload.
+        if (self.fast_path and not self.chunk_lpns
+                and self._since_sync + 1 < self.sync_interval):
+            tp_id = lpn // self.tp_lpns
+            dirty = self._dirty
+            if tp_id in dirty:
+                dirty.move_to_end(tp_id)
+                old = int(self.l2p[lpn])
+                self.l2p[lpn] = psa
+                self._since_sync += 1
+                return old, EMPTY_EVENTS
         events = self._ensure_resident(lpn)
         old = int(self.l2p[lpn])
         self.l2p[lpn] = psa

@@ -14,7 +14,7 @@ recover.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from typing import NamedTuple
 
 
 class OpKind(enum.Enum):
@@ -43,12 +43,15 @@ FTL_REASONS = frozenset(
 )
 
 
-@dataclass(frozen=True)
-class FlashOp:
+class FlashOp(NamedTuple):
     """One physical flash operation.
 
     ``target`` is a PPN for reads/programs and a global block index for
     erases.  ``nbytes`` is the data moved over the bus (0 for erase).
+
+    A NamedTuple rather than a frozen dataclass: the FTL constructs one
+    per physical op on the hot path, and tuple construction is several
+    times cheaper than a frozen dataclass ``__init__``.
     """
 
     kind: OpKind

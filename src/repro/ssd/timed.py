@@ -37,6 +37,7 @@ ONFI pin signals — the hardware-probe substrate of §3.1.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
@@ -61,9 +62,12 @@ from repro.ssd.ops import FlashOp, OpKind, OpReason
 from repro.ssd.smart import SmartCounters
 
 
-@dataclass(frozen=True)
-class CompletedRequest:
-    """One finished host request with its timing."""
+class CompletedRequest(NamedTuple):
+    """One finished host request with its timing.
+
+    A NamedTuple: one is built per host request on the hot path, where
+    frozen-dataclass construction was a measurable cost.
+    """
 
     kind: str
     lba: int
@@ -135,13 +139,18 @@ class TimedSSD(HostDeviceBase):
         controller_overhead_ns: int = 8_000,
         bus_tap: BusTap | None = None,
         injector: FailureInjector | None = None,
+        fast_path: bool = True,
     ) -> None:
         self.config = config
         self.model = model
         self.geometry = config.geometry
         self.timing = profile(config.timing_name)
         self.controller_overhead_ns = controller_overhead_ns
-        self.ftl = Ftl(config, injector=injector)
+        #: ``fast_path=False`` forces the per-op ONFI re-encoding path
+        #: (and the FTL's general paths) — the measured-in-job reference
+        #: for the throughput bench.  Timelines are identical either way.
+        self.fast_path = fast_path
+        self.ftl = Ftl(config, injector=injector, fast_path=fast_path)
         self.smart = SmartCounters()
         self.bus_tap = bus_tap
         #: blocks operated in pSLC mode program/erase at pSLC speed.
@@ -157,6 +166,10 @@ class TimedSSD(HostDeviceBase):
             for i in range(self.geometry.channels)
         ]
         self.completed: list[CompletedRequest] = []
+        #: cached per-(kind, nbytes) bus occupancy: ONFI bus time depends
+        #: only on cycle counts and payload length, never on address
+        #: values, so encoding once per shape is exact (see _op_bus_ns).
+        self._op_ns: dict[tuple[OpKind, int], int | tuple[int, int]] = {}
         # Write-cache admission state: sectors admitted occupy RAM until
         # the flush program that carries them completes on flash.
         self._cache_pool = CapacityPool(self.ftl.cache.capacity)
@@ -197,8 +210,15 @@ class TimedSSD(HostDeviceBase):
         fires any kernel events due in the gap — scheduled background
         maintenance runs here, overlapping host idle time.
         """
-        at_ns = max(at_ns, self.now)
-        self.kernel.run_until(at_ns)
+        kernel = self.kernel
+        if at_ns < kernel.now:
+            at_ns = kernel.now
+        if kernel._fel:
+            kernel.run_until(at_ns)
+        elif at_ns > kernel.now:
+            # run_until with an empty event list only moves the clock;
+            # skipping the call matters at millions of requests.
+            kernel.now = at_ns
         self._last_host_ns = at_ns
         if kind == "write":
             ops = self.ftl.write(lba, nsectors)
@@ -212,16 +232,20 @@ class TimedSSD(HostDeviceBase):
             raise ValueError(f"unknown request kind {kind!r}")
 
         flash_done = at_ns
-        for op in ops:
-            self.smart.record(op)
-            end = self._schedule_op(op, at_ns)
-            if end > flash_done:
-                flash_done = end
-            if (op.kind is OpKind.PROGRAM
-                    and op.reason in (OpReason.HOST, OpReason.PSLC)):
-                # This flush carries cached sectors back out of RAM.
-                self._cache_pool.schedule_release(
-                    end, self.geometry.sectors_per_page)
+        if ops:
+            record = self.smart.record
+            schedule_op = self._schedule_op
+            spp = self.geometry.sectors_per_page
+            schedule_release = self._cache_pool.schedule_release
+            for op in ops:
+                record(op)
+                end = schedule_op(op, at_ns)
+                if end > flash_done:
+                    flash_done = end
+                if (op.kind is OpKind.PROGRAM
+                        and op.reason in (OpReason.HOST, OpReason.PSLC)):
+                    # This flush carries cached sectors back out of RAM.
+                    schedule_release(end, spp)
 
         if kind == "write":
             complete = self._admit_write(at_ns, nsectors)
@@ -387,6 +411,71 @@ class TimedSSD(HostDeviceBase):
     # ------------------------------------------------------------------
 
     def _schedule_op(self, op: FlashOp, earliest: int) -> int:
+        """Place one flash op on its channel/die timeline; returns its
+        end time.  The fast lane reuses cached bus occupancies instead of
+        re-encoding the ONFI cycle list per op; a bus tap needs the real
+        cycles, so it forces the encoded path."""
+        if self.bus_tap is not None or not self.fast_path:
+            return self._schedule_op_encoded(op, earliest)
+        kind = op.kind
+        key = (kind, op.nbytes)
+        ns = self._op_ns.get(key)
+        if ns is None:
+            ns = self._op_ns[key] = self._op_bus_ns(op)
+        geometry = self.geometry
+        if kind is OpKind.ERASE:
+            block = op.target
+            array_timing = PSLC if block in self._pslc_blocks else self.timing
+            die = self._dies[geometry.die_of_block(block)]
+            channel = self._channels[geometry.channel_of_block(block)]
+            start = max(earliest, channel.free_at, die.free_at)
+            channel.hold(start, start + ns, requested_ns=earliest)
+            return die.hold(start + ns, start + ns + array_timing.erase_ns,
+                            requested_ns=earliest)
+        ppn = op.target
+        die = self._dies[geometry.die_of_ppn(ppn)]
+        channel = self._channels[geometry.channel_of_ppn(ppn)]
+        block = ppn // geometry.pages_per_block
+        array_timing = PSLC if block in self._pslc_blocks else self.timing
+        if kind is OpKind.PROGRAM:
+            start = max(earliest, channel.free_at, die.free_at)
+            bus_end = channel.hold(start, start + ns, requested_ns=earliest)
+            return die.hold(bus_end, bus_end + array_timing.program_ns,
+                            requested_ns=earliest)
+        cmd_ns, data_ns = ns
+        start = max(earliest, channel.free_at, die.free_at)
+        cmd_end = channel.hold(start, start + cmd_ns, requested_ns=earliest)
+        array_end = die.hold(cmd_end, cmd_end + array_timing.read_ns,
+                             requested_ns=earliest)
+        bus_start = max(array_end, channel.free_at)
+        return channel.hold(bus_start, bus_start + data_ns,
+                            requested_ns=array_end)
+
+    def _op_bus_ns(self, op: FlashOp) -> int | tuple[int, int]:
+        """Bus occupancy for ops shaped like *op*.
+
+        :func:`operation_bus_ns` sums per-cycle times, and the cycle
+        *list shape* (command + address counts, payload length) is fixed
+        per (kind, nbytes) — address byte values never change the total —
+        so encoding one representative op is exact for all of them.
+        Reads return ``(cmd_ns, data_ns)``: command cycles and data-out
+        occupy the channel on either side of the array busy time.
+        """
+        geometry = self.geometry
+        timing = self.timing
+        if op.kind is OpKind.ERASE:
+            onfi = encode_erase(geometry, timing,
+                                geometry.block_address(op.target))
+            return operation_bus_ns(onfi, timing)
+        addr = geometry.address(op.target)
+        if op.kind is OpKind.PROGRAM:
+            onfi = encode_program(geometry, timing, addr, op.nbytes or None)
+            return operation_bus_ns(onfi, timing)
+        onfi = encode_read(geometry, timing, addr, op.nbytes or None)
+        data_ns = timing.transfer_ns(op.nbytes or geometry.page_size)
+        return (operation_bus_ns(onfi, timing) - data_ns, data_ns)
+
+    def _schedule_op_encoded(self, op: FlashOp, earliest: int) -> int:
         geometry = self.geometry
         timing = self.timing
         if op.kind is OpKind.ERASE:

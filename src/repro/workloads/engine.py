@@ -140,6 +140,90 @@ def _arrival_times(job: JobSpec, t0: int) -> np.ndarray:
     return t0 + np.cumsum(gaps)
 
 
+def _run_timed_single(
+    device: TimedSSD, job: JobSpec, t0: int
+) -> tuple[list[float], int]:
+    """Bulk-step one job against a fast-path timed device.
+
+    Returns ``(latencies_us, done_at)``.  Byte-identical to the general
+    scheduler loop run with this single job: the per-request RNG draws
+    happen in the same order, submissions carry the same ``at_ns``, and
+    queue-depth accounting (which only feeds trace events) runs exactly
+    when a sink is attached.
+    """
+    pattern = job.make_pattern()
+    rng = np.random.default_rng(job.seed)
+    next_lba = pattern.next_lba
+    request_kind = job.request_kind
+    submit = device.submit
+    bs = job.bs_sectors
+    lat: list[float] = []
+    lat_append = lat.append
+    done_at = 0
+
+    if job.is_open_loop:
+        arrivals = _arrival_times(job, t0)
+        obs = device.obs
+        inflight: list[int] = []
+        for idx in range(job.io_count):
+            when = int(arrivals[idx])
+            lba = next_lba(rng)
+            kind = request_kind(rng)
+            request = submit(kind, lba, bs, at_ns=when)
+            complete = request.complete_ns
+            lat_append((complete - request.submit_ns) / 1_000)
+            if complete > done_at:
+                done_at = complete
+            if obs.enabled:
+                # The inflight heap only feeds QueueDepth events, so it
+                # is maintained exactly when someone is listening.
+                while inflight and inflight[0] <= when:
+                    heapq.heappop(inflight)
+                heapq.heappush(inflight, complete)
+                obs.emit(QueueDepth(job=job.name, at_ns=when,
+                                    depth=len(inflight)))
+        return lat, done_at
+
+    if job.iodepth == 1:
+        # Strictly sequential: each request is submitted the instant the
+        # previous one completes — no ready heap at all.
+        when = t0
+        for _ in range(job.io_count):
+            lba = next_lba(rng)
+            kind = request_kind(rng)
+            request = submit(kind, lba, bs, at_ns=when)
+            complete = request.complete_ns
+            lat_append((complete - request.submit_ns) / 1_000)
+            when = complete
+        if job.io_count:
+            done_at = when
+        return lat, done_at
+
+    # Closed loop, iodepth > 1: a slot heap of (ready time, tiebreak),
+    # seeded and sequenced exactly like the general scheduler so the
+    # submission order (and therefore every timeline) matches.
+    ready: list[tuple[int, int]] = [(t0, d) for d in range(job.iodepth)]
+    heapq.heapify(ready)
+    seq = 64
+    left = job.io_count
+    while ready:
+        when, _ = heapq.heappop(ready)
+        if left <= 0:
+            break
+        left -= 1
+        lba = next_lba(rng)
+        kind = request_kind(rng)
+        request = submit(kind, lba, bs, at_ns=when)
+        complete = request.complete_ns
+        lat_append((complete - request.submit_ns) / 1_000)
+        if complete > done_at:
+            done_at = complete
+        if left > 0:
+            seq += 1
+            heapq.heappush(ready, (complete, seq))
+    return lat, done_at
+
+
 def run_timed(
     device: TimedSSD,
     jobs: list[JobSpec],
@@ -166,6 +250,25 @@ def run_timed(
         device.attach_sink(sink)
     before = device.smart.snapshot()
     t0 = device.now if start_ns is None else max(start_ns, device.now)
+
+    if len(jobs) == 1 and getattr(device, "fast_path", False):
+        # One job never contends with another for the ready heap, so the
+        # scheduler degenerates to stepping the generator in bulk; the
+        # specialized loops below produce the identical submission
+        # sequence (same RNG draw order, same arrival/completion times)
+        # without one heap push-pop and dict lookup per request.
+        lat, done_at = _run_timed_single(device, jobs[0], t0)
+        job = jobs[0]
+        elapsed = max(0, done_at - t0)
+        results = {job.name: JobResult(
+            name=job.name,
+            requests=len(lat),
+            sectors=len(lat) * job.bs_sectors,
+            latencies_us=np.asarray(lat),
+            elapsed_ns=elapsed,
+        )}
+        delta = device.smart.delta(before)
+        return RunResult(jobs=results, smart_delta=delta, elapsed_ns=elapsed)
 
     # Per-job state: (next ready time heap of slots, pattern, rng, left).
     @dataclass
