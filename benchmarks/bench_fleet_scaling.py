@@ -1,0 +1,116 @@
+"""Fleet scaling: devices/sec throughput floor and shard/worker
+invisibility.
+
+Runs the same 256-device, three-tenant fleet under every combination
+that must not matter — worker counts jobs ∈ {1, 2, 4} and shard plans
+∈ {1, 8, 32} — and asserts:
+
+* every run's per-device results are byte-identical to the serial
+  reference (pickled ``DeviceResult`` by ``DeviceResult``), and every
+  merged SLO table is equal — shards and workers may only change
+  wall-clock, never output;
+* the serial configuration sustains at least ``FLOOR_DEVICES_PER_S``
+  devices/sec, the pinned throughput floor (a conservative fraction of
+  observed speed, so background noise does not flake the suite);
+* with the cores to back it, extra workers actually pay: ≥2x at
+  jobs=4, ≥1.3x at jobs=2 (CPU-gated, like bench_runner_scaling).
+
+Persists ``fleet_scaling.csv`` (throughput by configuration) and
+``fleet_slo.csv`` (the merged per-tenant SLO table — the golden record
+checked by ``tests/regression/test_fleet_goldens.py``).
+"""
+
+import os
+import pickle
+import time
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.exp import Runner
+from repro.fleet import FleetSpec, aggregate_fleet, default_tenants, run_fleet_devices
+
+DEVICES = 256
+IO_COUNT = 150
+SEED = 42
+JOB_COUNTS = (1, 2, 4)
+SHARD_COUNTS = (1, 8, 32)
+CPUS = os.cpu_count() or 1
+
+#: pinned throughput floor, devices simulated per wall-clock second in
+#: the serial configuration.  Observed ~70 dev/s on a laptop-class
+#: machine; the floor is ~3x below that so slow CI only fails when the
+#: hot path genuinely regresses.
+FLOOR_DEVICES_PER_S = 20.0
+
+
+def fleet_spec() -> FleetSpec:
+    return FleetSpec(tenants=default_tenants(io_count=IO_COUNT),
+                     devices=DEVICES, preset="tiny", seed=SEED)
+
+
+def _timed_fleet(jobs: int, shards: int | None):
+    spec = fleet_spec()
+    runner = Runner(jobs=jobs, cache=None)
+    started = time.perf_counter()
+    devices = run_fleet_devices(spec, runner, shards=shards)
+    wall_s = time.perf_counter() - started
+    return devices, aggregate_fleet(spec, devices), wall_s
+
+
+@pytest.mark.benchmark(group="fleet-scaling")
+def test_fleet_scaling(benchmark, figure_output):
+    def experiment():
+        runs = {}
+        for jobs in JOB_COUNTS:
+            runs[(jobs, None)] = _timed_fleet(jobs, None)
+        for shards in SHARD_COUNTS:
+            runs[(1, shards)] = _timed_fleet(1, shards)
+        return runs
+
+    runs = run_once(benchmark, experiment)
+
+    # Shards and workers must be invisible: per-device bytes and the
+    # merged SLO table match the serial reference in every run.
+    ref_devices, ref_report, serial_s = runs[(1, None)]
+    ref_bytes = [pickle.dumps(d) for d in ref_devices]
+    for (jobs, shards), (devices, report, _) in runs.items():
+        assert [pickle.dumps(d) for d in devices] == ref_bytes, (jobs, shards)
+        assert report.slo_table() == ref_report.slo_table(), (jobs, shards)
+
+    table = []
+    for (jobs, shards), (_, _, wall_s) in sorted(
+            runs.items(), key=lambda kv: (kv[0][1] is not None, kv[0])):
+        table.append([
+            jobs,
+            shards if shards is not None else "auto",
+            DEVICES,
+            round(wall_s, 2),
+            round(DEVICES / wall_s, 1),
+            round(serial_s / wall_s, 2),
+            CPUS,
+        ])
+    figure_output(
+        "fleet_scaling",
+        f"Fleet scaling — {DEVICES} devices, 3-tenant mix, by jobs/shards",
+        ["jobs", "shards", "devices", "wall (s)", "devices/s",
+         "speedup vs serial", "cpus"],
+        table,
+    )
+
+    headers, rows = ref_report.slo_table()
+    figure_output(
+        "fleet_slo",
+        f"Fleet SLO table — {DEVICES} x tiny, default mix, seed {SEED}",
+        headers, rows,
+    )
+    assert ref_report.ok, ref_report.violations
+
+    # The pinned throughput floor (serial: no pool overhead to excuse).
+    assert DEVICES / serial_s >= FLOOR_DEVICES_PER_S, serial_s
+
+    # Parallel speedup needs the silicon to exist.
+    if CPUS >= 4:
+        assert serial_s / runs[(4, None)][2] >= 2.0
+    if CPUS >= 2:
+        assert serial_s / runs[(2, None)][2] >= 1.3

@@ -18,6 +18,7 @@ documentation of the public API::
     repro-ssd policy-grid --io-count 1000 --jobs 4
     repro-ssd infer --seed 7
     repro-ssd transparency --points 8 --jobs 4
+    repro-ssd fleet --devices 1000 --mix default --jobs 4
 """
 
 from __future__ import annotations
@@ -27,6 +28,7 @@ import sys
 
 from repro.analysis.report import format_table
 from repro.analysis.stats import summarize_latencies
+from repro.fleet.spec import TENANT_MIXES
 from repro.ssd.presets import PRESETS
 
 
@@ -43,7 +45,12 @@ def _make_runner(args):
     from repro.exp import ResultCache, Runner
 
     cache = None if args.no_cache else ResultCache()
-    return Runner(jobs=args.jobs, cache=cache)
+    try:
+        return Runner(jobs=args.jobs, cache=cache)
+    except ValueError as exc:
+        # e.g. --jobs 0 or REPRO_JOBS=-2: exit with the message, not a
+        # traceback.
+        raise SystemExit(f"repro-ssd: {exc}")
 
 
 # ----------------------------------------------------------------------
@@ -513,6 +520,57 @@ def cmd_faultsweep(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    """Fleet-scale sharded simulation: merged SLO table, nonzero exit
+    on any tenant violation."""
+    import time
+
+    from repro.fleet import FleetSpec, run_fleet
+
+    if args.devices < 1:
+        print("fleet: --devices must be >= 1")
+        return 1
+    if args.shards is not None and args.shards < 1:
+        print("fleet: --shards must be >= 1")
+        return 1
+    if args.rate_scale <= 0:
+        print("fleet: --rate-scale must be > 0")
+        return 1
+
+    tenants = TENANT_MIXES[args.mix](rate_scale=args.rate_scale,
+                                     io_count=args.io_count)
+    try:
+        spec = FleetSpec(tenants=tenants, devices=args.devices,
+                         preset=args.preset, scale=args.scale,
+                         seed=args.seed)
+    except ValueError as exc:
+        print(f"fleet: {exc}")
+        return 1
+
+    runner = _make_runner(args)
+    started = time.perf_counter()
+    report = run_fleet(spec, runner, shards=args.shards)
+    elapsed = time.perf_counter() - started
+
+    headers, rows = report.slo_table()
+    print(format_table(
+        headers, rows,
+        title=f"fleet SLO report ({args.devices} x {args.preset}, "
+              f"mix {args.mix}, seed {args.seed})",
+    ))
+    print()
+    print(format_table(["metric", "value"], report.summary_rows(),
+                       title="fleet summary"))
+    print(f"\nfleet: {args.devices} devices in {elapsed:.2f}s "
+          f"({args.devices / elapsed:.0f} devices/s)")
+    print(runner.describe())
+    if not report.ok:
+        print("fleet: SLO VIOLATED by " + ", ".join(report.violations))
+        return 1
+    print("fleet: all tenant SLOs met")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -655,6 +713,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 0: crash-only sweep)")
     parallel(p)
     p.set_defaults(fn=cmd_faultsweep)
+
+    p = sub.add_parser("fleet",
+                       help="fleet-scale sharded simulation: thousands of "
+                            "devices, merged per-tenant SLO verdicts")
+    common(p, preset_default="tiny")
+    p.add_argument("--devices", type=int, default=256,
+                   help="fleet size (default 256)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="shard count (default: devices/32, independent "
+                        "of --jobs)")
+    p.add_argument("--mix", default="default",
+                   choices=sorted(TENANT_MIXES),
+                   help="built-in tenant mix (default: default)")
+    p.add_argument("--io-count", type=int, default=150,
+                   help="requests per tenant per device (default 150)")
+    p.add_argument("--rate-scale", type=float, default=1.0,
+                   help="multiplier on every tenant arrival rate")
+    parallel(p)
+    p.set_defaults(fn=cmd_fleet)
 
     p = sub.add_parser("probe-features", help="SSDCheck-style latency probes")
     p.add_argument("--scale", type=int, default=2)

@@ -46,15 +46,30 @@ from repro.exp.cell import Cell, CellError, execute_cell
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
-    """Worker count from argument, ``REPRO_JOBS``, or the CPU count."""
+    """Worker count from argument, ``REPRO_JOBS``, or the CPU count.
+
+    An explicit worker count below 1 — from either source — is a user
+    error and raises :class:`ValueError` naming the offending value,
+    instead of surfacing later as an opaque ``ProcessPoolExecutor``
+    complaint (or silently running serial when parallelism was asked
+    for).  An *unparsable* ``REPRO_JOBS`` is still ignored: a stray env
+    var must not crash every study that merely constructs a Runner.
+    """
     if jobs is not None:
-        return max(1, int(jobs))
+        jobs = int(jobs)
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        return jobs
     env = os.environ.get("REPRO_JOBS", "").strip()
     if env:
         try:
-            return max(1, int(env))
+            value = int(env)
         except ValueError:
             pass  # an unparsable env var must not crash every study
+        else:
+            if value < 1:
+                raise ValueError(f"REPRO_JOBS must be >= 1, got {env!r}")
+            return value
     return os.cpu_count() or 1
 
 

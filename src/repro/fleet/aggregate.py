@@ -1,0 +1,206 @@
+"""Fleet-level aggregation: merged sketches, SLO verdicts, forecasts.
+
+Workers return O(centroids) payloads per (device, tenant); everything
+fleet-level is computed here by *merging sketches*, never by
+concatenating samples.  All merges go through the flat, order-
+independent :func:`~repro.fleet.sketch.merge_sketches` in device-index
+order, so the aggregate is byte-identical whatever the shard plan or
+worker count that produced the inputs.
+
+Three families of output:
+
+* **per-tenant SLO verdicts** — the merged cross-device latency
+  distribution of each tenant against its declared p99/p99.9
+  thresholds (plus fleet p99.99 for the curious: merging makes the
+  extreme quantiles cheap, which per-device percentile lists never
+  could);
+* **fleet WAF** — total flash programs over total host programs,
+  summed exactly across devices (not a mean of per-device ratios,
+  which would weight idle devices equally with loaded ones);
+* **capacity/wear forecasting** — erase consumption per device-day at
+  the observed rate extrapolated against the configured erase budget,
+  and aggregate host throughput, the two numbers an operator sizes a
+  fleet with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fleet.shard import DeviceResult
+from repro.fleet.sketch import QuantileSketch, merge_sketches
+from repro.fleet.spec import FleetSpec
+
+#: quantiles every verdict reports, tail-first order for the table.
+REPORT_QUANTILES = (0.50, 0.99, 0.999, 0.9999)
+
+_NS_PER_DAY = 86_400 * 1_000_000_000
+
+
+@dataclass(frozen=True)
+class TenantVerdict:
+    """One tenant's fleet-level outcome against its SLO."""
+
+    tenant: str
+    devices: int
+    requests: int
+    p50_us: float
+    p99_us: float
+    p999_us: float
+    p9999_us: float
+    slo_p99_us: float
+    slo_p999_us: float
+
+    @property
+    def p99_ok(self) -> bool:
+        return self.slo_p99_us <= 0 or self.p99_us <= self.slo_p99_us
+
+    @property
+    def p999_ok(self) -> bool:
+        return self.slo_p999_us <= 0 or self.p999_us <= self.slo_p999_us
+
+    @property
+    def ok(self) -> bool:
+        return self.p99_ok and self.p999_ok
+
+    def row(self) -> list:
+        def slo(limit: float, ok: bool) -> str:
+            if limit <= 0:
+                return "-"
+            return f"{limit:.0f} {'ok' if ok else 'VIOLATED'}"
+
+        return [
+            self.tenant, self.devices, self.requests,
+            round(self.p50_us, 1), round(self.p99_us, 1),
+            round(self.p999_us, 1), round(self.p9999_us, 1),
+            slo(self.slo_p99_us, self.p99_ok),
+            slo(self.slo_p999_us, self.p999_ok),
+        ]
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """The merged outcome of a whole fleet run."""
+
+    spec: FleetSpec
+    devices: int
+    requests: int
+    verdicts: tuple[TenantVerdict, ...]
+    #: merged all-tenant sketch (the "fleet" distribution).
+    fleet_sketch: QuantileSketch
+    #: exact fleet WAF: sum(flash programs) / sum(host programs).
+    waf: float
+    #: erases consumed per device per simulated day at the observed rate.
+    erases_per_device_day: float
+    #: forecast days until the erase budget is exhausted (inf if idle).
+    forecast_wearout_days: float
+    #: aggregate host write throughput over simulated time, MiB/s.
+    host_mib_per_s: float
+
+    @property
+    def ok(self) -> bool:
+        return all(v.ok for v in self.verdicts)
+
+    @property
+    def violations(self) -> list[str]:
+        return [v.tenant for v in self.verdicts if not v.ok]
+
+    def slo_table(self) -> tuple[list[str], list[list]]:
+        headers = ["tenant", "devices", "requests", "p50 (us)", "p99 (us)",
+                   "p99.9 (us)", "p99.99 (us)", "SLO p99", "SLO p99.9"]
+        rows = [v.row() for v in self.verdicts]
+        rows.append([
+            "fleet", self.devices, self.requests,
+            round(self.fleet_sketch.quantile(0.50), 1),
+            round(self.fleet_sketch.quantile(0.99), 1),
+            round(self.fleet_sketch.quantile(0.999), 1),
+            round(self.fleet_sketch.quantile(0.9999), 1),
+            "-", "-",
+        ])
+        return headers, rows
+
+    def summary_rows(self) -> list[list]:
+        return [
+            ["devices", self.devices],
+            ["requests", self.requests],
+            ["fleet WAF", round(self.waf, 3)],
+            ["host MiB/s (simulated)", round(self.host_mib_per_s, 1)],
+            ["erases / device-day", round(self.erases_per_device_day, 1)],
+            ["forecast wear-out (days)", round(self.forecast_wearout_days, 1)],
+            ["SLO verdict", "PASS" if self.ok else
+             "FAIL: " + ", ".join(self.violations)],
+        ]
+
+
+def aggregate_fleet(spec: FleetSpec,
+                    devices: list[DeviceResult]) -> FleetReport:
+    """Merge per-device results into a :class:`FleetReport`.
+
+    *devices* must be in device-index order (as
+    :func:`~repro.fleet.shard.run_fleet_devices` returns them); every
+    sketch merge is flat over that order, which pins byte-identity
+    across shard plans.
+    """
+    if not devices:
+        raise ValueError("no device results to aggregate")
+    tenant_order = [t.name for t in spec.tenants]
+    by_tenant: dict[str, list] = {name: [] for name in tenant_order}
+    for device in devices:
+        for tslice in device.tenants:
+            by_tenant[tslice.tenant].append(tslice)
+
+    verdicts = []
+    all_sketches = []
+    total_requests = 0
+    for tenant in spec.tenants:
+        slices = by_tenant[tenant.name]
+        sketches = [s.sketch for s in slices]
+        all_sketches.extend(sketches)
+        merged = merge_sketches(sketches, compression=spec.compression)
+        requests = sum(s.requests for s in slices)
+        total_requests += requests
+        p50, p99, p999, p9999 = merged.quantiles(REPORT_QUANTILES)
+        verdicts.append(TenantVerdict(
+            tenant=tenant.name,
+            devices=len(slices),
+            requests=requests,
+            p50_us=p50, p99_us=p99, p999_us=p999, p9999_us=p9999,
+            slo_p99_us=tenant.slo_p99_us,
+            slo_p999_us=tenant.slo_p999_us,
+        ))
+
+    fleet_sketch = merge_sketches(all_sketches, compression=spec.compression)
+
+    host_pages = sum(d.host_program_pages for d in devices)
+    flash_pages = sum(d.ftl_program_pages for d in devices)
+    waf = (flash_pages / host_pages) if host_pages else 0.0
+
+    config = spec.device_config()
+    sector_bytes = config.geometry.sector_size
+    total_elapsed_ns = sum(d.elapsed_ns for d in devices)
+    host_bytes = sum(d.host_sectors_written for d in devices) * sector_bytes
+    host_mib_per_s = 0.0
+    erases_per_device_day = 0.0
+    forecast_days = float("inf")
+    if total_elapsed_ns > 0:
+        # Rates are per simulated device-second: each device ran its own
+        # timeline, so elapsed times add across the fleet.
+        host_mib_per_s = (host_bytes / 2**20) / (total_elapsed_ns / 1e9) \
+            * len(devices)
+        total_erases = sum(d.erase_count for d in devices)
+        erases_per_device_day = total_erases / (total_elapsed_ns / _NS_PER_DAY)
+        budget = config.erase_limit * config.geometry.total_blocks
+        if erases_per_device_day > 0:
+            forecast_days = budget / erases_per_device_day
+
+    return FleetReport(
+        spec=spec,
+        devices=len(devices),
+        requests=total_requests,
+        verdicts=tuple(verdicts),
+        fleet_sketch=fleet_sketch,
+        waf=waf,
+        erases_per_device_day=erases_per_device_day,
+        forecast_wearout_days=forecast_days,
+        host_mib_per_s=host_mib_per_s,
+    )

@@ -1,0 +1,184 @@
+"""Shard scheduler: pack fleet devices into experiment cells.
+
+One :class:`~repro.exp.cell.Cell` per device would work, but at fleet
+scale the per-cell overheads (submission, pickling a config per device,
+one cache entry per device) dominate.  Instead the scheduler packs
+contiguous *chunks* of device indexes into :class:`FleetShardCell`
+cells:
+
+* shard size is a function of the fleet alone (``DEVICES_PER_SHARD``),
+  never of ``--jobs``, so cache keys stay stable whatever the worker
+  count;
+* workers are reused across shards — all shards go through one
+  :meth:`Runner.run` call, so the process pool amortizes interpreter
+  spin-up over ``devices / shards`` simulations per task;
+* each worker returns O(centroids) sketch payloads per device, not raw
+  latency lists (see :mod:`repro.fleet.sketch`);
+* a failure inside a shard raises :class:`FleetDeviceError` naming the
+  exact device; shards simulate their devices in ascending index order
+  and the runner fails fast on the lowest-indexed failing cell, so the
+  reported device is the lowest failing one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exp import Cell, Runner, run_cells
+from repro.fleet.sketch import QuantileSketch
+from repro.fleet.spec import FleetSpec
+
+#: devices per shard when the caller does not pick a shard count.
+#: Chosen so a shard is a few hundred ms of work — big enough to
+#: amortize worker dispatch, small enough to load-balance a pool.
+DEVICES_PER_SHARD = 32
+
+
+@dataclass(frozen=True)
+class FleetShardCell:
+    """One contiguous chunk of device indexes ``[lo, hi)`` of a fleet."""
+
+    spec: FleetSpec
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.lo < self.hi <= self.spec.devices:
+            raise ValueError(f"bad shard bounds [{self.lo}, {self.hi}) "
+                             f"for {self.spec.devices} devices")
+
+
+@dataclass(frozen=True)
+class TenantSlice:
+    """One tenant's outcome on one device."""
+
+    tenant: str
+    requests: int
+    sketch: QuantileSketch
+    elapsed_ns: int
+
+
+@dataclass(frozen=True)
+class DeviceResult:
+    """One device's complete, transport-sized outcome."""
+
+    index: int
+    seed: int
+    tenants: tuple[TenantSlice, ...]
+    elapsed_ns: int
+    host_program_pages: int
+    ftl_program_pages: int
+    erase_count: int
+    host_sectors_written: int
+
+    @property
+    def waf(self) -> float:
+        if self.host_program_pages == 0:
+            return 0.0
+        return self.ftl_program_pages / self.host_program_pages
+
+
+class FleetDeviceError(RuntimeError):
+    """A device simulation failed; carries the exact device identity."""
+
+    def __init__(self, device_index: int, cause: BaseException) -> None:
+        self.device_index = device_index
+        super().__init__(
+            f"fleet device #{device_index} failed: "
+            f"{type(cause).__name__}: {cause}")
+
+
+def simulate_device(spec: FleetSpec, device_index: int) -> DeviceResult:
+    """Simulate one device of the fleet (pure function of spec+index)."""
+    from repro.ssd.timed import TimedSSD
+    from repro.workloads.engine import run_timed
+
+    config = spec.device_config()
+    device = TimedSSD(config)
+    jobs = spec.device_jobs(device_index, device.num_sectors)
+    result = run_timed(device, jobs)
+    slices = []
+    for job in jobs:
+        outcome = result.jobs[job.name]
+        sketch = QuantileSketch(spec.compression)
+        if outcome.latencies_us is not None:
+            sketch.extend(outcome.latencies_us)
+        slices.append(TenantSlice(
+            tenant=job.name,
+            requests=outcome.requests,
+            sketch=sketch.compact(),  # O(centroids) before transport
+            elapsed_ns=outcome.elapsed_ns,
+        ))
+    delta = result.smart_delta
+    return DeviceResult(
+        index=device_index,
+        seed=spec.device_seed(device_index),
+        tenants=tuple(slices),
+        elapsed_ns=result.elapsed_ns,
+        host_program_pages=delta.host_program_pages,
+        ftl_program_pages=delta.ftl_program_pages,
+        erase_count=delta.erase_count,
+        host_sectors_written=delta.host_sectors_written,
+    )
+
+
+def run_fleet_shard_cell(cell: FleetShardCell, seed: int = 0) -> list[DeviceResult]:
+    """Worker entry point: simulate the shard's devices in index order.
+
+    Ascending order matters for fail-fast reporting: the first failure
+    raised is the shard's lowest device index, and the runner picks the
+    lowest-indexed failing *cell*, so the error the study surfaces
+    names the lowest failing device of the whole fleet.
+    """
+    results = []
+    for device_index in range(cell.lo, cell.hi):
+        try:
+            results.append(simulate_device(cell.spec, device_index))
+        except Exception as exc:
+            raise FleetDeviceError(device_index, exc) from exc
+    return results
+
+
+def plan_shards(devices: int, shards: int | None = None) -> list[tuple[int, int]]:
+    """Split ``range(devices)`` into contiguous, balanced shards.
+
+    ``shards=None`` targets :data:`DEVICES_PER_SHARD` devices per shard
+    — a pure function of the fleet size, so the shard plan (and with it
+    every cache key) is independent of worker count.  Shard sizes never
+    differ by more than one device.
+    """
+    if devices < 1:
+        raise ValueError("devices must be >= 1")
+    if shards is None:
+        shards = -(-devices // DEVICES_PER_SHARD)
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    shards = min(shards, devices)
+    base, extra = divmod(devices, shards)
+    bounds = []
+    lo = 0
+    for index in range(shards):
+        hi = lo + base + (1 if index < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def fleet_cells(spec: FleetSpec, shards: int | None = None) -> list[Cell]:
+    """The fleet as a list of cacheable experiment cells."""
+    return [
+        Cell(
+            run_fleet_shard_cell,
+            FleetShardCell(spec, lo, hi),
+            seed=spec.seed,
+            label=f"fleet:{spec.preset}:[{lo},{hi})",
+        )
+        for lo, hi in plan_shards(spec.devices, shards)
+    ]
+
+
+def run_fleet_devices(spec: FleetSpec, runner: Runner | None = None,
+                      shards: int | None = None) -> list[DeviceResult]:
+    """Run the whole fleet, returning per-device results in index order."""
+    shard_results = run_cells(fleet_cells(spec, shards), runner)
+    return [device for shard in shard_results for device in shard]

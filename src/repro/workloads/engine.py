@@ -134,10 +134,74 @@ def _arrival_times(job: JobSpec, t0: int) -> np.ndarray:
     mean_gap_ns = 1e9 / job.rate_iops
     if job.arrival == "poisson":
         gaps = rng.exponential(mean_gap_ns, size=job.io_count)
+    elif job.arrival == "diurnal":
+        gaps = _diurnal_gaps(job, rng)
+    elif job.arrival == "bursty":
+        gaps = _bursty_gaps(job, rng)
     else:
         gaps = np.full(job.io_count, mean_gap_ns)
     gaps = np.maximum(gaps.astype(np.int64), 1)
     return t0 + np.cumsum(gaps)
+
+
+def _diurnal_gaps(job: JobSpec, rng: np.random.Generator) -> np.ndarray:
+    """Nonhomogeneous Poisson gaps following a sinusoidal load curve.
+
+    Lewis-Shedler thinning: candidate arrivals are drawn at the peak
+    rate ``rate_iops * (1 + amplitude)`` and accepted with probability
+    ``rate(t) / rate_peak``, where ``t`` is job-relative time — so the
+    accepted stream is exactly Poisson with the time-varying rate.
+    Candidates are generated in chunks until ``io_count`` survive.
+    """
+    amplitude = job.diurnal_amplitude
+    if amplitude == 0.0:
+        return rng.exponential(1e9 / job.rate_iops, size=job.io_count)
+    peak_gap_ns = 1e9 / (job.rate_iops * (1.0 + amplitude))
+    omega = 2.0 * np.pi / (job.diurnal_period_s * 1e9)
+    accepted: list[np.ndarray] = []
+    kept = 0
+    clock = 0.0
+    while kept < job.io_count:
+        chunk = max(256, 2 * (job.io_count - kept))
+        candidates = clock + np.cumsum(
+            rng.exponential(peak_gap_ns, size=chunk))
+        clock = float(candidates[-1])
+        thin = (1.0 + amplitude * np.sin(omega * candidates)) / (1.0 + amplitude)
+        keep = candidates[rng.random(chunk) < thin]
+        accepted.append(keep)
+        kept += keep.size
+    times = np.concatenate(accepted)[:job.io_count]
+    return np.diff(times, prepend=0.0)
+
+
+def _bursty_gaps(job: JobSpec, rng: np.random.Generator) -> np.ndarray:
+    """Two-state modulated Poisson gaps (the noisy-neighbor shape).
+
+    Alternating geometric runs: "normal" requests at the base rate and
+    bursts of mean ``burst_len`` requests at ``burst_multiplier`` times
+    the base rate, sized so bursts carry ``burst_fraction`` of requests
+    in expectation.  Burst traffic rides *on top of* the base rate —
+    ``rate_iops`` is the quiescent rate, so bursts genuinely overload.
+    """
+    mean_gap_ns = 1e9 / job.rate_iops
+    burst_gap_ns = mean_gap_ns / job.burst_multiplier
+    f = job.burst_fraction
+    normal_len = max(job.burst_len * (1.0 - f) / f, 1.0)
+    p_normal = min(1.0, 1.0 / normal_len)
+    p_burst = min(1.0, 1.0 / job.burst_len)
+    segments: list[np.ndarray] = []
+    produced = 0
+    in_burst = False  # every stream starts in the quiescent state
+    while produced < job.io_count:
+        if in_burst:
+            length = int(rng.geometric(p_burst))
+            segments.append(rng.exponential(burst_gap_ns, size=length))
+        else:
+            length = int(rng.geometric(p_normal))
+            segments.append(rng.exponential(mean_gap_ns, size=length))
+        produced += length
+        in_burst = not in_burst
+    return np.concatenate(segments)[:job.io_count]
 
 
 def _run_timed_single(

@@ -19,8 +19,12 @@ RW_MODES = ("write", "randwrite", "read", "randread", "randrw", "trim")
 #: how a job submits requests in timed mode.
 SUBMISSION_MODES = ("closed", "open")
 
-#: inter-arrival distributions for open-loop submission.
-ARRIVAL_MODES = ("poisson", "fixed")
+#: inter-arrival processes for open-loop submission.  ``poisson`` and
+#: ``fixed`` are stationary; ``diurnal`` modulates a Poisson process
+#: with a sinusoidal load curve, and ``bursty`` is a two-state
+#: (normal/burst) modulated Poisson — the noisy-neighbor shape fleet
+#: tenants use.
+ARRIVAL_MODES = ("poisson", "fixed", "diurnal", "bursty")
 
 
 @dataclass
@@ -39,8 +43,14 @@ class JobSpec:
     ``rate_iops`` regardless of completions, so queueing is unbounded
     and saturation shows up as growing tails instead of falling
     throughput).  ``arrival`` shapes open-loop inter-arrival gaps:
-    ``"poisson"`` (exponential) or ``"fixed"``.  Counter mode ignores
-    all three.
+    ``"poisson"`` (exponential), ``"fixed"``, ``"diurnal"`` (Poisson
+    whose instantaneous rate follows ``rate_iops * (1 +
+    diurnal_amplitude * sin(2*pi*t / diurnal_period_s))`` — a
+    compressed day/night load curve), or ``"bursty"`` (Poisson
+    modulated by a two-state process: geometric bursts of mean
+    ``burst_len`` requests at ``burst_multiplier`` times the base rate,
+    occupying ``burst_fraction`` of requests in expectation — the
+    noisy-neighbor tenant shape).  Counter mode ignores all of these.
     """
 
     name: str
@@ -56,6 +66,16 @@ class JobSpec:
     submission: str = "closed"
     rate_iops: float = 0.0
     arrival: str = "poisson"
+    #: diurnal arrival shape: relative swing of the rate (0 <= a < 1)
+    #: and period of one simulated "day" in seconds.
+    diurnal_amplitude: float = 0.5
+    diurnal_period_s: float = 1.0
+    #: bursty arrival shape: rate multiplier inside a burst, mean burst
+    #: length in requests, and expected fraction of requests that are
+    #: burst traffic.
+    burst_multiplier: float = 8.0
+    burst_len: int = 32
+    burst_fraction: float = 0.05
 
     def __post_init__(self) -> None:
         if self.rw not in RW_MODES:
@@ -76,6 +96,18 @@ class JobSpec:
                 f"known: {ARRIVAL_MODES}")
         if self.is_open_loop and self.rate_iops <= 0:
             raise ValueError("open-loop submission needs rate_iops > 0")
+        if self.arrival == "diurnal":
+            if not 0.0 <= self.diurnal_amplitude < 1.0:
+                raise ValueError("diurnal_amplitude must be in [0, 1)")
+            if self.diurnal_period_s <= 0:
+                raise ValueError("diurnal_period_s must be > 0")
+        if self.arrival == "bursty":
+            if self.burst_multiplier < 1.0:
+                raise ValueError("burst_multiplier must be >= 1")
+            if self.burst_len < 1:
+                raise ValueError("burst_len must be >= 1")
+            if not 0.0 < self.burst_fraction < 1.0:
+                raise ValueError("burst_fraction must be in (0, 1)")
 
     @property
     def is_open_loop(self) -> bool:

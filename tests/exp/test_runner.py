@@ -35,9 +35,19 @@ class TestResolveJobs:
         monkeypatch.setenv("REPRO_JOBS", "lots")
         assert resolve_jobs() >= 1
 
-    def test_floor_of_one(self):
-        assert resolve_jobs(0) == 1
-        assert resolve_jobs(-4) == 1
+    @pytest.mark.parametrize("jobs", [0, -4])
+    def test_explicit_subunit_count_is_an_error(self, jobs):
+        # A clear ValueError, not a clamp and not a pool traceback.
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            resolve_jobs(jobs)
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            Runner(jobs=jobs)
+
+    @pytest.mark.parametrize("env", ["0", "-2"])
+    def test_subunit_env_var_is_an_error(self, env, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", env)
+        with pytest.raises(ValueError, match="REPRO_JOBS must be >= 1"):
+            resolve_jobs()
 
 
 class TestOrdering:

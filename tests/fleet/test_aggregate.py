@@ -1,0 +1,151 @@
+"""Fleet aggregation: merged verdicts, exact WAF, report invariance."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.fleet import run_fleet
+from repro.fleet.aggregate import (
+    REPORT_QUANTILES,
+    FleetReport,
+    TenantVerdict,
+    aggregate_fleet,
+)
+from repro.fleet.shard import DeviceResult, TenantSlice, run_fleet_devices
+from repro.fleet.sketch import sketch_of
+from repro.fleet.spec import FleetSpec, TenantSpec, default_tenants
+
+
+def small_fleet(devices: int = 6, **overrides) -> FleetSpec:
+    defaults = dict(tenants=default_tenants(io_count=20), devices=devices,
+                    preset="tiny", seed=11)
+    defaults.update(overrides)
+    return FleetSpec(**defaults)
+
+
+def synthetic_device(index: int, tenants: dict[str, np.ndarray],
+                     host_pages: int = 100, ftl_pages: int = 150,
+                     erases: int = 4,
+                     elapsed_ns: int = 1_000_000_000) -> DeviceResult:
+    slices = tuple(
+        TenantSlice(tenant=name, requests=len(lat),
+                    sketch=sketch_of(lat, compression=64),
+                    elapsed_ns=elapsed_ns)
+        for name, lat in tenants.items())
+    return DeviceResult(
+        index=index, seed=index, tenants=slices, elapsed_ns=elapsed_ns,
+        host_program_pages=host_pages, ftl_program_pages=ftl_pages,
+        erase_count=erases, host_sectors_written=host_pages * 2)
+
+
+class TestVerdict:
+    def verdict(self, p99=100.0, p999=200.0, slo99=0.0, slo999=0.0):
+        return TenantVerdict(tenant="t", devices=1, requests=10,
+                             p50_us=10.0, p99_us=p99, p999_us=p999,
+                             p9999_us=300.0, slo_p99_us=slo99,
+                             slo_p999_us=slo999)
+
+    def test_zero_threshold_disables_check(self):
+        assert self.verdict(p99=1e9, slo99=0.0).ok
+
+    def test_violation_detected(self):
+        v = self.verdict(p99=500.0, slo99=100.0)
+        assert not v.p99_ok and not v.ok
+        assert "VIOLATED" in v.row()[-2]
+
+    def test_within_slo_ok(self):
+        v = self.verdict(p99=50.0, slo99=100.0, p999=150.0, slo999=200.0)
+        assert v.ok
+        assert v.row()[-2] == "100 ok"
+
+    def test_unconstrained_renders_dash(self):
+        assert self.verdict().row()[-1] == "-"
+
+
+class TestAggregateFleet:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no device results"):
+            aggregate_fleet(small_fleet(), [])
+
+    def test_waf_is_exact_page_ratio_not_mean_of_ratios(self):
+        spec = FleetSpec(tenants=(TenantSpec(name="t", rate_iops=100.0),),
+                         devices=2)
+        lat = np.full(10, 50.0)
+        # device 0: 10x the traffic of device 1, different per-device WAF.
+        devices = [
+            synthetic_device(0, {"t": lat}, host_pages=1000, ftl_pages=3000),
+            synthetic_device(1, {"t": lat}, host_pages=100, ftl_pages=110),
+        ]
+        report = aggregate_fleet(spec, devices)
+        assert report.waf == pytest.approx(3110 / 1100)
+        # a mean of per-device ratios would say (3.0 + 1.1) / 2 = 2.05
+        assert report.waf != pytest.approx(2.05)
+
+    def test_verdicts_use_merged_distribution(self):
+        spec = FleetSpec(
+            tenants=(TenantSpec(name="t", rate_iops=100.0,
+                                slo_p99_us=500.0),),
+            devices=2)
+        fast = np.full(99, 10.0)
+        slow = np.full(99, 1000.0)  # one slow device trips the fleet SLO
+        report = aggregate_fleet(spec, [
+            synthetic_device(0, {"t": fast}),
+            synthetic_device(1, {"t": slow}),
+        ])
+        verdict = report.verdicts[0]
+        assert verdict.devices == 2
+        assert verdict.requests == 198
+        assert not verdict.ok
+        assert report.violations == ["t"]
+
+    def test_wear_forecast_scales_with_erase_rate(self):
+        spec = FleetSpec(tenants=(TenantSpec(name="t", rate_iops=100.0),),
+                         devices=1)
+        lat = np.full(10, 50.0)
+        # 4 erases in 1 simulated second per device
+        report = aggregate_fleet(spec, [synthetic_device(0, {"t": lat})])
+        config = spec.device_config()
+        budget = config.erase_limit * config.geometry.total_blocks
+        assert report.erases_per_device_day == pytest.approx(4 * 86_400)
+        assert report.forecast_wearout_days == pytest.approx(
+            budget / (4 * 86_400))
+
+    def test_idle_fleet_forecast_is_inf(self):
+        spec = FleetSpec(tenants=(TenantSpec(name="t", rate_iops=100.0),),
+                         devices=1)
+        lat = np.full(10, 50.0)
+        report = aggregate_fleet(
+            spec, [synthetic_device(0, {"t": lat}, erases=0)])
+        assert report.forecast_wearout_days == float("inf")
+
+
+class TestEndToEnd:
+    def test_report_shape(self):
+        spec = small_fleet()
+        report = run_fleet(spec)
+        assert isinstance(report, FleetReport)
+        assert report.devices == spec.devices
+        assert report.requests == spec.devices * sum(
+            t.io_count for t in spec.tenants)
+        headers, rows = report.slo_table()
+        assert len(rows) == len(spec.tenants) + 1  # + fleet row
+        assert rows[-1][0] == "fleet"
+        assert len(headers) == len(rows[0])
+        assert any(r[0] == "SLO verdict" for r in report.summary_rows())
+
+    def test_quantiles_monotone(self):
+        report = run_fleet(small_fleet())
+        for v in report.verdicts:
+            qs = [v.p50_us, v.p99_us, v.p999_us, v.p9999_us]
+            assert qs == sorted(qs)
+        assert len(REPORT_QUANTILES) == 4
+
+    def test_report_byte_identical_across_shard_plans(self):
+        # The acceptance bar: merged SLO output is byte-identical
+        # whatever the shard plan that produced the inputs.
+        spec = small_fleet(devices=8)
+        a = aggregate_fleet(spec, run_fleet_devices(spec, shards=1))
+        b = aggregate_fleet(spec, run_fleet_devices(spec, shards=8))
+        assert pickle.dumps(a) == pickle.dumps(b)
+        assert a.slo_table() == b.slo_table()

@@ -9,7 +9,7 @@ from repro.cli import build_parser, main
 ALL_SUBCOMMANDS = [
     "presets", "simulate", "trace", "latency", "nand-page", "waf-study",
     "fidelity", "compression", "jtag-study", "probe-features", "faultsweep",
-    "policies", "policy-grid", "infer", "transparency",
+    "policies", "policy-grid", "infer", "transparency", "fleet",
 ]
 
 
@@ -191,12 +191,47 @@ class TestCommands:
                      "--jobs", "1", "--no-cache"]) == 1
         assert "bad --strides" in capsys.readouterr().out
 
+    def test_fleet(self, capsys):
+        assert main(["fleet", "--devices", "12", "--io-count", "30",
+                     "--jobs", "1", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet SLO report" in out
+        assert "SLO verdict" in out
+        assert "all tenant SLOs met" in out
+        assert "devices/s" in out
+
+    def test_fleet_noisy_mix_violates_slo(self, capsys):
+        assert main(["fleet", "--devices", "6", "--io-count", "40",
+                     "--mix", "noisy", "--jobs", "1", "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "SLO VIOLATED" in out
+        assert "VIOLATED" in out  # rendered in the per-tenant table too
+
+    def test_fleet_overdriven_rates_violate_slo(self, capsys):
+        # Same mix, 20x the arrival rates: open-loop queueing takes over.
+        assert main(["fleet", "--devices", "4", "--io-count", "40",
+                     "--rate-scale", "20", "--jobs", "1",
+                     "--no-cache"]) == 1
+        assert "SLO VIOLATED" in capsys.readouterr().out
+
+    def test_fleet_rejects_bad_flags(self, capsys):
+        assert main(["fleet", "--devices", "0", "--no-cache"]) == 1
+        assert "--devices" in capsys.readouterr().out
+        assert main(["fleet", "--shards", "0", "--no-cache"]) == 1
+        assert "--shards" in capsys.readouterr().out
+        assert main(["fleet", "--rate-scale", "0", "--no-cache"]) == 1
+        assert "--rate-scale" in capsys.readouterr().out
+
+    def test_fleet_unknown_mix_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--mix", "mystery"])
+
     def test_every_subcommand_has_smoke_coverage(self):
         """Each subcommand in cli.py has a TestCommands smoke test."""
         covered = {
             "presets", "simulate", "trace", "latency", "nand-page",
             "waf-study", "fidelity", "compression", "jtag-study",
             "probe-features", "faultsweep", "policies", "policy-grid",
-            "infer", "transparency",
+            "infer", "transparency", "fleet",
         }
         assert covered == set(ALL_SUBCOMMANDS)

@@ -58,7 +58,7 @@ class TestJobSpec:
             JobSpec("j", "randwrite", Region(0, 100), submission="open")
         with pytest.raises(ValueError):
             JobSpec("j", "randwrite", Region(0, 100), submission="open",
-                    rate_iops=1000, arrival="bursty")
+                    rate_iops=1000, arrival="whenever")
         job = JobSpec("j", "randwrite", Region(0, 100), submission="open",
                       rate_iops=1000)
         assert job.is_open_loop
