@@ -1,0 +1,133 @@
+"""Fleet chaos campaign: zero-AFR byte-identity and degraded-tail pins.
+
+Runs the 256-device reference fleet (identical to
+``bench_fleet_scaling``: three tenants, ``tiny`` preset, seed 42) under
+the ``default`` fault campaign and asserts the chaos layer's three
+load-bearing properties:
+
+* **zero-AFR identity** — the campaign at AFR 0 produces the exact
+  SLO table of PR 8's golden ``fleet_slo.csv``, byte for byte: wiring
+  the chaos machinery in must cost the fault-free path nothing;
+* **campaign reproducibility** — the nonzero-AFR campaign's per-device
+  results are byte-identical across worker counts (jobs 1 vs 2) and
+  shard plans (1 vs 8): which devices fail, when, and how is a pure
+  function of (fleet seed, device index), never of execution layout;
+* **exact accounting** — the devices that recorded fault firings are
+  exactly the devices the campaign planner armed, availability drops
+  below 1.0, and the fleet tail (p99.9 and p99.99) degrades relative
+  to the fault-free baseline — chaos must be *visible* in the merged
+  distribution, not averaged away.
+
+Persists ``fleet_chaos.csv`` (campaign summary + healthy/faulted tail
+split).
+"""
+
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR, run_once
+from repro.exp import Runner
+from repro.fleet import (
+    CAMPAIGNS,
+    FleetSpec,
+    aggregate_fleet,
+    campaign_device_plans,
+    default_tenants,
+    run_fleet_devices,
+)
+
+DEVICES = 256
+IO_COUNT = 150
+SEED = 42
+
+
+def campaign_spec(afr: float | None = None) -> FleetSpec:
+    campaign = CAMPAIGNS["default"]
+    if afr is not None:
+        campaign = replace(campaign, afr=afr)
+    return FleetSpec(tenants=default_tenants(io_count=IO_COUNT),
+                     devices=DEVICES, preset="tiny", seed=SEED,
+                     campaign=campaign)
+
+
+def _fleet(spec: FleetSpec, jobs: int, shards: int | None):
+    devices = run_fleet_devices(spec, Runner(jobs=jobs, cache=None),
+                                shards=shards)
+    return devices, aggregate_fleet(spec, devices)
+
+
+@pytest.mark.benchmark(group="fleet-chaos")
+def test_fleet_chaos(benchmark, figure_output, tmp_path):
+    def experiment():
+        zero = _fleet(campaign_spec(afr=0.0), 1, None)
+        chaos = {
+            (jobs, shards): _fleet(campaign_spec(), jobs, shards)
+            for jobs, shards in ((1, None), (2, None), (1, 1), (1, 8))
+        }
+        return zero, chaos
+
+    (zero_devices, zero_report), chaos = run_once(benchmark, experiment)
+
+    # Zero-AFR identity: the campaign-at-rest SLO table reproduces the
+    # PR 8 golden byte for byte.
+    from repro.analysis.report import write_csv
+
+    golden = RESULTS_DIR / "fleet_slo.csv"
+    assert golden.exists(), "run bench_fleet_scaling first (golden missing)"
+    headers, rows = zero_report.slo_table()
+    write_csv(tmp_path / "fleet_slo.csv", headers, rows)
+    assert (tmp_path / "fleet_slo.csv").read_bytes() == golden.read_bytes()
+    assert zero_report.availability == 1.0
+    assert zero_report.durability_ok
+
+    # Campaign reproducibility: jobs and shard plans are invisible.
+    ref_devices, ref_report = chaos[(1, None)]
+    ref_bytes = [pickle.dumps(d) for d in ref_devices]
+    for layout, (devices, _) in chaos.items():
+        assert [pickle.dumps(d) for d in devices] == ref_bytes, layout
+
+    # Exact device-level accounting: the firing log names exactly the
+    # devices the planner armed, and the totals line up.
+    plans = campaign_device_plans(campaign_spec())
+    fired = {d.index for d in ref_devices if d.fault_events}
+    assert fired == set(plans)
+    assert ref_report.devices_faulted == len(plans)
+    manual = {}
+    for device in ref_devices:
+        for kind, _, _ in device.fault_events:
+            manual[kind] = manual.get(kind, 0) + 1
+    assert ref_report.events_by_kind == tuple(sorted(manual.items()))
+
+    # Chaos must be visible: availability below 1.0, degraded devices,
+    # and a fatter fleet tail than the fault-free baseline.
+    assert ref_report.availability < 1.0
+    assert ref_report.devices_degraded > 0
+    zero_p999 = zero_report.fleet_sketch.quantile(0.999)
+    zero_p9999 = zero_report.fleet_sketch.quantile(0.9999)
+    assert ref_report.fleet_sketch.quantile(0.999) > zero_p999
+    assert ref_report.fleet_sketch.quantile(0.9999) > 2 * zero_p9999
+
+    table = [
+        ["availability", round(ref_report.availability, 6)],
+        ["devices faulted", ref_report.devices_faulted],
+        ["devices degraded", ref_report.devices_degraded],
+        ["failed requests", ref_report.failed_requests],
+        ["sectors lost", ref_report.sectors_lost],
+        ["durability", "PASS" if ref_report.durability_ok else "FAIL"],
+        ["p99.9 (us) zero-AFR", round(float(zero_p999), 1)],
+        ["p99.9 (us) campaign",
+         round(float(ref_report.fleet_sketch.quantile(0.999)), 1)],
+        ["p99.99 (us) zero-AFR", round(float(zero_p9999), 1)],
+        ["p99.99 (us) campaign",
+         round(float(ref_report.fleet_sketch.quantile(0.9999)), 1)],
+    ]
+    for kind, count in ref_report.events_by_kind:
+        table.append([f"firings: {kind}", count])
+    figure_output(
+        "fleet_chaos",
+        f"Fleet chaos — {DEVICES} x tiny, default campaign "
+        f"(AFR {CAMPAIGNS['default'].afr:g}), seed {SEED}",
+        ["metric", "value"], table,
+    )

@@ -19,6 +19,7 @@ documentation of the public API::
     repro-ssd infer --seed 7
     repro-ssd transparency --points 8 --jobs 4
     repro-ssd fleet --devices 1000 --mix default --jobs 4
+    repro-ssd fleet --devices 256 --campaign default --afr 0.5 --keep-going
 """
 
 from __future__ import annotations
@@ -41,12 +42,16 @@ def _preset(name: str, scale: int):
 
 
 def _make_runner(args):
-    """Build a Runner from the shared --jobs / --no-cache flags."""
+    """Build a Runner from the shared --jobs / --no-cache flags (plus
+    the hardening flags --timeout / --keep-going where a subcommand
+    offers them)."""
     from repro.exp import ResultCache, Runner
 
     cache = None if args.no_cache else ResultCache()
     try:
-        return Runner(jobs=args.jobs, cache=cache)
+        return Runner(jobs=args.jobs, cache=cache,
+                      timeout_s=getattr(args, "timeout", None),
+                      keep_going=getattr(args, "keep_going", False))
     except ValueError as exc:
         # e.g. --jobs 0 or REPRO_JOBS=-2: exit with the message, not a
         # traceback.
@@ -520,12 +525,66 @@ def cmd_faultsweep(args) -> int:
     return 0
 
 
+def _fleet_only(spec, selector: str) -> int:
+    """Serial deep-dive on one device (or a range): the path the
+    CellError / FleetDeviceError repro one-liners point at."""
+    from repro.fleet import FailedDevice, simulate_device
+
+    try:
+        if ":" in selector:
+            lo_text, hi_text = selector.split(":", 1)
+            lo, hi = int(lo_text), int(hi_text)
+        else:
+            lo = int(selector)
+            hi = lo + 1
+    except ValueError:
+        print(f"fleet: bad --only {selector!r} (want N or LO:HI)")
+        return 1
+    if not 0 <= lo < hi <= spec.devices:
+        print(f"fleet: --only [{lo}, {hi}) outside 0..{spec.devices}")
+        return 1
+
+    rows = []
+    crashed: list[FailedDevice] = []
+    for index in range(lo, hi):
+        try:
+            device = simulate_device(spec, index)
+        except Exception as exc:  # the whole point of --only is triage
+            crashed.append(FailedDevice(index, spec.device_seed(index),
+                                        f"{type(exc).__name__}: {exc}"))
+            continue
+        events = ", ".join(f"{kind}@op{op}"
+                           for kind, _, op in device.fault_events[:4])
+        if len(device.fault_events) > 4:
+            events += f", ... ({len(device.fault_events)} total)"
+        rows.append([
+            index, device.seed,
+            sum(s.requests for s in device.tenants),
+            device.failed_requests,
+            device.degraded_kind or "-",
+            device.degraded_at_ns if device.degraded else "-",
+            device.sectors_lost,
+            round(device.waf, 3),
+            events or "-",
+        ])
+    if rows:
+        print(format_table(
+            ["device", "seed", "requests", "failed", "degraded",
+             "at (ns)", "lost", "WAF", "fault firings"],
+            rows, title=f"fleet device detail [{lo}, {hi})",
+        ))
+    for entry in crashed:
+        print(f"fleet: device #{entry.index} CRASHED: {entry.error}")
+    return 1 if crashed else 0
+
+
 def cmd_fleet(args) -> int:
     """Fleet-scale sharded simulation: merged SLO table, nonzero exit
-    on any tenant violation."""
+    on any tenant SLO or durability violation."""
     import time
 
-    from repro.fleet import FleetSpec, run_fleet
+    from repro.exp import CellError
+    from repro.fleet import CAMPAIGNS, FleetSpec, run_fleet
 
     if args.devices < 1:
         print("fleet: --devices must be >= 1")
@@ -537,38 +596,99 @@ def cmd_fleet(args) -> int:
         print("fleet: --rate-scale must be > 0")
         return 1
 
+    campaign = None
+    if args.campaign != "none":
+        campaign = CAMPAIGNS[args.campaign]
+        if args.afr is not None:
+            from dataclasses import replace
+            campaign = replace(campaign, afr=args.afr)
+    elif args.afr is not None:
+        print("fleet: --afr needs --campaign (default|infant|wearout)")
+        return 1
+
     tenants = TENANT_MIXES[args.mix](rate_scale=args.rate_scale,
                                      io_count=args.io_count)
     try:
         spec = FleetSpec(tenants=tenants, devices=args.devices,
                          preset=args.preset, scale=args.scale,
-                         seed=args.seed)
+                         seed=args.seed, campaign=campaign)
     except ValueError as exc:
         print(f"fleet: {exc}")
         return 1
 
+    if args.only is not None:
+        return _fleet_only(spec, args.only)
+
     runner = _make_runner(args)
+    if runner.cache is not None:
+        from repro.fleet import (
+            cached_shard_count,
+            load_fleet_manifest,
+            write_fleet_manifest,
+        )
+
+        if args.resume:
+            stored = load_fleet_manifest(spec, runner.cache, args.shards,
+                                         keep_going=args.keep_going)
+            if stored is None:
+                print("fleet: no manifest for this exact run yet "
+                      "(starting fresh)")
+            else:
+                cached = cached_shard_count(runner.cache, stored)
+                print(f"fleet: resume — {cached}/{len(stored['cells'])} "
+                      f"shards already cached")
+        write_fleet_manifest(spec, runner.cache, args.shards,
+                             keep_going=args.keep_going)
+    elif args.resume:
+        print("fleet: --resume needs the result cache (drop --no-cache)")
+        return 1
+
     started = time.perf_counter()
-    report = run_fleet(spec, runner, shards=args.shards)
+    try:
+        report = run_fleet(spec, runner, shards=args.shards,
+                           keep_going=args.keep_going)
+    except (CellError, ValueError) as exc:
+        print(f"fleet: {exc}")
+        return 1
     elapsed = time.perf_counter() - started
 
+    title = (f"fleet SLO report ({args.devices} x {args.preset}, "
+             f"mix {args.mix}, seed {args.seed})")
+    if campaign is not None:
+        title += f", campaign {campaign.name} AFR {campaign.afr:g}"
     headers, rows = report.slo_table()
-    print(format_table(
-        headers, rows,
-        title=f"fleet SLO report ({args.devices} x {args.preset}, "
-              f"mix {args.mix}, seed {args.seed})",
-    ))
+    print(format_table(headers, rows, title=title))
     print()
     print(format_table(["metric", "value"], report.summary_rows(),
                        title="fleet summary"))
+    if campaign is not None and campaign.active:
+        headers, rows = report.chaos_table()
+        print()
+        print(format_table(headers, rows,
+                           title="healthy vs faulted latency split"))
+    for entry in report.failed_devices:
+        line = f"fleet: device #{entry.index} failed: {entry.error}"
+        if entry.repro:
+            line += f"\n  rerun standalone: {entry.repro}"
+        print(line)
+    for error in runner.errors:
+        print(f"fleet: quarantined: {error}")
     print(f"\nfleet: {args.devices} devices in {elapsed:.2f}s "
           f"({args.devices / elapsed:.0f} devices/s)")
     print(runner.describe())
+    status = 0
     if not report.ok:
         print("fleet: SLO VIOLATED by " + ", ".join(report.violations))
-        return 1
-    print("fleet: all tenant SLOs met")
-    return 0
+        status = 1
+    if not report.durability_ok:
+        print(f"fleet: DURABILITY VIOLATED "
+              f"({report.sectors_lost} acked sectors lost, "
+              f"{len(report.failed_devices)} devices unaccounted)")
+        status = 1
+    if status == 0:
+        print("fleet: all tenant SLOs met"
+              + ("; durability clean" if campaign is not None else ""))
+    return status
 
 
 # ----------------------------------------------------------------------
@@ -730,6 +850,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="requests per tenant per device (default 150)")
     p.add_argument("--rate-scale", type=float, default=1.0,
                    help="multiplier on every tenant arrival rate")
+    p.add_argument("--campaign", default="none",
+                   choices=["none", "default", "infant", "wearout"],
+                   help="fault campaign over the fleet (default: none)")
+    p.add_argument("--afr", type=float, default=None,
+                   help="override the campaign's annualized failure rate")
+    p.add_argument("--keep-going", action="store_true",
+                   help="isolate per-device/per-shard failures into the "
+                        "report instead of aborting the run")
+    p.add_argument("--resume", action="store_true",
+                   help="report how many shards of this exact run are "
+                        "already cached before running the rest")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-cell wall-clock watchdog in seconds "
+                        "(default: none)")
+    p.add_argument("--only", default=None, metavar="N|LO:HI",
+                   help="serial deep-dive on one device (or range) "
+                        "instead of the sharded fleet run")
     parallel(p)
     p.set_defaults(fn=cmd_fleet)
 

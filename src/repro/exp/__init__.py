@@ -40,13 +40,20 @@ from repro.exp.cells import (
     run_timed_job_cell,
 )
 from repro.exp.hashing import stable_digest
-from repro.exp.runner import Runner, RunnerStats, resolve_jobs, run_cells
+from repro.exp.runner import (
+    CellTimeout,
+    Runner,
+    RunnerStats,
+    resolve_jobs,
+    run_cells,
+)
 
 __all__ = [
     "CODE_SALT",
     "CacheStats",
     "Cell",
     "CellError",
+    "CellTimeout",
     "ChurnCell",
     "ChurnResult",
     "NandPageSweepCell",

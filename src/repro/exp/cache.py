@@ -38,7 +38,7 @@ from repro import __version__
 #: schema number whenever a change alters what existing cell functions
 #: compute without changing their configs (the package version covers
 #: release-level changes).
-CODE_SALT = f"repro-{__version__}-exp2"
+CODE_SALT = f"repro-{__version__}-exp3"
 
 
 def default_cache_dir() -> Path:

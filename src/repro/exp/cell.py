@@ -43,6 +43,11 @@ class Cell:
     seed: int = 0
     label: str = ""
     cacheable: bool = True
+    #: optional one-line standalone repro command, surfaced by
+    #: :class:`CellError`.  Advisory metadata only: deliberately NOT
+    #: part of :meth:`key`, so decorating a cell with a repro hint
+    #: cannot invalidate its cached result.
+    repro: str = ""
 
     @property
     def identity(self) -> str:
@@ -73,16 +78,30 @@ class CellError(RuntimeError):
 
     Raised in the parent process with the original exception chained,
     so a 40-cell fan-out that dies names exactly which (config, seed)
-    to re-run serially for debugging.
+    to re-run serially for debugging.  The message carries the cell's
+    content-address hash (the cache key prefix, so the stale entry can
+    be found and purged) and, when the cell declares one, a one-line
+    standalone repro command.
     """
 
-    def __init__(self, cell: Cell, index: int, cause: BaseException) -> None:
+    def __init__(self, cell: Cell, index: int, cause: BaseException,
+                 salt: str | None = None) -> None:
         self.cell = cell
         self.index = index
-        super().__init__(
+        message = (
             f"experiment cell #{index} [{cell.identity}] failed: "
             f"{type(cause).__name__}: {cause}"
         )
+        if salt is None:
+            from repro.exp.cache import CODE_SALT
+            salt = CODE_SALT
+        try:
+            message += f"\n  cell key {cell.key(salt)[:12]}"
+        except TypeError:
+            pass  # an unhashable config still gets the plain message
+        if cell.repro:
+            message += f"\n  rerun standalone: {cell.repro}"
+        super().__init__(message)
 
 
 def execute_cell(cell: Cell) -> Any:

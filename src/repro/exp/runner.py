@@ -29,6 +29,21 @@ dying (or cannot be created at all, e.g. in a sandbox that forbids
 ``fork``) the runner degrades to in-process serial execution.  Only
 *deterministic* cell exceptions fail fast as :class:`CellError` —
 retrying those would just fail again.
+
+Two hardening layers on top (PR 9):
+
+* **watchdog** — with ``timeout_s`` set, a window in which *no* future
+  settles trips the per-cell wall-clock watchdog: the workers are
+  killed, the cells that were occupying them (the first ``jobs``
+  pending in submission order — the pool executes FIFO) are retried
+  once on a fresh pool, and a cell that trips the watchdog
+  ``max_cell_timeouts`` times is quarantined with a named
+  :class:`CellTimeout`;
+* **keep-going** — with ``keep_going=True``, a failing or quarantined
+  cell no longer aborts the run: its slot resolves to ``None``, the
+  :class:`CellError` is appended to ``runner.errors``, and the caller
+  decides how to fold the hole into its report.  Failed cells are
+  never written to the result cache.
 """
 
 from __future__ import annotations
@@ -73,6 +88,10 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return os.cpu_count() or 1
 
 
+class CellTimeout(RuntimeError):
+    """A cell exceeded the runner's wall-clock watchdog repeatedly."""
+
+
 @dataclass
 class RunnerStats:
     """What the last ``run`` did (cumulative across runs)."""
@@ -84,6 +103,11 @@ class RunnerStats:
     #: pool incidents survived: worker-death retries + serial degrades.
     pool_retries: int = 0
     serial_degrades: int = 0
+    #: watchdog trips (cells suspected of hanging and retried).
+    timeouts: int = 0
+    #: cells isolated instead of aborting the run: keep-going failures
+    #: plus watchdog quarantines.
+    quarantined: int = 0
 
 
 class Runner:
@@ -100,17 +124,32 @@ class Runner:
     #: base backoff before a pool retry (scaled by attempt + jitter);
     #: tests set this to ~0.
     retry_backoff_s = 0.5
+    #: watchdog trips a cell may cause before being quarantined.
+    max_cell_timeouts = 2
 
     def __init__(self, jobs: int | None = None,
                  cache: ResultCache | None = None,
-                 salt: str = CODE_SALT) -> None:
+                 salt: str = CODE_SALT,
+                 timeout_s: float | None = None,
+                 keep_going: bool = False) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
         self.salt = salt
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        self.timeout_s = timeout_s
+        self.keep_going = keep_going
         self.stats = RunnerStats()
+        #: isolated failures (keep-going / quarantine), cumulative.
+        self.errors: list[CellError] = []
 
     def run(self, cells: Sequence[Cell]) -> list[Any]:
-        """Execute *cells*, returning results in submission order."""
+        """Execute *cells*, returning results in submission order.
+
+        With ``keep_going`` set, cells that failed or were quarantined
+        resolve to ``None`` and their :class:`CellError` is appended to
+        :attr:`errors`; they are never written to the result cache.
+        """
         started = time.perf_counter()
         results: list[Any] = [None] * len(cells)
         pending: list[int] = []
@@ -123,6 +162,7 @@ class Runner:
                     continue
             pending.append(index)
 
+        failed_before = len(self.errors)
         if self.jobs <= 1 or len(pending) <= 1:
             for index in pending:
                 results[index] = self._execute_serial(cells[index], index)
@@ -130,8 +170,9 @@ class Runner:
             self._execute_parallel(cells, pending, results)
 
         if self.cache is not None:
+            failed_indexes = {e.index for e in self.errors[failed_before:]}
             for index in pending:
-                if cells[index].cacheable:
+                if cells[index].cacheable and index not in failed_indexes:
                     self.cache.put(cells[index].key(self.salt), results[index])
 
         self.stats.cells += len(cells)
@@ -142,7 +183,19 @@ class Runner:
     def describe(self) -> str:
         """One status line for CLIs: worker and cache accounting."""
         text = (f"exp: {self.stats.cells} cells, {self.stats.executed} "
-                f"executed, jobs={self.jobs}, wall {self.stats.wall_s:.2f}s")
+                f"executed, {self.stats.cache_hits} cache hits, "
+                f"jobs={self.jobs}, wall {self.stats.wall_s:.2f}s")
+        incidents = []
+        if self.stats.pool_retries:
+            incidents.append(f"{self.stats.pool_retries} pool retries")
+        if self.stats.serial_degrades:
+            incidents.append(f"{self.stats.serial_degrades} serial degrades")
+        if self.stats.timeouts:
+            incidents.append(f"{self.stats.timeouts} watchdog timeouts")
+        if self.stats.quarantined:
+            incidents.append(f"{self.stats.quarantined} cells quarantined")
+        if incidents:
+            text += "; incidents: " + ", ".join(incidents)
         if self.cache is not None:
             text += f"; cache [{self.cache.stats.describe()}] at {self.cache.root}"
         else:
@@ -155,12 +208,32 @@ class Runner:
         try:
             return execute_cell(cell)
         except Exception as exc:
-            raise CellError(cell, index, exc) from exc
+            if self.keep_going:
+                self._record_failure(cell, index, exc)
+                return None
+            raise CellError(cell, index, exc, salt=self.salt) from exc
+
+    def _record_failure(self, cell: Cell, index: int,
+                        exc: BaseException) -> None:
+        self.stats.quarantined += 1
+        self.errors.append(CellError(cell, index, exc, salt=self.salt))
+
+    def _quarantine(self, cell: Cell, index: int) -> None:
+        """A cell hung past the watchdog ``max_cell_timeouts`` times."""
+        cause = CellTimeout(
+            f"no progress within {self.timeout_s:g}s on "
+            f"{self.max_cell_timeouts} attempts (watchdog)")
+        error = CellError(cell, index, cause, salt=self.salt)
+        self.stats.quarantined += 1
+        self.errors.append(error)
+        if not self.keep_going:
+            raise error from cause
 
     def _execute_parallel(self, cells: Sequence[Cell], pending: list[int],
                           results: list[Any]) -> None:
         remaining = list(pending)
         attempt = 0
+        strikes: dict[int, int] = {}
         while remaining:
             try:
                 pool = ProcessPoolExecutor(
@@ -171,9 +244,23 @@ class Runner:
                 # not a correctness one, so finish in-process.
                 self._degrade_serial(cells, remaining, results)
                 return
-            broken = self._drain_pool(pool, cells, remaining, results)
-            if not broken:
+            broken, timed = self._drain_pool(pool, cells, remaining, results)
+            if not broken and not timed:
                 return
+            if timed:
+                # Watchdog trip, not worker death: the suspects get one
+                # retry on a fresh pool (a loaded machine can stall an
+                # innocent cell) without burning the pool-retry budget;
+                # repeat offenders are quarantined.
+                retry: list[int] = []
+                for index in timed:
+                    strikes[index] = strikes.get(index, 0) + 1
+                    if strikes[index] >= self.max_cell_timeouts:
+                        self._quarantine(cells[index], index)
+                    else:
+                        retry.append(index)
+                remaining = sorted(broken + retry)
+                continue
             attempt += 1
             if attempt > self.max_pool_retries:
                 # Workers keep dying: stop betting on the pool.  If the
@@ -194,47 +281,82 @@ class Runner:
         for index in indexes:
             results[index] = self._execute_serial(cells[index], index)
 
-    def _drain_pool(self, pool: ProcessPoolExecutor, cells: Sequence[Cell],
-                    remaining: list[int], results: list[Any]) -> list[int]:
-        """Run *remaining* cells on *pool*; return the indexes that hit
-        transient worker death (to be retried), storing everything else.
+    def _drain_pool(
+        self, pool: ProcessPoolExecutor, cells: Sequence[Cell],
+        remaining: list[int], results: list[Any],
+    ) -> tuple[list[int], list[int]]:
+        """Run *remaining* cells on *pool*, storing results as they
+        settle; returns ``(broken, timed)`` — indexes to resubmit after
+        transient worker death, and indexes suspected of hanging.
 
         Deterministic cell exceptions raise :class:`CellError` for the
-        lowest-indexed failure; abrupt worker death (``BrokenProcessPool``
-        on the future) and cells cancelled by fail-fast are returned for
-        resubmission instead.
+        lowest-indexed failure (or are recorded, under ``keep_going``);
+        abrupt worker death (``BrokenProcessPool`` on the future) and
+        cells cancelled by fail-fast come back in ``broken``.  With a
+        watchdog (``timeout_s``), a wait window in which *nothing*
+        settles kills the workers; the cells occupying them — the first
+        ``jobs`` pending in submission order, since the pool executes
+        FIFO — come back in ``timed`` and the rest in ``broken``.
         """
         broken: list[int] = []
+        timed: list[int] = []
         failed: tuple[int, BaseException] | None = None
+
+        def settle(future, index, fail_fast=True) -> None:
+            nonlocal failed
+            if future.cancelled():
+                broken.append(index)
+                return
+            exc = future.exception()
+            if exc is None:
+                results[index] = future.result()
+            elif isinstance(exc, BrokenProcessPool):
+                broken.append(index)
+            elif self.keep_going:
+                self._record_failure(cells[index], index, exc)
+            elif failed is None or index < failed[0]:
+                failed = (index, exc)
+
         with pool:
-            futures = {
+            pending = {
                 pool.submit(execute_cell, cells[index]): index
                 for index in remaining
             }
-            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
-            if not_done and any(f.exception() for f in done):
-                # Fail fast: drop cells not yet started, but let the
-                # ones already running settle so the failure we report
-                # is the lowest-indexed one among everything that ran.
-                for future in not_done:
-                    future.cancel()
-                done, _ = wait(futures)
-            for future, index in futures.items():
-                if future.cancelled():
-                    broken.append(index)
-                    continue
-                exc = future.exception()
-                if exc is None:
-                    results[index] = future.result()
-                elif isinstance(exc, BrokenProcessPool):
-                    broken.append(index)
-                else:
-                    if failed is None or index < failed[0]:
-                        failed = (index, exc)
+            while pending:
+                done, not_done = wait(list(pending), timeout=self.timeout_s,
+                                      return_when=FIRST_EXCEPTION)
+                if not done:
+                    # Watchdog: nothing settled for a full window.  The
+                    # hung cells are whatever occupies the workers.
+                    suspects = sorted(pending.values())
+                    suspects = suspects[:min(self.jobs, len(suspects))]
+                    suspect_set = set(suspects)
+                    self.stats.timeouts += len(suspects)
+                    timed.extend(suspects)
+                    broken.extend(i for i in pending.values()
+                                  if i not in suspect_set)
+                    processes = getattr(pool, "_processes", None) or {}
+                    for process in list(processes.values()):
+                        process.kill()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pending.clear()
+                    break
+                for future in done:
+                    settle(future, pending.pop(future))
+                if failed is not None and pending:
+                    # Fail fast: drop cells not yet started, but let the
+                    # ones already running settle so the failure we
+                    # report is the lowest-indexed one among all that ran.
+                    for future in pending:
+                        future.cancel()
+                    done, _ = wait(list(pending))
+                    for future in done:
+                        settle(future, pending.pop(future))
+                    break
         if failed is not None:
             index, exc = failed
-            raise CellError(cells[index], index, exc) from exc
-        return sorted(broken)
+            raise CellError(cells[index], index, exc, salt=self.salt) from exc
+        return sorted(broken), sorted(timed)
 
 
 def run_cells(cells: Sequence[Cell], runner: Runner | None = None) -> list[Any]:

@@ -31,17 +31,31 @@ from repro.fleet.aggregate import (
     TenantVerdict,
     aggregate_fleet,
 )
+from repro.fleet.chaos import (
+    CAMPAIGNS,
+    CHAOS_STREAM,
+    HAZARD_SHAPES,
+    CampaignSpec,
+    campaign_device_plans,
+    device_fault_plan,
+)
 from repro.fleet.shard import (
     DEVICES_PER_SHARD,
     DeviceResult,
+    FailedDevice,
     FleetDeviceError,
     FleetShardCell,
     TenantSlice,
+    cached_shard_count,
+    device_repro_command,
     fleet_cells,
+    fleet_manifest,
+    load_fleet_manifest,
     plan_shards,
     run_fleet_devices,
     run_fleet_shard_cell,
     simulate_device,
+    write_fleet_manifest,
 )
 from repro.fleet.sketch import (
     DEFAULT_COMPRESSION,
@@ -61,13 +75,18 @@ from repro.fleet.spec import (
 )
 
 __all__ = [
+    "CAMPAIGNS",
+    "CHAOS_STREAM",
+    "CampaignSpec",
     "DEFAULT_COMPRESSION",
     "DEVICES_PER_SHARD",
     "DeviceResult",
+    "FailedDevice",
     "FleetDeviceError",
     "FleetReport",
     "FleetShardCell",
     "FleetSpec",
+    "HAZARD_SHAPES",
     "QuantileSketch",
     "REPORT_QUANTILES",
     "TENANT_MIXES",
@@ -75,9 +94,15 @@ __all__ = [
     "TenantSpec",
     "TenantVerdict",
     "aggregate_fleet",
+    "cached_shard_count",
+    "campaign_device_plans",
     "default_tenants",
     "derive_seed",
+    "device_fault_plan",
+    "device_repro_command",
     "fleet_cells",
+    "fleet_manifest",
+    "load_fleet_manifest",
     "merge_sketches",
     "noisy_tenants",
     "plan_shards",
@@ -87,12 +112,15 @@ __all__ = [
     "simulate_device",
     "sketch_of",
     "steady_tenants",
+    "write_fleet_manifest",
 ]
 
 
-def run_fleet(spec: FleetSpec, runner=None, shards: int | None = None) -> FleetReport:
+def run_fleet(spec: FleetSpec, runner=None, shards: int | None = None,
+              keep_going: bool = False) -> FleetReport:
     """Run a whole fleet and aggregate it — the one-call entry point."""
-    return aggregate_fleet(spec, run_fleet_devices(spec, runner, shards))
+    return aggregate_fleet(
+        spec, run_fleet_devices(spec, runner, shards, keep_going=keep_going))
 
 
 __all__.append("run_fleet")

@@ -20,14 +20,21 @@ Three families of output:
 * **capacity/wear forecasting** — erase consumption per device-day at
   the observed rate extrapolated against the configured erase budget,
   and aggregate host throughput, the two numbers an operator sizes a
-  fleet with.
+  fleet with;
+* **chaos verdicts** (PR 9) — under a fault campaign, an availability
+  fraction (device-seconds serving I/O over the fleet observation
+  window), a durability verdict (acknowledged-flushed sectors the
+  per-device recovery audit could not bring back), and a
+  healthy-vs-faulted split of the latency distribution, so campaign
+  impact on the tail is visible next to the clean baseline.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 
-from repro.fleet.shard import DeviceResult
+from repro.fleet.shard import DeviceResult, FailedDevice
 from repro.fleet.sketch import QuantileSketch, merge_sketches
 from repro.fleet.spec import FleetSpec
 
@@ -96,6 +103,24 @@ class FleetReport:
     forecast_wearout_days: float
     #: aggregate host write throughput over simulated time, MiB/s.
     host_mib_per_s: float
+    #: fraction of device-seconds that served I/O over the fleet
+    #: observation window (1.0 on a fault-free run).
+    availability: float = 1.0
+    #: acknowledged-flushed sectors lost across the fleet (durability).
+    sectors_lost: int = 0
+    #: requests that failed on degraded devices (fleet total).
+    failed_requests: int = 0
+    #: devices that entered a degraded mode / that any fault touched.
+    devices_degraded: int = 0
+    devices_faulted: int = 0
+    #: campaign firing totals by fault kind, name-sorted.
+    events_by_kind: tuple[tuple[str, int], ...] = ()
+    #: devices whose simulation crashed outright (``--keep-going``).
+    failed_devices: tuple[FailedDevice, ...] = ()
+    #: latency split: devices the campaign never touched vs the rest
+    #: (``None`` when a side is empty).
+    healthy_sketch: QuantileSketch | None = None
+    faulted_sketch: QuantileSketch | None = None
 
     @property
     def ok(self) -> bool:
@@ -104,6 +129,11 @@ class FleetReport:
     @property
     def violations(self) -> list[str]:
         return [v.tenant for v in self.verdicts if not v.ok]
+
+    @property
+    def durability_ok(self) -> bool:
+        """No acknowledged data lost and no device unaccounted for."""
+        return self.sectors_lost == 0 and not self.failed_devices
 
     def slo_table(self) -> tuple[list[str], list[list]]:
         headers = ["tenant", "devices", "requests", "p50 (us)", "p99 (us)",
@@ -120,7 +150,7 @@ class FleetReport:
         return headers, rows
 
     def summary_rows(self) -> list[list]:
-        return [
+        rows = [
             ["devices", self.devices],
             ["requests", self.requests],
             ["fleet WAF", round(self.waf, 3)],
@@ -130,19 +160,62 @@ class FleetReport:
             ["SLO verdict", "PASS" if self.ok else
              "FAIL: " + ", ".join(self.violations)],
         ]
+        campaign = self.spec.campaign
+        if campaign is not None and campaign.active:
+            events = ", ".join(f"{kind}={count}"
+                               for kind, count in self.events_by_kind) or "none"
+            rows += [
+                ["campaign", f"{campaign.name} (AFR {campaign.afr:g})"],
+                ["availability", round(self.availability, 6)],
+                ["devices faulted / degraded / crashed",
+                 f"{self.devices_faulted} / {self.devices_degraded} / "
+                 f"{len(self.failed_devices)}"],
+                ["fault firings", events],
+                ["failed requests", self.failed_requests],
+                ["sectors lost (acked)", self.sectors_lost],
+                ["durability verdict",
+                 "PASS" if self.durability_ok else "FAIL"],
+            ]
+        return rows
+
+    def chaos_table(self) -> tuple[list[str], list[list]]:
+        """Healthy-vs-faulted latency split (campaign runs only)."""
+        headers = ["cohort", "devices", "p50 (us)", "p99 (us)",
+                   "p99.9 (us)", "p99.99 (us)"]
+        rows = []
+        healthy = self.devices - self.devices_faulted - len(self.failed_devices)
+        for name, count, sketch in (
+            ("healthy", healthy, self.healthy_sketch),
+            ("faulted", self.devices_faulted, self.faulted_sketch),
+        ):
+            if sketch is None:
+                rows.append([name, count, "-", "-", "-", "-"])
+                continue
+            p50, p99, p999, p9999 = sketch.quantiles(REPORT_QUANTILES)
+            rows.append([name, count, round(float(p50), 1),
+                         round(float(p99), 1), round(float(p999), 1),
+                         round(float(p9999), 1)])
+        return headers, rows
 
 
-def aggregate_fleet(spec: FleetSpec,
-                    devices: list[DeviceResult]) -> FleetReport:
+def aggregate_fleet(
+    spec: FleetSpec,
+    devices: list[DeviceResult | FailedDevice],
+) -> FleetReport:
     """Merge per-device results into a :class:`FleetReport`.
 
     *devices* must be in device-index order (as
     :func:`~repro.fleet.shard.run_fleet_devices` returns them); every
     sketch merge is flat over that order, which pins byte-identity
-    across shard plans.
+    across shard plans.  :class:`FailedDevice` entries (from
+    ``--keep-going``) are folded into the availability and durability
+    verdicts, not into the latency/WAF aggregates.
     """
+    failed = tuple(d for d in devices if isinstance(d, FailedDevice))
+    devices = [d for d in devices if isinstance(d, DeviceResult)]
     if not devices:
-        raise ValueError("no device results to aggregate")
+        raise ValueError("no device results to aggregate"
+                         + (f" ({len(failed)} devices failed)" if failed else ""))
     tenant_order = [t.name for t in spec.tenants]
     by_tenant: dict[str, list] = {name: [] for name in tenant_order}
     for device in devices:
@@ -193,9 +266,11 @@ def aggregate_fleet(spec: FleetSpec,
         if erases_per_device_day > 0:
             forecast_days = budget / erases_per_device_day
 
+    chaos = _chaos_accounting(spec, devices, failed)
+
     return FleetReport(
         spec=spec,
-        devices=len(devices),
+        devices=len(devices) + len(failed),
         requests=total_requests,
         verdicts=tuple(verdicts),
         fleet_sketch=fleet_sketch,
@@ -203,4 +278,57 @@ def aggregate_fleet(spec: FleetSpec,
         erases_per_device_day=erases_per_device_day,
         forecast_wearout_days=forecast_days,
         host_mib_per_s=host_mib_per_s,
+        failed_devices=failed,
+        **chaos,
     )
+
+
+def _chaos_accounting(spec: FleetSpec, devices: list[DeviceResult],
+                      failed: tuple[FailedDevice, ...]) -> dict:
+    """Availability, durability, and healthy/faulted sketch splits.
+
+    The availability window is the longest per-device timeline in the
+    run (each device runs its own clock): a device counts as *serving*
+    from 0 until it degraded (or the full window if it never did), and
+    a crashed device serves nothing.  Pure accounting over device
+    results, so it inherits their shard-plan independence.
+
+    Fault-free runs (no campaign, or AFR 0, and nothing crashed) skip
+    the extra sketch merges entirely and keep the report's defaults —
+    part of the zero-AFR identity guarantee.
+    """
+    campaign = spec.campaign
+    active = campaign is not None and campaign.active
+    if not active and not failed:
+        return {}
+
+    window_ns = max((d.elapsed_ns for d in devices), default=0)
+    population = len(devices) + len(failed)
+    serving = 0
+    for device in devices:
+        if device.degraded and device.degraded_at_ns >= 0:
+            serving += min(max(device.degraded_at_ns, 0), window_ns)
+        else:
+            serving += window_ns
+    availability = 1.0
+    if window_ns > 0 and population > 0:
+        availability = serving / (window_ns * population)
+
+    events = Counter()
+    for device in devices:
+        events.update(kind for kind, _, _ in device.fault_events)
+
+    healthy = [s.sketch for d in devices if not d.faulted for s in d.tenants]
+    faulted = [s.sketch for d in devices if d.faulted for s in d.tenants]
+    return {
+        "availability": availability,
+        "sectors_lost": sum(d.sectors_lost for d in devices),
+        "failed_requests": sum(d.failed_requests for d in devices),
+        "devices_degraded": sum(1 for d in devices if d.degraded),
+        "devices_faulted": sum(1 for d in devices if d.faulted),
+        "events_by_kind": tuple(sorted(events.items())),
+        "healthy_sketch": merge_sketches(healthy, compression=spec.compression)
+        if healthy else None,
+        "faulted_sketch": merge_sketches(faulted, compression=spec.compression)
+        if faulted else None,
+    }

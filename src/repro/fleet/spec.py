@@ -109,6 +109,9 @@ class FleetSpec:
     allocation: str = "hotcold"
     #: sketch size parameter for per-(device, tenant) latency sketches.
     compression: int = 128
+    #: optional fault campaign (:class:`~repro.fleet.chaos.CampaignSpec`);
+    #: ``None`` — and a zero-AFR campaign — run the fault-free path.
+    campaign: "CampaignSpec | None" = None
 
     def __post_init__(self) -> None:
         if not self.tenants:
@@ -121,11 +124,24 @@ class FleetSpec:
         if self.preset not in PRESETS:
             known = ", ".join(sorted(PRESETS))
             raise ValueError(f"unknown preset {self.preset!r}; known: {known}")
+        if self.campaign is not None:
+            from repro.fleet.chaos import CampaignSpec
+            if not isinstance(self.campaign, CampaignSpec):
+                raise ValueError("campaign must be a CampaignSpec or None")
 
     def device_config(self) -> SsdConfig:
-        """The (shared, immutable) per-device configuration."""
-        return PRESETS[self.preset](scale=self.scale).with_changes(
+        """The (shared, immutable) per-device configuration.
+
+        An *active* campaign lowers ``spare_blocks_min`` into the config
+        so retirement storms reach the FTL's read-only degraded mode;
+        without one — or at AFR 0 — the config is byte-identical to the
+        campaign-free fleet's (the zero-AFR identity guarantee)."""
+        config = PRESETS[self.preset](scale=self.scale).with_changes(
             allocation_scheme=self.allocation)
+        if self.campaign is not None and self.campaign.active:
+            config = config.with_changes(
+                spare_blocks_min=self.campaign.spare_blocks_min)
+        return config
 
     def device_seed(self, device_index: int) -> int:
         """Root seed of one device (stable across shard plans)."""

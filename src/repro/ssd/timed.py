@@ -54,7 +54,7 @@ from repro.flash.signals import SignalEmitter, SignalTrace
 from repro.flash.timing import PSLC, TimingProfile, profile
 from repro.obs.events import CacheStall, HostRequest
 from repro.obs.sinks import NULL_SINK, TraceSink
-from repro.sim.kernel import CapacityPool, Kernel, Process, Resource
+from repro.sim.kernel import CapacityPool, Kernel, PowerLoss, Process, Resource
 from repro.ssd.config import SsdConfig
 from repro.ssd.ftl import Ftl
 from repro.ssd.host import HostDeviceBase
@@ -151,6 +151,9 @@ class TimedSSD(HostDeviceBase):
         #: for the throughput bench.  Timelines are identical either way.
         self.fast_path = fast_path
         self.ftl = Ftl(config, injector=injector, fast_path=fast_path)
+        #: with an injector attached, a pending planned power cut is
+        #: honored at the next submission (see :meth:`submit`).
+        self._watch_power = injector is not None
         self.smart = SmartCounters()
         self.bus_tap = bus_tap
         #: blocks operated in pSLC mode program/erase at pSLC speed.
@@ -209,8 +212,16 @@ class TimedSSD(HostDeviceBase):
         workload engine guarantees this).  Advancing to *at_ns* first
         fires any kernel events due in the gap — scheduled background
         maintenance runs here, overlapping host idle time.
+
+        When a planned fault injector has a power cut pending (armed by
+        a previous request's ``tick``), the plug is pulled before this
+        request touches the device: :class:`~repro.sim.kernel.PowerLoss`
+        propagates to the caller, and whatever the RAM cache held that
+        never reached flash is gone (the crash sweep's semantics).
         """
         kernel = self.kernel
+        if self._watch_power and self.ftl.injector.power_cut_pending():
+            raise PowerLoss(max(kernel.now, at_ns))
         if at_ns < kernel.now:
             at_ns = kernel.now
         if kernel._fel:

@@ -28,7 +28,10 @@ import numpy as np
 
 from repro.obs.events import QueueDepth
 from repro.obs.sinks import TraceSink
+from repro.sim.kernel import PowerLoss
+from repro.ssd.allocation import OutOfSpace
 from repro.ssd.device import SimulatedSSD
+from repro.ssd.ftl import ReadOnlyError
 from repro.ssd.smart import SmartCounters
 from repro.ssd.timed import TimedSSD
 from repro.workloads.spec import JobSpec
@@ -37,6 +40,37 @@ from repro.workloads.spec import JobSpec
 #: ``default_rng([seed, _ARRIVAL_STREAM])`` stream so switching
 #: submission modes never perturbs a job's address/kind sequence.
 _ARRIVAL_STREAM = 0x0A221
+
+#: Degradations a device can announce mid-run that the engine survives:
+#: a read-only FTL and an exhausted spare pool fail the offending
+#: request (reads and flushes still serve); a power loss kills the
+#: device — every later request of every job fails.
+_FAULT_EXCEPTIONS = (ReadOnlyError, OutOfSpace, PowerLoss)
+
+
+class _Degradation:
+    """First-failure bookkeeping shared by the timed run loops."""
+
+    __slots__ = ("kind", "at_ns", "ops_before", "dead")
+
+    def __init__(self) -> None:
+        self.kind = ""
+        self.at_ns = -1
+        self.ops_before = -1
+        self.dead = False
+
+    def note(self, exc: BaseException, when: int, ok_requests: int) -> None:
+        if not self.kind:
+            if isinstance(exc, PowerLoss):
+                self.kind = "power_cut"
+            elif isinstance(exc, ReadOnlyError):
+                self.kind = "read_only"
+            else:
+                self.kind = "out_of_space"
+            self.at_ns = when
+            self.ops_before = ok_requests
+        if isinstance(exc, PowerLoss):
+            self.dead = True
 
 
 @dataclass
@@ -50,6 +84,9 @@ class JobResult:
     latencies_us: np.ndarray | None = None
     #: wall-clock of the run in ns (timed mode only).
     elapsed_ns: int = 0
+    #: requests the device refused (read-only / power-cut degradation);
+    #: ``requests`` counts only the ones that completed.
+    failed_requests: int = 0
 
     @property
     def iops(self) -> float:
@@ -70,6 +107,17 @@ class RunResult:
     jobs: dict[str, JobResult]
     smart_delta: SmartCounters
     elapsed_ns: int = 0
+    #: how the device degraded mid-run, if it did: "" (healthy),
+    #: "read_only", "out_of_space", or "power_cut".
+    degraded_kind: str = ""
+    #: virtual time of the first refused request (-1 = never degraded).
+    degraded_at_ns: int = -1
+    #: requests completed across all jobs before the first refusal.
+    ops_before_degraded: int = -1
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degraded_kind)
 
     @property
     def waf(self) -> float:
@@ -206,14 +254,16 @@ def _bursty_gaps(job: JobSpec, rng: np.random.Generator) -> np.ndarray:
 
 def _run_timed_single(
     device: TimedSSD, job: JobSpec, t0: int
-) -> tuple[list[float], int]:
+) -> tuple[list[float], int, int, _Degradation]:
     """Bulk-step one job against a fast-path timed device.
 
-    Returns ``(latencies_us, done_at)``.  Byte-identical to the general
-    scheduler loop run with this single job: the per-request RNG draws
-    happen in the same order, submissions carry the same ``at_ns``, and
-    queue-depth accounting (which only feeds trace events) runs exactly
-    when a sink is attached.
+    Returns ``(latencies_us, done_at, failed, degradation)``.
+    Byte-identical to the general scheduler loop run with this single
+    job: the per-request RNG draws happen in the same order, submissions
+    carry the same ``at_ns``, and queue-depth accounting (which only
+    feeds trace events) runs exactly when a sink is attached.  A
+    degraded device yields a clean partial result: refused requests are
+    counted, the surviving ones keep their latencies.
     """
     pattern = job.make_pattern()
     rng = np.random.default_rng(job.seed)
@@ -224,6 +274,8 @@ def _run_timed_single(
     lat: list[float] = []
     lat_append = lat.append
     done_at = 0
+    failed = 0
+    deg = _Degradation()
 
     if job.is_open_loop:
         arrivals = _arrival_times(job, t0)
@@ -233,7 +285,15 @@ def _run_timed_single(
             when = int(arrivals[idx])
             lba = next_lba(rng)
             kind = request_kind(rng)
-            request = submit(kind, lba, bs, at_ns=when)
+            if deg.dead:
+                failed += 1
+                continue
+            try:
+                request = submit(kind, lba, bs, at_ns=when)
+            except _FAULT_EXCEPTIONS as exc:
+                deg.note(exc, when, len(lat))
+                failed += 1
+                continue
             complete = request.complete_ns
             lat_append((complete - request.submit_ns) / 1_000)
             if complete > done_at:
@@ -246,22 +306,32 @@ def _run_timed_single(
                 heapq.heappush(inflight, complete)
                 obs.emit(QueueDepth(job=job.name, at_ns=when,
                                     depth=len(inflight)))
-        return lat, done_at
+        return lat, done_at, failed, deg
 
     if job.iodepth == 1:
         # Strictly sequential: each request is submitted the instant the
-        # previous one completes — no ready heap at all.
+        # previous one completes — no ready heap at all.  A refused
+        # request takes no device time, so the next submits at the same
+        # instant.
         when = t0
         for _ in range(job.io_count):
             lba = next_lba(rng)
             kind = request_kind(rng)
-            request = submit(kind, lba, bs, at_ns=when)
+            if deg.dead:
+                failed += 1
+                continue
+            try:
+                request = submit(kind, lba, bs, at_ns=when)
+            except _FAULT_EXCEPTIONS as exc:
+                deg.note(exc, when, len(lat))
+                failed += 1
+                continue
             complete = request.complete_ns
             lat_append((complete - request.submit_ns) / 1_000)
             when = complete
-        if job.io_count:
+        if lat:
             done_at = when
-        return lat, done_at
+        return lat, done_at, failed, deg
 
     # Closed loop, iodepth > 1: a slot heap of (ready time, tiebreak),
     # seeded and sequenced exactly like the general scheduler so the
@@ -277,7 +347,20 @@ def _run_timed_single(
         left -= 1
         lba = next_lba(rng)
         kind = request_kind(rng)
-        request = submit(kind, lba, bs, at_ns=when)
+        if deg.dead:
+            failed += 1
+            continue
+        try:
+            request = submit(kind, lba, bs, at_ns=when)
+        except _FAULT_EXCEPTIONS as exc:
+            deg.note(exc, when, len(lat))
+            failed += 1
+            if not deg.dead and left > 0:
+                # The slot stays alive: re-arm at the same instant so
+                # the remaining budget drains (left strictly decreases).
+                seq += 1
+                heapq.heappush(ready, (when, seq))
+            continue
         complete = request.complete_ns
         lat_append((complete - request.submit_ns) / 1_000)
         if complete > done_at:
@@ -285,7 +368,9 @@ def _run_timed_single(
         if left > 0:
             seq += 1
             heapq.heappush(ready, (complete, seq))
-    return lat, done_at
+    if deg.dead and left > 0:
+        failed += left  # slots died with the device; budget never ran
+    return lat, done_at, failed, deg
 
 
 def run_timed(
@@ -321,7 +406,7 @@ def run_timed(
         # specialized loops below produce the identical submission
         # sequence (same RNG draw order, same arrival/completion times)
         # without one heap push-pop and dict lookup per request.
-        lat, done_at = _run_timed_single(device, jobs[0], t0)
+        lat, done_at, failed, deg = _run_timed_single(device, jobs[0], t0)
         job = jobs[0]
         elapsed = max(0, done_at - t0)
         results = {job.name: JobResult(
@@ -330,9 +415,12 @@ def run_timed(
             sectors=len(lat) * job.bs_sectors,
             latencies_us=np.asarray(lat),
             elapsed_ns=elapsed,
+            failed_requests=failed,
         )}
         delta = device.smart.delta(before)
-        return RunResult(jobs=results, smart_delta=delta, elapsed_ns=elapsed)
+        return RunResult(jobs=results, smart_delta=delta, elapsed_ns=elapsed,
+                         degraded_kind=deg.kind, degraded_at_ns=deg.at_ns,
+                         ops_before_degraded=deg.ops_before)
 
     # Per-job state: (next ready time heap of slots, pattern, rng, left).
     @dataclass
@@ -346,6 +434,7 @@ def run_timed(
         done_at: int = 0
         arrivals: np.ndarray | None = None
         inflight: list[int] = field(default_factory=list)
+        failed: int = 0
 
     states = {}
     ready: list[tuple[int, int, str]] = []  # (when, tiebreak, job name)
@@ -361,6 +450,7 @@ def run_timed(
                 heapq.heappush(ready, (t0, i * 64 + d, job.name))
 
     seq = len(jobs) * 64
+    deg = _Degradation()
     while ready:
         when, _, name = heapq.heappop(ready)
         state = states[name]
@@ -370,7 +460,28 @@ def run_timed(
         job = state.spec
         lba = state.pattern.next_lba(state.rng)
         kind = job.request_kind(state.rng)
-        request = device.submit(kind, lba, job.bs_sectors, at_ns=when)
+        if deg.dead:
+            state.failed += 1
+            continue
+        try:
+            request = device.submit(kind, lba, job.bs_sectors, at_ns=when)
+        except _FAULT_EXCEPTIONS as exc:
+            deg.note(exc, when,
+                     sum(len(s.lat) for s in states.values()))
+            state.failed += 1
+            if deg.dead:
+                continue  # remaining pops drain as failures
+            if state.left > 0:
+                # The job keeps going: open-loop arrivals are immutable,
+                # a closed-loop slot re-arms at the same instant (a
+                # refused request takes no device time).
+                seq += 1
+                if job.is_open_loop:
+                    next_at = int(state.arrivals[job.io_count - state.left])
+                    heapq.heappush(ready, (next_at, seq, name))
+                else:
+                    heapq.heappush(ready, (when, seq, name))
+            continue
         state.lat.append(request.latency_us)
         state.done_at = max(state.done_at, request.complete_ns)
         if job.is_open_loop:
@@ -401,6 +512,10 @@ def run_timed(
             sectors=len(state.lat) * state.spec.bs_sectors,
             latencies_us=np.asarray(state.lat),
             elapsed_ns=elapsed,
+            # a dead device leaves budget in the heap; it all failed.
+            failed_requests=state.failed + max(0, state.left),
         )
     delta = device.smart.delta(before)
-    return RunResult(jobs=results, smart_delta=delta, elapsed_ns=elapsed_total)
+    return RunResult(jobs=results, smart_delta=delta, elapsed_ns=elapsed_total,
+                     degraded_kind=deg.kind, degraded_at_ns=deg.at_ns,
+                     ops_before_degraded=deg.ops_before)

@@ -226,6 +226,45 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["fleet", "--mix", "mystery"])
 
+    def test_fleet_campaign(self, capsys):
+        assert main(["fleet", "--devices", "8", "--io-count", "30",
+                     "--campaign", "default", "--afr", "40",
+                     "--jobs", "1", "--no-cache"]) in (0, 1)
+        out = capsys.readouterr().out
+        assert "campaign" in out
+        assert "availability" in out
+        assert "durability verdict" in out
+        assert "healthy vs faulted latency split" in out
+
+    def test_fleet_afr_requires_campaign(self, capsys):
+        assert main(["fleet", "--afr", "0.5", "--no-cache"]) == 1
+        assert "--afr needs --campaign" in capsys.readouterr().out
+
+    def test_fleet_only_device_detail(self, capsys):
+        assert main(["fleet", "--devices", "8", "--io-count", "30",
+                     "--campaign", "default", "--afr", "40",
+                     "--only", "0:3", "--jobs", "1", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet device detail [0, 3)" in out
+        assert main(["fleet", "--devices", "4", "--only", "9",
+                     "--no-cache"]) == 1
+        assert "outside" in capsys.readouterr().out
+
+    def test_fleet_resume_reports_cached_shards(self, capsys, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = ["fleet", "--devices", "8", "--io-count", "30",
+                "--shards", "2", "--jobs", "1"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--resume"]) == 0
+        assert "2/2 shards already cached" in capsys.readouterr().out
+
+    def test_fleet_resume_requires_cache(self, capsys):
+        assert main(["fleet", "--devices", "4", "--io-count", "30",
+                     "--resume", "--no-cache", "--jobs", "1"]) == 1
+        assert "--resume needs the result cache" in capsys.readouterr().out
+
     def test_every_subcommand_has_smoke_coverage(self):
         """Each subcommand in cli.py has a TestCommands smoke test."""
         covered = {
