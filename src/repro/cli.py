@@ -137,8 +137,7 @@ def cmd_trace(args) -> int:
         attribute_tail,
         load_trace,
     )
-    from repro.workloads.patterns import Region
-    from repro.workloads.spec import JobSpec
+    from repro.workloads.source import synthetic_source
 
     if args.writes < 1:
         print("trace: --writes must be >= 1")
@@ -149,24 +148,23 @@ def cmd_trace(args) -> int:
     jsonl = JsonlSink(args.out)
     sink = TeeSink(jsonl, counter, histogram)
 
+    def source(device, iodepth=1):
+        return synthetic_source("trace", "randwrite", device.num_sectors,
+                                bs_sectors=args.bs, io_count=args.writes,
+                                iodepth=iodepth, seed=args.seed)
+
     if args.mode == "timed":
         from repro.ssd.timed import TimedSSD
         from repro.workloads.engine import run_timed
 
         device = TimedSSD(_preset(args.preset, args.scale))
-        job = JobSpec("trace", "randwrite", Region(0, device.num_sectors),
-                      bs_sectors=args.bs, io_count=args.writes,
-                      iodepth=args.iodepth, seed=args.seed)
-        run_timed(device, [job], sink=sink)
+        run_timed(device, [source(device, iodepth=args.iodepth)], sink=sink)
     else:
         from repro.ssd.device import SimulatedSSD
         from repro.workloads.engine import run_counter
 
         device = SimulatedSSD(_preset(args.preset, args.scale))
-        job = JobSpec("trace", "randwrite", Region(0, device.num_sectors),
-                      bs_sectors=args.bs, io_count=args.writes,
-                      seed=args.seed)
-        run_counter(device, [job], sink=sink)
+        run_counter(device, [source(device)], sink=sink)
     sink.close()
 
     print(format_table(
@@ -191,6 +189,133 @@ def cmd_trace(args) -> int:
                 title="write-tail attribution (cache-admission stall)",
             ))
     print(f"\ntrace: {jsonl.events_written} events -> {args.out}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """Replay a recorded block trace against a device preset.
+
+    The trace is validated at load time (column shape, op kinds,
+    monotonic timestamps, LBA bounds against the chosen preset); a
+    malformed trace exits nonzero with the offending line named.
+    """
+    from repro.workloads.source import TraceSource
+    from repro.workloads.trace import BlockTrace, TraceFormatError
+
+    config = _preset(args.preset, args.scale)
+    try:
+        trace = BlockTrace.load(args.trace, num_sectors=config.logical_sectors)
+    except OSError as exc:
+        print(f"replay: cannot read {args.trace}: {exc}")
+        return 1
+    except TraceFormatError as exc:
+        print(f"replay: {exc}")
+        return 1
+    if not len(trace):
+        print(f"replay: {args.trace} has no records")
+        return 1
+
+    source = TraceSource(trace, name="replay", time_scale=args.time_scale,
+                         submission=args.submission, iodepth=args.iodepth)
+    if args.mode == "timed":
+        from repro.ssd.timed import TimedSSD
+        from repro.workloads.engine import run_timed
+
+        device = TimedSSD(config)
+        result = run_timed(device, [source])
+        job = result.jobs["replay"]
+        summary = summarize_latencies(job.latencies_us)
+        loop = (f"open loop @ recorded timeline x{args.time_scale:g}"
+                if source.is_open_loop else f"closed loop qd={args.iodepth}")
+        print(format_table(
+            ["metric", "value"],
+            [["requests", job.requests],
+             ["failed", job.failed_requests],
+             ["IOPS", round(job.iops)],
+             ["mean (us)", summary.mean], ["p50 (us)", summary.p50],
+             ["p99 (us)", summary.p99], ["max (us)", summary.max],
+             ["WAF", round(result.waf, 3)]],
+            title=f"trace replay on {args.preset} ({loop})",
+        ))
+    else:
+        from repro.ssd.device import SimulatedSSD
+        from repro.workloads.engine import run_counter
+
+        device = SimulatedSSD(config)
+        result = run_counter(device, [source])
+        job = result.jobs["replay"]
+        print(device.smart_render())
+        print(f"\nreplayed {job.requests} requests "
+              f"({job.sectors} sectors), WAF {result.waf:.3f}")
+    return 0
+
+
+def cmd_engine(args) -> int:
+    """Run YCSB mixes through the storage engines, one cached cell per
+    engine x mix, and show how engine structure lands on the device."""
+    from repro.engines import (
+        ENGINES,
+        YCSB_MIXES,
+        EngineRunCell,
+        run_engine_cell,
+        ycsb_spec_for_device,
+    )
+    from repro.exp import Cell
+
+    def axis(raw, known, what):
+        picked = tuple(s.strip() for s in raw.split(",") if s.strip())
+        for name in picked:
+            if name not in known:
+                raise SystemExit(f"engine: unknown {what} {name!r}; "
+                                 f"known: {', '.join(sorted(known))}")
+        return picked
+
+    engines = axis(args.engines, ENGINES, "engine")
+    mixes = axis(args.mixes, YCSB_MIXES, "mix")
+    config = _preset(args.preset, args.scale)
+    if args.alloc:
+        config = config.with_changes(allocation_scheme=args.alloc)
+
+    cells = []
+    for engine in engines:
+        for mix in mixes:
+            spec = ycsb_spec_for_device(
+                mix, config.logical_sectors,
+                value_sectors=args.value_sectors,
+                operations=args.ops or None)
+            if args.records:
+                from dataclasses import replace
+                spec = replace(spec, records=args.records)
+            cells.append(Cell(
+                run_engine_cell,
+                EngineRunCell(config, engine, spec, iodepth=args.iodepth),
+                seed=args.seed,
+                label=f"engine:{engine}:{mix}",
+            ))
+    runner = _make_runner(args)
+    results = runner.run(cells)
+
+    rows = []
+    for r in results:
+        rows.append([
+            r.engine, r.mix.upper(), r.requests,
+            round(r.p50_us, 1), round(r.p99_us, 1),
+            round(r.iops), round(r.device_waf, 3),
+            round(r.engine_waf, 3), r.maintenance_ops,
+        ])
+    alloc = args.alloc or config.allocation_scheme
+    print(format_table(
+        ["engine", "mix", "requests", "p50 (us)", "p99 (us)", "IOPS",
+         "device WAF", "engine WAF", "maint ops"],
+        rows,
+        title=f"storage engines on {args.preset} (alloc {alloc})",
+    ))
+    errors = sum(r.read_errors for r in results)
+    if errors:
+        print(f"\nengine: {errors} READ-AFTER-WRITE VIOLATIONS")
+        return 1
+    print("\nengine: all reads returned the latest written version")
+    print(runner.describe())
     return 0
 
 
@@ -743,6 +868,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="trace.jsonl",
                    help="JSONL trace output path (default trace.jsonl)")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("replay",
+                       help="replay a recorded block trace (validated at "
+                            "load; exits nonzero on a malformed trace)")
+    common(p, preset_default="tiny")
+    p.add_argument("--trace", required=True,
+                   help="block-trace CSV (op,lba,sectors,at_us)")
+    p.add_argument("--time-scale", type=float, default=1.0,
+                   help="arrival-time multiplier: > 1 slows the trace "
+                        "down, < 1 speeds it up (default 1)")
+    p.add_argument("--mode", default="timed", choices=["timed", "counter"])
+    p.add_argument("--submission", default="open",
+                   choices=["open", "closed"],
+                   help="open loop at the recorded timeline, or closed "
+                        "loop at --iodepth (default open)")
+    p.add_argument("--iodepth", type=int, default=1)
+    p.set_defaults(fn=cmd_replay)
+
+    p = sub.add_parser("engine",
+                       help="YCSB mixes through the LSM / B-tree storage "
+                            "engines, one cached cell per engine x mix")
+    common(p, preset_default="mqsim")
+    p.add_argument("--engines", default="lsm,btree",
+                   help="comma-separated engine axis (default lsm,btree)")
+    p.add_argument("--mixes", default="a,b,c",
+                   help="comma-separated YCSB mix axis (default a,b,c)")
+    p.add_argument("--alloc", default="",
+                   help="allocation_scheme override (e.g. hotcold)")
+    p.add_argument("--records", type=int, default=0,
+                   help="key count (default: sized to the device)")
+    p.add_argument("--ops", type=int, default=0,
+                   help="run-phase operations (default: 4x records)")
+    p.add_argument("--value-sectors", type=int, default=1)
+    p.add_argument("--iodepth", type=int, default=1)
+    parallel(p)
+    p.set_defaults(fn=cmd_engine)
 
     p = sub.add_parser("latency", help="timed workload, latency percentiles")
     common(p)

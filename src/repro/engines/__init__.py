@@ -1,0 +1,35 @@
+"""Storage engines: application structure above the block device.
+
+LSM-tree and B+-tree engines that translate key-value workloads into
+block traffic, implemented as
+:class:`~repro.workloads.source.RequestSource` streams — so an engine
+runs anywhere a workload runs (``run_counter``/``run_timed``, fleet
+tenants, cached exp cells) and its maintenance traffic (compaction,
+split/merge churn) contends with device-internal GC on equal footing.
+"""
+
+from repro.engines.btree import BTreeConfig, BTreeEngine, BTreeStats
+from repro.engines.cells import (
+    ENGINES,
+    EngineRunCell,
+    EngineRunResult,
+    build_engine,
+    run_engine_cell,
+)
+from repro.engines.kv import (
+    YCSB_MIXES,
+    KvEngine,
+    KvStats,
+    YcsbSpec,
+    ycsb_spec_for_device,
+)
+from repro.engines.lsm import LsmConfig, LsmEngine, LsmStats, SsTable
+
+__all__ = [
+    "YCSB_MIXES", "YcsbSpec", "ycsb_spec_for_device",
+    "KvEngine", "KvStats",
+    "LsmConfig", "LsmEngine", "LsmStats", "SsTable",
+    "BTreeConfig", "BTreeEngine", "BTreeStats",
+    "ENGINES", "EngineRunCell", "EngineRunResult",
+    "build_engine", "run_engine_cell",
+]

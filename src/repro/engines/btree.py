@@ -1,0 +1,291 @@
+"""A B+-tree engine atop the block device.
+
+The update-in-place counterpoint to :mod:`repro.engines.lsm`: records
+live in fixed-size pages, every put is a read-modify-write of the leaf
+that owns the key, and structural churn comes from page splits (inserts)
+and merges (deletes) — random single-page writes scattered over the page
+pool, where the LSM writes long sequential extents and trims whole
+tables.  Same logical ops, opposite block traffic; the contrast is what
+makes engine structure × device policy measurable.
+
+Internal nodes are pinned in the buffer pool (real engines cache the
+upper levels), so reads cost one leaf-page read and writes one leaf
+read-modify-write plus any split/merge page writes.  Freed pages are
+trimmed.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+
+from repro.engines.kv import KvEngine, YcsbSpec
+from repro.obs.events import BtreePageMerge, BtreePageSplit
+
+
+@dataclass(frozen=True)
+class BTreeConfig:
+    """Page geometry knobs.
+
+    ``leaf_capacity`` is keys per leaf; a leaf dropping below
+    ``leaf_capacity // 4`` after a delete merges with a sibling when the
+    combined load fits.
+    """
+
+    page_sectors: int = 4
+    leaf_capacity: int = 16
+    node_capacity: int = 16
+
+    def __post_init__(self) -> None:
+        if self.page_sectors < 1:
+            raise ValueError("page_sectors must be >= 1")
+        if self.leaf_capacity < 4 or self.node_capacity < 4:
+            raise ValueError("leaf/node capacity must be >= 4")
+
+    @property
+    def merge_threshold(self) -> int:
+        return self.leaf_capacity // 4
+
+
+@dataclass
+class BTreeStats:
+    """Structure and traffic accounting."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+    splits: int = 0
+    merges: int = 0
+    pages_allocated: int = 0
+    pages_freed: int = 0
+
+
+@dataclass(eq=False)
+class _Page:
+    """One node: a sorted key list plus children (internal) or values
+    (leaf, parallel to ``keys``)."""
+
+    page_id: int
+    leaf: bool
+    keys: list[int] = field(default_factory=list)
+    children: list[int] = field(default_factory=list)
+    values: list[int] = field(default_factory=list)
+
+
+class BTreeEngine(KvEngine):
+    """The B+-tree engine as a request source."""
+
+    ENGINE = "btree"
+
+    def __init__(self, spec: YcsbSpec, num_sectors: int,
+                 config: BTreeConfig | None = None, **kwargs) -> None:
+        super().__init__(spec, num_sectors, **kwargs)
+        self.config = config or BTreeConfig()
+        cfg = self.config
+        self._num_pages = num_sectors // cfg.page_sectors
+        min_pages = 2 * max(1, spec.records // cfg.merge_threshold) + 4
+        if self._num_pages < min_pages:
+            raise ValueError(
+                f"btree: {spec.records} records need >= {min_pages} "
+                f"pages of {cfg.page_sectors} sectors, device has "
+                f"{self._num_pages}")
+        self.btree_stats = BTreeStats()
+        self._free = list(range(self._num_pages - 1, -1, -1))  # pop() ascending
+        self._pages: dict[int, _Page] = {}
+        root = self._alloc_page(leaf=True)
+        self._root_id = root.page_id
+        self._write_page(root)
+
+    # -- page pool ---------------------------------------------------------
+
+    def _alloc_page(self, leaf: bool) -> _Page:
+        if not self._free:
+            raise RuntimeError("btree: page pool exhausted")
+        page = _Page(self._free.pop(), leaf)
+        self._pages[page.page_id] = page
+        self.btree_stats.pages_allocated += 1
+        return page
+
+    def _free_page(self, page: _Page) -> None:
+        del self._pages[page.page_id]
+        self._free.append(page.page_id)
+        self._free.sort(reverse=True)  # keep pop() returning the lowest id
+        self.btree_stats.pages_freed += 1
+        self._trim(self._lba(page.page_id), self.config.page_sectors)
+
+    def _lba(self, page_id: int) -> int:
+        return page_id * self.config.page_sectors
+
+    def _read_page(self, page: _Page) -> None:
+        self._read(self._lba(page.page_id), self.config.page_sectors)
+        self.btree_stats.page_reads += 1
+
+    def _write_page(self, page: _Page) -> None:
+        self._write(self._lba(page.page_id), self.config.page_sectors)
+        self.btree_stats.page_writes += 1
+
+    # -- traversal ---------------------------------------------------------
+
+    def _path_to(self, key: int) -> list[_Page]:
+        """Root-to-leaf path.  Internal nodes are buffer-pool resident
+        (no I/O); only the leaf costs a page read, charged by callers."""
+        path = [self._pages[self._root_id]]
+        while not path[-1].leaf:
+            node = path[-1]
+            idx = bisect_right(node.keys, key)
+            path.append(self._pages[node.children[idx]])
+        return path
+
+    @property
+    def depth(self) -> int:
+        depth = 1
+        node = self._pages[self._root_id]
+        while not node.leaf:
+            depth += 1
+            node = self._pages[node.children[0]]
+        return depth
+
+    # -- key-value surface -------------------------------------------------
+
+    def get(self, key: int) -> int | None:
+        leaf = self._path_to(key)[-1]
+        self._read_page(leaf)
+        idx = bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return None
+
+    def put(self, key: int, version: int) -> None:
+        path = self._path_to(key)
+        leaf = path[-1]
+        self._read_page(leaf)  # read-modify-write
+        idx = bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            leaf.values[idx] = version
+        else:
+            leaf.keys.insert(idx, key)
+            leaf.values.insert(idx, version)
+        self._write_page(leaf)
+        if len(leaf.keys) > self.config.leaf_capacity:
+            self._split(path)
+
+    def delete(self, key: int) -> None:
+        path = self._path_to(key)
+        leaf = path[-1]
+        self._read_page(leaf)
+        idx = bisect_left(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            return
+        del leaf.keys[idx]
+        del leaf.values[idx]
+        self._write_page(leaf)
+        if (len(leaf.keys) < self.config.merge_threshold
+                and len(path) > 1):
+            self._maybe_merge(path)
+
+    # -- splits ------------------------------------------------------------
+
+    def _split(self, path: list[_Page]) -> None:
+        node = path[-1]
+        mid = len(node.keys) // 2
+        sibling = self._alloc_page(node.leaf)
+        if node.leaf:
+            sep = node.keys[mid]
+            sibling.keys = node.keys[mid:]
+            sibling.values = node.values[mid:]
+            del node.keys[mid:]
+            del node.values[mid:]
+        else:
+            # internal split: the middle key moves up, not right
+            sep = node.keys[mid]
+            sibling.keys = node.keys[mid + 1:]
+            sibling.children = node.children[mid + 1:]
+            del node.keys[mid:]
+            del node.children[mid + 1:]
+        self._write_page(node)
+        self._write_page(sibling)
+        self.btree_stats.splits += 1
+        if self.obs.enabled:
+            self.obs.emit(BtreePageSplit(page=node.page_id,
+                                         depth=len(path)))
+        if len(path) == 1:
+            # root split: grow the tree by one level
+            new_root = self._alloc_page(leaf=False)
+            new_root.keys = [sep]
+            new_root.children = [node.page_id, sibling.page_id]
+            self._root_id = new_root.page_id
+            self._write_page(new_root)
+            return
+        parent = path[-2]
+        idx = bisect_right(parent.keys, sep)
+        parent.keys.insert(idx, sep)
+        parent.children.insert(idx + 1, sibling.page_id)
+        self._write_page(parent)
+        if len(parent.children) > self.config.node_capacity:
+            self._split(path[:-1])
+
+    # -- merges ------------------------------------------------------------
+
+    def _maybe_merge(self, path: list[_Page]) -> None:
+        leaf, parent = path[-1], path[-2]
+        slot = parent.children.index(leaf.page_id)
+        for other_slot in (slot - 1, slot + 1):
+            if not 0 <= other_slot < len(parent.children):
+                continue
+            sibling = self._pages[parent.children[other_slot]]
+            if len(sibling.keys) + len(leaf.keys) > self.config.leaf_capacity:
+                continue
+            left, right = ((sibling, leaf) if other_slot < slot
+                           else (leaf, sibling))
+            self._read_page(sibling)
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            right_slot = parent.children.index(right.page_id)
+            del parent.keys[right_slot - 1]
+            del parent.children[right_slot]
+            self._write_page(left)
+            self._write_page(parent)
+            self._free_page(right)
+            self.btree_stats.merges += 1
+            if self.obs.enabled:
+                self.obs.emit(BtreePageMerge(page=left.page_id,
+                                             depth=len(path)))
+            break
+        # root collapse: an internal root with one child shrinks the tree
+        root = self._pages[self._root_id]
+        if not root.leaf and len(root.children) == 1:
+            child = root.children[0]
+            self._free_page(root)
+            self._root_id = child
+
+    # -- invariants (unit-suite surface) -----------------------------------
+
+    def check_invariants(self) -> None:
+        """Walk the tree asserting ordering, fanout, and reachability —
+        the split/merge unit suite calls this after every mutation."""
+        cfg = self.config
+        seen: set[int] = set()
+
+        def walk(page_id: int, lo: int | None, hi: int | None, depth: int) -> int:
+            assert page_id not in seen, "page reachable twice"
+            seen.add(page_id)
+            page = self._pages[page_id]
+            assert page.keys == sorted(page.keys), "unsorted keys"
+            for k in page.keys:
+                assert lo is None or k >= lo, "key below subtree bound"
+                assert hi is None or k < hi, "key above subtree bound"
+            if page.leaf:
+                assert len(page.keys) == len(page.values)
+                assert len(page.keys) <= cfg.leaf_capacity, "leaf overflow"
+                return depth
+            assert len(page.children) == len(page.keys) + 1
+            assert len(page.children) <= cfg.node_capacity, "node overflow"
+            depths = set()
+            bounds = [lo] + list(page.keys) + [hi]
+            for i, child in enumerate(page.children):
+                depths.add(walk(child, bounds[i], bounds[i + 1], depth + 1))
+            assert len(depths) == 1, "leaves at different depths"
+            return depths.pop()
+
+        walk(self._root_id, None, None, 1)
+        assert len(seen) == len(self._pages), "orphaned pages"
+        assert len(seen) + len(self._free) == self._num_pages

@@ -1,0 +1,105 @@
+"""Cached experiment cells for storage-engine runs.
+
+One cell = one engine × one YCSB mix × one device config, run on a
+fresh timed device.  Pure and picklable, so the CLI and the ablation
+benchmark fan them out through :class:`~repro.exp.runner.Runner` and
+hit the content-addressed result cache on re-runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engines.kv import YcsbSpec
+from repro.ssd.config import SsdConfig
+
+#: engine names `build_engine` understands.
+ENGINES = ("lsm", "btree")
+
+
+def build_engine(name: str, spec: YcsbSpec, num_sectors: int, *,
+                 seed: int = 0, iodepth: int = 1, sink=None):
+    """Construct an engine by name (the CLI/cell entry point)."""
+    if name == "lsm":
+        from repro.engines.lsm import LsmEngine
+
+        return LsmEngine(spec, num_sectors, seed=seed, iodepth=iodepth,
+                         sink=sink)
+    if name == "btree":
+        from repro.engines.btree import BTreeEngine
+
+        return BTreeEngine(spec, num_sectors, seed=seed, iodepth=iodepth,
+                           sink=sink)
+    raise ValueError(f"unknown engine {name!r}; known: {ENGINES}")
+
+
+@dataclass(frozen=True)
+class EngineRunCell:
+    """One storage-engine run against a fresh timed device."""
+
+    config: SsdConfig
+    engine: str
+    spec: YcsbSpec
+    iodepth: int = 1
+
+
+@dataclass(frozen=True)
+class EngineRunResult:
+    """Picklable engine-run summary: host-visible latency plus the
+    engine- and device-side amplification that produced it."""
+
+    engine: str
+    mix: str
+    requests: int
+    failed_requests: int
+    read_errors: int
+    p50_us: float
+    p99_us: float
+    p999_us: float
+    iops: float
+    elapsed_ns: int
+    device_waf: float
+    engine_waf: float
+    #: engine maintenance: LSM compactions / B-tree splits+merges.
+    maintenance_ops: int
+    sectors: int
+
+
+def run_engine_cell(spec: EngineRunCell, seed: int = 0) -> EngineRunResult:
+    from repro.ssd.timed import TimedSSD
+    from repro.workloads.engine import run_timed
+
+    device = TimedSSD(spec.config)
+    engine = build_engine(spec.engine, spec.spec, device.num_sectors,
+                          seed=seed, iodepth=spec.iodepth)
+    result = run_timed(device, [engine])
+    job = result.jobs[engine.name]
+    lat = job.latencies_us if job.latencies_us is not None else np.asarray([])
+
+    def pct(q: float) -> float:
+        return float(np.percentile(lat, q)) if len(lat) else 0.0
+
+    if spec.engine == "lsm":
+        engine_waf = engine.lsm_stats.engine_waf
+        maintenance = engine.lsm_stats.compactions
+    else:
+        stats = engine.btree_stats
+        writes = stats.page_writes
+        engine_waf = writes / max(1, engine.stats.puts)
+        maintenance = stats.splits + stats.merges
+    return EngineRunResult(
+        engine=spec.engine,
+        mix=spec.spec.mix,
+        requests=job.requests,
+        failed_requests=job.failed_requests,
+        read_errors=engine.stats.read_errors,
+        p50_us=pct(50), p99_us=pct(99), p999_us=pct(99.9),
+        iops=job.iops,
+        elapsed_ns=job.elapsed_ns,
+        device_waf=result.waf,
+        engine_waf=engine_waf,
+        maintenance_ops=maintenance,
+        sectors=job.sectors,
+    )

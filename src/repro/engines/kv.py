@@ -1,0 +1,246 @@
+"""Key-value workload machinery shared by the storage engines.
+
+The paper's cross-layer argument needs workloads with *application
+structure*: a database engine turns the same logical op stream into
+completely different block traffic depending on its data structure
+(log-structured merge vs. in-place B-tree).  This module provides the
+shared pieces:
+
+* :class:`YcsbSpec` — a YCSB-style key-value workload (load phase plus
+  a read/update mix over a zipfian or uniform key popularity curve).
+* :class:`KvEngine` — the engine base class.  An engine **is a**
+  :class:`~repro.workloads.source.RequestSource`: key-value operations
+  are consumed lazily and each one expands into the block requests the
+  engine's data structure issues for it, so engines plug into
+  ``run_counter``/``run_timed``, fleet tenants, and exp cells like any
+  other workload.  The stream's length is unknown upfront
+  (``remaining`` is ``None``): compactions and splits happen when the
+  structure decides, not on a schedule.
+
+Every engine tracks a ground-truth model dict and checks each read
+against it (``stats.read_errors``) — the read-after-write invariant the
+engine test suites pin under compaction and GC churn.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.sinks import NULL_SINK
+from repro.workloads.source import RequestSource
+
+#: read/update mixes, YCSB-style: update fraction by mix name.
+#: A = 50/50 read/update, B = 95/5 read-mostly, C = read-only.
+YCSB_MIXES = {"a": 0.5, "b": 0.05, "c": 0.0}
+
+#: RNG stream constant for the op mix (dedicated stream, so changing
+#: the mix never perturbs anything else derived from the same seed).
+_OP_STREAM = 0xE9619
+
+#: Knuth multiplicative scatter: maps a popularity rank to a key so the
+#: hottest keys spread across the key space instead of clustering in
+#: one SSTable / leaf page.
+_SCATTER = 2654435761
+
+
+@dataclass(frozen=True)
+class YcsbSpec:
+    """A YCSB-style key-value workload.
+
+    The load phase inserts ``records`` keys in order (YCSB's sequential
+    load), then ``operations`` ops draw keys from a zipfian (default) or
+    uniform popularity curve and read or update per the mix.  Both
+    phases flow through the engine's request stream, so a run measures
+    the structure's full lifecycle: load-time flush/split churn included.
+    """
+
+    mix: str = "a"
+    records: int = 512
+    operations: int = 2048
+    value_sectors: int = 1
+    key_dist: str = "zipfian"
+    zipf_theta: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.mix not in YCSB_MIXES:
+            known = ", ".join(sorted(YCSB_MIXES))
+            raise ValueError(f"unknown YCSB mix {self.mix!r}; known: {known}")
+        if self.records < 1:
+            raise ValueError("records must be >= 1")
+        if self.operations < 0:
+            raise ValueError("operations must be >= 0")
+        if self.value_sectors < 1:
+            raise ValueError("value_sectors must be >= 1")
+        if self.key_dist not in ("zipfian", "uniform"):
+            raise ValueError(f"unknown key_dist {self.key_dist!r}")
+        if not 0.0 < self.zipf_theta < 10.0:
+            raise ValueError("zipf_theta must be in (0, 10)")
+
+    @property
+    def dataset_sectors(self) -> int:
+        return self.records * self.value_sectors
+
+
+def ycsb_spec_for_device(
+    mix: str,
+    num_sectors: int,
+    *,
+    value_sectors: int = 1,
+    operations: int | None = None,
+    **kwargs,
+) -> YcsbSpec:
+    """Size a YCSB spec to a device: the dataset takes ~1/6 of the LBA
+    space (headroom for engine churn) and the run phase touches every
+    record ~4 times by default."""
+    records = max(16, num_sectors // (6 * value_sectors))
+    if operations is None:
+        operations = 4 * records
+    return YcsbSpec(mix=mix, records=records, operations=operations,
+                    value_sectors=value_sectors, **kwargs)
+
+
+@dataclass
+class KvStats:
+    """Operation-level accounting shared by every engine."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    #: reads whose result disagreed with the ground-truth model — the
+    #: read-after-write invariant; any nonzero value is an engine bug.
+    read_errors: int = 0
+
+
+class KvEngine(RequestSource):
+    """Base class: a key-value engine as a request source.
+
+    Subclasses implement :meth:`put`, :meth:`get` (and optionally
+    :meth:`delete`), calling the ``_write/_read/_trim/_flush`` helpers
+    to emit the block requests their data structure issues.  The source
+    surface pulls one block request at a time, executing key-value ops
+    lazily as the queue drains — so the engine composes with closed-loop
+    scheduling at any iodepth, and with other sources on a shared
+    device.
+    """
+
+    #: subclass tag used in default source names ("lsm", "btree").
+    ENGINE = "kv"
+    is_open_loop = False
+
+    def __init__(
+        self,
+        spec: YcsbSpec,
+        num_sectors: int,
+        *,
+        name: str | None = None,
+        seed: int = 0,
+        iodepth: int = 1,
+        sink=None,
+    ) -> None:
+        if num_sectors < 1:
+            raise ValueError("num_sectors must be >= 1")
+        if iodepth < 1:
+            raise ValueError("iodepth must be >= 1")
+        self.spec = spec
+        self.num_sectors = num_sectors
+        self.name = name or f"{self.ENGINE}-{spec.mix}"
+        self.iodepth = iodepth
+        self.seed = seed
+        self.obs = sink if sink is not None else NULL_SINK
+        self.stats = KvStats()
+        self._pending: deque[tuple[str, int, int]] = deque()
+        self._ops = self._op_stream()
+        #: ground truth: key -> latest version written.
+        self._model: dict[int, int] = {}
+        self._version = 0
+
+    # -- RequestSource surface --------------------------------------------
+
+    def next_request(self) -> tuple[str, int, int] | None:
+        while not self._pending:
+            op = next(self._ops, None)
+            if op is None:
+                return None
+            self._apply(op)
+        return self._pending.popleft()
+
+    # ``remaining`` stays at the base ``None``: how many block requests
+    # are left depends on compactions/splits that haven't happened yet.
+
+    # -- key-value surface (subclasses) -----------------------------------
+
+    def put(self, key: int, version: int) -> None:
+        raise NotImplementedError
+
+    def get(self, key: int) -> int | None:
+        raise NotImplementedError
+
+    def delete(self, key: int) -> None:
+        raise NotImplementedError(f"{self.ENGINE} does not support delete")
+
+    # -- op generation -----------------------------------------------------
+
+    def _op_stream(self):
+        spec = self.spec
+        for key in range(spec.records):
+            yield ("put", key)
+        if not spec.operations:
+            return
+        rng = np.random.default_rng([self.seed, _OP_STREAM])
+        update_fraction = YCSB_MIXES[spec.mix]
+        cdf = None
+        if spec.key_dist == "zipfian":
+            weights = 1.0 / np.arange(1, spec.records + 1) ** spec.zipf_theta
+            cdf = np.cumsum(weights)
+            cdf /= cdf[-1]
+        for _ in range(spec.operations):
+            update = rng.random() < update_fraction
+            if cdf is None:
+                rank = int(rng.integers(spec.records))
+            else:
+                rank = int(np.searchsorted(cdf, rng.random()))
+            key = (rank * _SCATTER) % spec.records
+            yield ("put" if update else "get", key)
+
+    def _apply(self, op: tuple[str, int]) -> None:
+        kind, key = op
+        if kind == "put":
+            self._version += 1
+            self._model[key] = self._version
+            self.put(key, self._version)
+            self.stats.puts += 1
+        elif kind == "get":
+            found = self.get(key)
+            if found != self._model.get(key):
+                self.stats.read_errors += 1
+            self.stats.gets += 1
+        else:
+            self.delete(key)
+            self._model.pop(key, None)
+            self.stats.deletes += 1
+
+    # -- block emission helpers -------------------------------------------
+
+    def _write(self, lba: int, sectors: int) -> None:
+        self._check(lba, sectors)
+        self._pending.append(("write", lba, sectors))
+
+    def _read(self, lba: int, sectors: int) -> None:
+        self._check(lba, sectors)
+        self._pending.append(("read", lba, sectors))
+
+    def _trim(self, lba: int, sectors: int) -> None:
+        self._check(lba, sectors)
+        self._pending.append(("trim", lba, sectors))
+
+    def _flush(self) -> None:
+        self._pending.append(("flush", 0, 0))
+
+    def _check(self, lba: int, sectors: int) -> None:
+        if lba < 0 or sectors < 1 or lba + sectors > self.num_sectors:
+            raise ValueError(
+                f"{self.name}: request [{lba}, {lba + sectors}) outside "
+                f"the device's {self.num_sectors} sectors")

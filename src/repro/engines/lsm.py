@@ -1,0 +1,377 @@
+"""A log-structured merge-tree engine atop the block device.
+
+The block-traffic-accurate skeleton of a RocksDB-style LSM: puts append
+to a write-ahead log and a memtable; memtable flushes materialize L0
+SSTables; leveled compaction with a tunable fanout merges tables
+downward, reading every input sector and rewriting the survivors; reads
+probe bloom filters (real bit arrays — false positives cost real index
+reads) before touching flash.  Dropped SSTables are trimmed, so the
+device learns about dead data the way a discard-issuing engine tells it.
+
+What matters to the device is the *shape*: sequential SSTable writes,
+compaction read/write bursts, trims of whole extents — the polar
+opposite of the B-tree's random in-place page updates, and the reason
+engine structure × device policy interact (the cross-layer effect the
+paper argues is invisible today).
+
+SSTable extents come from a first-fit
+:class:`~repro.fs.vfs.FreeSpaceMap` over the LBA space past the WAL
+region, so long-running compaction churn fragments the space exactly
+like file aging does.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engines.kv import KvEngine, YcsbSpec
+from repro.fs.vfs import Extent, FreeSpaceMap, FsError
+from repro.obs.events import (
+    CompactionFinished,
+    CompactionStarted,
+    MemtableFlush,
+    SstableWritten,
+)
+
+
+@dataclass(frozen=True)
+class LsmConfig:
+    """LSM shape knobs (sector-denominated).
+
+    ``None`` fields are sized from the device at engine construction:
+    the WAL takes ~1/16 of the LBA space, the memtable ~1/32, SSTables
+    twice the memtable.
+    """
+
+    memtable_sectors: int | None = None
+    sstable_sectors: int | None = None
+    wal_sectors: int | None = None
+    fanout: int = 4
+    l0_limit: int = 4
+    bloom_bits_per_key: int = 8
+    bloom_hashes: int = 4
+    index_sectors: int = 1
+
+    def sized_for(self, num_sectors: int) -> "LsmConfig":
+        from dataclasses import replace
+
+        memtable = self.memtable_sectors or max(8, num_sectors // 32)
+        return replace(
+            self,
+            wal_sectors=self.wal_sectors or max(16, num_sectors // 16),
+            memtable_sectors=memtable,
+            sstable_sectors=self.sstable_sectors or 2 * memtable,
+        )
+
+
+@dataclass
+class LsmStats:
+    """Engine-side write/read accounting (the engine's own WAF)."""
+
+    wal_sectors_written: int = 0
+    flushes: int = 0
+    flush_sectors_written: int = 0
+    sstables_written: int = 0
+    compactions: int = 0
+    compaction_sectors_read: int = 0
+    compaction_sectors_written: int = 0
+    trimmed_sectors: int = 0
+    bloom_probes: int = 0
+    bloom_negatives: int = 0
+    bloom_false_positives: int = 0
+    sstable_reads: int = 0
+
+    @property
+    def engine_waf(self) -> float:
+        """Engine-level write amplification: sectors the engine wrote
+        per sector the host logically put (WAL + flush + compaction)."""
+        host = self.wal_sectors_written
+        if not host:
+            return 0.0
+        total = (self.wal_sectors_written + self.flush_sectors_written
+                 + self.compaction_sectors_written)
+        return total / host
+
+
+class _Bloom:
+    """A real bloom filter: bit array, k derived hash probes per key.
+
+    Hashing is arithmetic (splitmix-style constants), so filters are
+    deterministic across runs and platforms — false-positive sequences
+    are reproducible.
+    """
+
+    __slots__ = ("bits", "hashes")
+
+    _C1 = 0x9E3779B97F4A7C15
+    _C2 = 0xBF58476D1CE4E5B9
+    _MASK = (1 << 64) - 1
+
+    def __init__(self, keys, bits_per_key: int, hashes: int) -> None:
+        m = max(8, bits_per_key * max(1, len(keys)))
+        self.bits = np.zeros(m, dtype=bool)
+        self.hashes = hashes
+        for key in keys:
+            for i in range(hashes):
+                self.bits[self._probe(key, i) % m] = True
+
+    @classmethod
+    def _probe(cls, key: int, i: int) -> int:
+        h = (key * cls._C1 + (i + 1) * cls._C2) & cls._MASK
+        h ^= h >> 31
+        return h & cls._MASK
+
+    def may_contain(self, key: int) -> bool:
+        m = len(self.bits)
+        return all(self.bits[self._probe(key, i) % m]
+                   for i in range(self.hashes))
+
+
+@dataclass(eq=False)  # identity equality: tables are unique objects
+class SsTable:
+    """One immutable sorted table: entries, extents, bloom filter."""
+
+    level: int
+    seqno: int
+    keys: list[int]
+    entries: dict[int, int]
+    extents: list[Extent]
+    sectors: int
+    bloom: _Bloom
+
+    @property
+    def min_key(self) -> int:
+        return self.keys[0]
+
+    @property
+    def max_key(self) -> int:
+        return self.keys[-1]
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        return self.min_key <= hi and lo <= self.max_key
+
+
+class LsmEngine(KvEngine):
+    """The LSM engine as a request source."""
+
+    ENGINE = "lsm"
+
+    def __init__(self, spec: YcsbSpec, num_sectors: int,
+                 config: LsmConfig | None = None, **kwargs) -> None:
+        super().__init__(spec, num_sectors, **kwargs)
+        self.config = (config or LsmConfig()).sized_for(num_sectors)
+        cfg = self.config
+        if cfg.wal_sectors >= num_sectors:
+            raise ValueError(
+                f"lsm: WAL ({cfg.wal_sectors} sectors) leaves no data "
+                f"space on a {num_sectors}-sector device")
+        data_sectors = num_sectors - cfg.wal_sectors
+        if spec.dataset_sectors * 2 > data_sectors:
+            raise ValueError(
+                f"lsm: dataset of {spec.dataset_sectors} sectors needs "
+                f">= 2x headroom, have {data_sectors} data sectors")
+        self.space = FreeSpaceMap(cfg.wal_sectors, data_sectors)
+        self.lsm_stats = LsmStats()
+        self.memtable: dict[int, int] = {}
+        #: levels[0] is unsorted (newest last); deeper levels hold
+        #: non-overlapping tables sorted by min_key.
+        self.levels: list[list[SsTable]] = [[]]
+        self._wal_cursor = 0
+        self._seqno = 0
+
+    # -- key-value surface -------------------------------------------------
+
+    def put(self, key: int, version: int) -> None:
+        cfg = self.config
+        value = self.spec.value_sectors
+        if self._wal_cursor + value > cfg.wal_sectors:
+            self._wal_cursor = 0  # circular log wrap
+        self._write(self._wal_cursor, value)
+        self._wal_cursor += value
+        self.lsm_stats.wal_sectors_written += value
+        self.memtable[key] = version
+        if len(self.memtable) * value >= cfg.memtable_sectors:
+            self._flush_memtable()
+
+    def get(self, key: int) -> int | None:
+        if key in self.memtable:
+            return self.memtable[key]
+        stats = self.lsm_stats
+        for level, tables in enumerate(self.levels):
+            if level == 0:
+                candidates = reversed(tables)  # newest first
+            else:
+                # non-overlapping + sorted: at most one table can hold it
+                idx = bisect_right([t.min_key for t in tables], key) - 1
+                candidates = tables[idx:idx + 1] if idx >= 0 else ()
+            for table in candidates:
+                if not table.overlaps(key, key):
+                    continue
+                stats.bloom_probes += 1
+                if not table.bloom.may_contain(key):
+                    stats.bloom_negatives += 1
+                    continue
+                self._read_probe(table, key)
+                if key in table.entries:
+                    return table.entries[key]
+                stats.bloom_false_positives += 1
+        return None
+
+    # -- flush & compaction ------------------------------------------------
+
+    def _flush_memtable(self) -> None:
+        entries = dict(self.memtable)
+        self.memtable.clear()
+        written = self._write_tables(0, entries)
+        self.levels[0].extend(written)
+        self._flush()  # fsync the new table before the WAL is reusable
+        stats = self.lsm_stats
+        stats.flushes += 1
+        stats.flush_sectors_written += sum(t.sectors for t in written)
+        if self.obs.enabled:
+            self.obs.emit(MemtableFlush(
+                entries=len(entries),
+                sectors=sum(t.sectors for t in written)))
+        self._maybe_compact()
+
+    def _write_tables(self, level: int, entries: dict[int, int]) -> list[SsTable]:
+        """Materialize entries as one or more SSTables at *level*."""
+        cfg = self.config
+        value = self.spec.value_sectors
+        per_table = max(1, (cfg.sstable_sectors - cfg.index_sectors) // value)
+        keys = sorted(entries)
+        out: list[SsTable] = []
+        for start in range(0, len(keys), per_table):
+            chunk = keys[start:start + per_table]
+            sectors = cfg.index_sectors + len(chunk) * value
+            try:
+                extents = self.space.allocate(sectors)
+            except FsError as exc:
+                raise RuntimeError(
+                    f"lsm: out of data space writing an L{level} SSTable "
+                    f"({exc})") from None
+            for extent in extents:
+                self._write(extent.start, extent.length)
+            self._seqno += 1
+            table = SsTable(
+                level=level, seqno=self._seqno, keys=chunk,
+                entries={k: entries[k] for k in chunk},
+                extents=extents, sectors=sectors,
+                bloom=_Bloom(chunk, cfg.bloom_bits_per_key,
+                             cfg.bloom_hashes))
+            out.append(table)
+            self.lsm_stats.sstables_written += 1
+            if self.obs.enabled:
+                self.obs.emit(SstableWritten(
+                    level=level, entries=len(chunk), sectors=sectors))
+        return out
+
+    def _level_limit_sectors(self, level: int) -> int:
+        cfg = self.config
+        base = cfg.l0_limit * cfg.sstable_sectors
+        return base * cfg.fanout ** (level - 1)
+
+    def _maybe_compact(self) -> None:
+        cfg = self.config
+        while True:
+            if len(self.levels[0]) > cfg.l0_limit:
+                self._compact(0, list(self.levels[0]))
+                continue
+            for level in range(1, len(self.levels)):
+                tables = self.levels[level]
+                if sum(t.sectors for t in tables) > self._level_limit_sectors(level):
+                    oldest = min(tables, key=lambda t: t.seqno)
+                    self._compact(level, [oldest])
+                    break
+            else:
+                return
+
+    def _compact(self, level: int, upper: list[SsTable]) -> None:
+        target = level + 1
+        while len(self.levels) <= target:
+            self.levels.append([])
+        lo = min(t.min_key for t in upper)
+        hi = max(t.max_key for t in upper)
+        lower = [t for t in self.levels[target] if t.overlaps(lo, hi)]
+        inputs = upper + lower
+        sectors_in = sum(t.sectors for t in inputs)
+        if self.obs.enabled:
+            self.obs.emit(CompactionStarted(
+                level=level, sstables_in=len(inputs), sectors_in=sectors_in))
+        # Read every input sector (the merge pass), oldest precedence
+        # first so newer tables overwrite during the dict merge.
+        merged: dict[int, int] = {}
+        for table in sorted(lower, key=lambda t: t.seqno):
+            merged.update(table.entries)
+        for table in sorted(upper, key=lambda t: t.seqno):
+            merged.update(table.entries)
+        for table in inputs:
+            for extent in table.extents:
+                self._read(extent.start, extent.length)
+            self.lsm_stats.compaction_sectors_read += table.sectors
+        outputs = self._write_tables(target, merged)
+        self._flush()
+        # Drop the inputs: remove from their levels, return the space,
+        # and tell the device the sectors are dead.
+        self.levels[level] = [t for t in self.levels[level] if t not in upper]
+        self.levels[target] = [t for t in self.levels[target]
+                               if t not in lower]
+        for table in inputs:
+            self.space.release(table.extents)
+            for extent in table.extents:
+                self._trim(extent.start, extent.length)
+                self.lsm_stats.trimmed_sectors += extent.length
+        self.levels[target].extend(outputs)
+        self.levels[target].sort(key=lambda t: t.min_key)
+        written = sum(t.sectors for t in outputs)
+        stats = self.lsm_stats
+        stats.compactions += 1
+        stats.compaction_sectors_written += written
+        if self.obs.enabled:
+            self.obs.emit(CompactionFinished(
+                level=level, sstables_out=len(outputs),
+                sectors_read=sectors_in, sectors_written=written))
+
+    # -- read path ---------------------------------------------------------
+
+    def _read_probe(self, table: SsTable, key: int) -> None:
+        """Index read plus the value block at the key's position."""
+        cfg = self.config
+        value = self.spec.value_sectors
+        rank = bisect_left(table.keys, key)
+        if rank >= len(table.keys) or table.keys[rank] != key:
+            # false positive: the index read alone settles it
+            self._read_at(table, 0, cfg.index_sectors)
+        else:
+            self._read_at(table, 0, cfg.index_sectors)
+            self._read_at(table, cfg.index_sectors + rank * value, value)
+        self.lsm_stats.sstable_reads += 1
+
+    def _read_at(self, table: SsTable, offset: int, count: int) -> None:
+        """Map a logical in-table range onto its extents and read it."""
+        skip, need = offset, count
+        for extent in table.extents:
+            if need <= 0:
+                return
+            if skip >= extent.length:
+                skip -= extent.length
+                continue
+            take = min(extent.length - skip, need)
+            self._read(extent.start + skip, take)
+            skip = 0
+            need -= take
+
+    # -- introspection -----------------------------------------------------
+
+    def level_sizes(self) -> list[tuple[int, int]]:
+        """(table count, total sectors) per level — compaction
+        accounting the unit suite checks against stats."""
+        return [(len(tables), sum(t.sectors for t in tables))
+                for tables in self.levels]
+
+    def resident_entries(self) -> int:
+        return len(self.memtable) + sum(
+            len(t.entries) for tables in self.levels for t in tables)

@@ -190,18 +190,18 @@ def simulate_device(spec: FleetSpec, device_index: int) -> DeviceResult:
         if plan.specs:
             injector = PlannedFaultInjector(plan, config.geometry)
     device = TimedSSD(config, injector=injector)
-    jobs = spec.device_jobs(device_index, device.num_sectors)
-    result = run_timed(device, jobs)
+    sources = spec.device_sources(device_index, device.num_sectors)
+    result = run_timed(device, sources)
     slices = []
     failed_requests = 0
-    for job in jobs:
-        outcome = result.jobs[job.name]
+    for source in sources:
+        outcome = result.jobs[source.name]
         failed_requests += outcome.failed_requests
         sketch = QuantileSketch(spec.compression)
         if outcome.latencies_us is not None:
             sketch.extend(outcome.latencies_us)
         slices.append(TenantSlice(
-            tenant=job.name,
+            tenant=source.name,
             requests=outcome.requests,
             sketch=sketch.compact(),  # O(centroids) before transport
             elapsed_ns=outcome.elapsed_ns,

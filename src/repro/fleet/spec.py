@@ -66,6 +66,13 @@ class TenantSpec:
     pattern_kwargs: dict = field(default_factory=dict)
     read_fraction: float = 0.5
     share: float = 1.0
+    #: recorded block trace to replay instead of a synthetic stream: a
+    #: path to a ``BlockTrace`` CSV.  The trace replays open-loop at its
+    #: recorded timeline (scaled by ``time_scale``), relocated into the
+    #: tenant's private share region; the synthetic knobs (``rw``,
+    #: ``arrival``, ``rate_iops``, ...) are ignored.
+    trace: str | None = None
+    time_scale: float = 1.0
     #: diurnal/bursty shape knobs, forwarded to the JobSpec.
     diurnal_amplitude: float = 0.5
     diurnal_period_s: float = 0.01
@@ -84,8 +91,10 @@ class TenantSpec:
         if self.arrival not in ARRIVAL_MODES:
             raise ValueError(
                 f"unknown arrival mode {self.arrival!r}; known: {ARRIVAL_MODES}")
-        if self.rate_iops <= 0:
+        if self.trace is None and self.rate_iops <= 0:
             raise ValueError("rate_iops must be > 0 (tenants are open-loop)")
+        if self.time_scale <= 0:
+            raise ValueError("time_scale must be > 0")
         if self.io_count < 1:
             raise ValueError("io_count must be >= 1")
         if self.share <= 0:
@@ -151,43 +160,85 @@ class FleetSpec:
         """Seed of one tenant's job on one device."""
         return derive_seed(self.seed, device_index, tenant)
 
-    def device_jobs(self, device_index: int, num_sectors: int) -> list[JobSpec]:
-        """The per-tenant open-loop jobs device *device_index* runs.
-
-        Tenants get contiguous private LBA regions sized by ``share``;
-        every job seed comes from :meth:`tenant_seed`, so the jobs are
-        a pure function of (spec, device index, device capacity).
-        """
+    def tenant_regions(self, num_sectors: int) -> list[tuple[TenantSpec, int, int]]:
+        """Contiguous private ``(tenant, start, length)`` LBA regions
+        sized by ``share`` (the last tenant absorbs rounding slack)."""
         total_share = sum(t.share for t in self.tenants)
-        jobs: list[JobSpec] = []
+        regions: list[tuple[TenantSpec, int, int]] = []
         start = 0
         for position, tenant in enumerate(self.tenants):
             if position == len(self.tenants) - 1:
                 end = num_sectors  # last tenant absorbs rounding slack
             else:
                 end = start + int(num_sectors * (tenant.share / total_share))
-            length = max(end - start, tenant.bs_sectors)
-            jobs.append(JobSpec(
-                name=tenant.name,
-                rw=tenant.rw,
-                region=Region(start, length),
-                bs_sectors=tenant.bs_sectors,
-                io_count=tenant.io_count,
-                read_fraction=tenant.read_fraction,
-                pattern=tenant.pattern,
-                pattern_kwargs=dict(tenant.pattern_kwargs),
-                seed=self.tenant_seed(device_index, tenant.name),
-                submission="open",
-                rate_iops=tenant.rate_iops,
-                arrival=tenant.arrival,
-                diurnal_amplitude=tenant.diurnal_amplitude,
-                diurnal_period_s=tenant.diurnal_period_s,
-                burst_multiplier=tenant.burst_multiplier,
-                burst_len=tenant.burst_len,
-                burst_fraction=tenant.burst_fraction,
-            ))
+            regions.append((tenant, start, max(end - start, tenant.bs_sectors)))
             start = end
+        return regions
+
+    def _tenant_job(self, tenant: TenantSpec, device_index: int,
+                    start: int, length: int) -> JobSpec:
+        return JobSpec(
+            name=tenant.name,
+            rw=tenant.rw,
+            region=Region(start, length),
+            bs_sectors=tenant.bs_sectors,
+            io_count=tenant.io_count,
+            read_fraction=tenant.read_fraction,
+            pattern=tenant.pattern,
+            pattern_kwargs=dict(tenant.pattern_kwargs),
+            seed=self.tenant_seed(device_index, tenant.name),
+            submission="open",
+            rate_iops=tenant.rate_iops,
+            arrival=tenant.arrival,
+            diurnal_amplitude=tenant.diurnal_amplitude,
+            diurnal_period_s=tenant.diurnal_period_s,
+            burst_multiplier=tenant.burst_multiplier,
+            burst_len=tenant.burst_len,
+            burst_fraction=tenant.burst_fraction,
+        )
+
+    def device_jobs(self, device_index: int, num_sectors: int) -> list[JobSpec]:
+        """The per-tenant open-loop jobs device *device_index* runs.
+
+        Tenants get contiguous private LBA regions sized by ``share``;
+        every job seed comes from :meth:`tenant_seed`, so the jobs are
+        a pure function of (spec, device index, device capacity).
+        Trace tenants have no ``JobSpec`` form — mixes containing them
+        go through :meth:`device_sources`.
+        """
+        jobs: list[JobSpec] = []
+        for tenant, start, length in self.tenant_regions(num_sectors):
+            if tenant.trace is not None:
+                raise ValueError(
+                    f"tenant {tenant.name!r} replays a trace; build this "
+                    f"device's workload with device_sources()")
+            jobs.append(self._tenant_job(tenant, device_index, start, length))
         return jobs
+
+    def device_sources(self, device_index: int, num_sectors: int):
+        """The per-tenant request sources device *device_index* runs.
+
+        The unified form of :meth:`device_jobs`: synthetic tenants wrap
+        into :class:`~repro.workloads.source.JobSource` (byte-identical
+        request streams), trace tenants become
+        :class:`~repro.workloads.source.TraceSource` replays relocated
+        into their share region.  Trace contents are identical across
+        devices — determinism rests on the trace file plus the spec.
+        """
+        from repro.workloads.source import JobSource, TraceSource
+        from repro.workloads.trace import BlockTrace
+
+        sources = []
+        for tenant, start, length in self.tenant_regions(num_sectors):
+            if tenant.trace is None:
+                sources.append(JobSource(
+                    self._tenant_job(tenant, device_index, start, length)))
+            else:
+                trace = BlockTrace.load(tenant.trace)
+                sources.append(TraceSource(
+                    trace, name=tenant.name, time_scale=tenant.time_scale,
+                    lba_offset=start, lba_modulo=length))
+        return sources
 
 
 # ----------------------------------------------------------------------

@@ -20,17 +20,23 @@ Quick use::
 
 from repro.obs.events import (
     EVENT_TYPES,
+    BtreePageMerge,
+    BtreePageSplit,
     CacheAdmit,
     CacheFlush,
     CacheStall,
+    CompactionFinished,
+    CompactionStarted,
     FlashOpIssued,
     GcFinished,
     GcStarted,
     GcVictimSelected,
     HostRequest,
+    MemtableFlush,
     QueueDepth,
     ResourceBusy,
     SlcMigration,
+    SstableWritten,
     TraceEvent,
     WearRebalance,
 )
@@ -57,6 +63,9 @@ __all__ = [
     "HostRequest", "QueueDepth", "CacheAdmit", "CacheFlush", "CacheStall",
     "GcVictimSelected", "GcStarted", "GcFinished",
     "FlashOpIssued", "ResourceBusy", "WearRebalance", "SlcMigration",
+    "MemtableFlush", "SstableWritten",
+    "CompactionStarted", "CompactionFinished",
+    "BtreePageSplit", "BtreePageMerge",
     "TraceSink", "NullSink", "NULL_SINK",
     "CounterSink", "HistogramSink", "JsonlSink", "TeeSink",
     "read_jsonl", "load_trace",

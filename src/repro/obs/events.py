@@ -254,6 +254,85 @@ class SlcMigration(TraceEvent):
 
 
 # ----------------------------------------------------------------------
+# Storage engines (repro.engines)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MemtableFlush(TraceEvent):
+    """An LSM memtable reached its threshold and became an L0 SSTable."""
+
+    NAME: ClassVar[str] = "memtable_flush"
+    METRIC: ClassVar[str] = "sectors"
+
+    entries: int
+    sectors: int
+
+
+@dataclass(frozen=True)
+class SstableWritten(TraceEvent):
+    """One SSTable materialized on flash (memtable flush or compaction
+    output)."""
+
+    NAME: ClassVar[str] = "sstable_written"
+    METRIC: ClassVar[str] = "sectors"
+
+    level: int
+    entries: int
+    sectors: int
+
+
+@dataclass(frozen=True)
+class CompactionStarted(TraceEvent):
+    """Leveled compaction began merging ``sstables_in`` tables from
+    ``level`` into ``level + 1``."""
+
+    NAME: ClassVar[str] = "compaction_started"
+    METRIC: ClassVar[str] = "sectors_in"
+
+    level: int
+    sstables_in: int
+    sectors_in: int
+
+
+@dataclass(frozen=True)
+class CompactionFinished(TraceEvent):
+    """A compaction completed: inputs were read and dropped, merged
+    outputs written one level down.  ``sectors_written`` is the
+    engine-level write amplification this compaction added."""
+
+    NAME: ClassVar[str] = "compaction_finished"
+    METRIC: ClassVar[str] = "sectors_written"
+
+    level: int
+    sstables_out: int
+    sectors_read: int
+    sectors_written: int
+
+
+@dataclass(frozen=True)
+class BtreePageSplit(TraceEvent):
+    """A B-tree page overflowed and split in two."""
+
+    NAME: ClassVar[str] = "btree_page_split"
+    METRIC: ClassVar[str] = "depth"
+
+    page: int
+    depth: int
+
+
+@dataclass(frozen=True)
+class BtreePageMerge(TraceEvent):
+    """An underfull B-tree page merged into its sibling."""
+
+    NAME: ClassVar[str] = "btree_page_merge"
+    METRIC: ClassVar[str] = "depth"
+
+    page: int
+    depth: int
+
+
+# ----------------------------------------------------------------------
 # Faults and graceful degradation (repro.faults)
 # ----------------------------------------------------------------------
 
@@ -355,6 +434,8 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         HostRequest, QueueDepth, CacheAdmit, CacheFlush, CacheStall,
         GcVictimSelected, GcStarted, GcFinished,
         FlashOpIssued, ResourceBusy, WearRebalance, SlcMigration,
+        MemtableFlush, SstableWritten, CompactionStarted,
+        CompactionFinished, BtreePageSplit, BtreePageMerge,
         FaultInjected, ReadRetry, RainReconstruction, BlockRetired,
         DegradedModeChanged, PowerCut,
     )

@@ -1,22 +1,31 @@
-"""The workload engine: runs fio-style jobs against simulated devices.
+"""The workload engine: runs request sources against simulated devices.
+
+Every workload — fio-style :class:`~repro.workloads.spec.JobSpec`
+synthetics, recorded block traces, file-system scenarios, storage
+engines (:mod:`repro.engines`) — reaches a device through one
+abstraction: the :class:`~repro.workloads.source.RequestSource`.  Both
+run functions accept specs and sources interchangeably (specs wrap into
+:class:`~repro.workloads.source.JobSource`, byte-identically to the
+pre-refactor inline loops).
 
 Two execution modes mirror the two device modes:
 
 * :func:`run_counter` drives a :class:`~repro.ssd.device.SimulatedSSD`
   and reports per-job SMART-visible page counts — the mode for
   write-amplification studies (Fig 4).  Concurrency is modeled by
-  interleaving requests from all jobs round-robin, one request per job
-  per round, which matches the paper's "ran all workloads concurrently"
-  protocol when jobs are given equal request budgets.
+  interleaving requests from all sources round-robin, one request per
+  source per round, which matches the paper's "ran all workloads
+  concurrently" protocol when jobs are given equal request budgets.
 
 * :func:`run_timed` drives a :class:`~repro.ssd.timed.TimedSSD` and
   reports latencies and IOPS — the mode for tail-latency studies
-  (Fig 3).  Each job submits **closed-loop** at its iodepth (fio's
-  default model) or **open-loop** at a fixed arrival rate
-  (``JobSpec.submission == "open"``): arrivals are independent of
-  completions, so a device that cannot keep up accumulates queue —
-  latency grows without bound instead of throughput silently dropping.
-  Open-loop is the honest way to measure tails at a target load.
+  (Fig 3).  Each source submits **closed-loop** at its iodepth (fio's
+  default model) or **open-loop** at its arrival schedule (a JobSpec's
+  rate process, or a trace's recorded timeline): arrivals are
+  independent of completions, so a device that cannot keep up
+  accumulates queue — latency grows without bound instead of
+  throughput silently dropping.  Open-loop is the honest way to
+  measure tails at a target load.
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from repro.ssd.device import SimulatedSSD
 from repro.ssd.ftl import ReadOnlyError
 from repro.ssd.smart import SmartCounters
 from repro.ssd.timed import TimedSSD
+from repro.workloads.source import RequestSource, as_source
 from repro.workloads.spec import JobSpec
 
 #: RNG stream constant for open-loop arrival gaps: a separate
@@ -124,46 +134,55 @@ class RunResult:
         return self.smart_delta.waf()
 
 
+def _as_sources(jobs) -> list[RequestSource]:
+    """Normalize the engine input list; duplicate names would silently
+    merge result slots, so they are rejected."""
+    if not jobs:
+        raise ValueError("no jobs")
+    sources = [as_source(job) for job in jobs]
+    names = [s.name for s in sources]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate source names: {names}")
+    return sources
+
+
 def run_counter(
     device: SimulatedSSD,
-    jobs: list[JobSpec],
+    jobs: "list[JobSpec | RequestSource]",
     flush_at_end: bool = True,
     sink: TraceSink | None = None,
 ) -> RunResult:
-    """Run jobs on a counter-mode device, interleaved round-robin.
+    """Run sources on a counter-mode device, interleaved round-robin.
 
     Passing *sink* attaches it to the device for the run, so every host
     request, cache event, GC cycle, and flash op it causes is traced.
     """
-    if not jobs:
-        raise ValueError("no jobs")
+    sources = _as_sources(jobs)
     if sink is not None:
         device.attach_sink(sink)
     before = device.smart_snapshot()
-    states = [
-        (job, job.make_pattern(), np.random.default_rng(job.seed))
-        for job in jobs
-    ]
-    remaining = {job.name: job.io_count for job in jobs}
-    results = {
-        job.name: JobResult(job.name, 0, 0) for job in jobs
-    }
-    while any(remaining.values()):
-        for job, pattern, rng in states:
-            if remaining[job.name] <= 0:
+    results = {s.name: JobResult(s.name, 0, 0) for s in sources}
+    active = sources
+    while active:
+        still: list[RequestSource] = []
+        for source in active:
+            request = source.next_request()
+            if request is None:
                 continue
-            remaining[job.name] -= 1
-            lba = pattern.next_lba(rng)
-            kind = job.request_kind(rng)
+            kind, lba, sectors = request
             if kind == "write":
-                device.write_sectors(lba, job.bs_sectors)
+                device.write_sectors(lba, sectors)
             elif kind == "read":
-                device.read_sectors(lba, job.bs_sectors)
+                device.read_sectors(lba, sectors)
+            elif kind == "trim":
+                device.trim_sectors(lba, sectors)
             else:
-                device.trim_sectors(lba, job.bs_sectors)
-            result = results[job.name]
+                device.flush()
+            result = results[source.name]
             result.requests += 1
-            result.sectors += job.bs_sectors
+            result.sectors += sectors
+            still.append(source)
+        active = still
     if flush_at_end:
         device.flush()
     delta = device.smart.delta(before)
@@ -253,49 +272,52 @@ def _bursty_gaps(job: JobSpec, rng: np.random.Generator) -> np.ndarray:
 
 
 def _run_timed_single(
-    device: TimedSSD, job: JobSpec, t0: int
-) -> tuple[list[float], int, int, _Degradation]:
-    """Bulk-step one job against a fast-path timed device.
+    device: TimedSSD, source: RequestSource, t0: int
+) -> tuple[list[float], int, int, int, _Degradation]:
+    """Bulk-step one source against a fast-path timed device.
 
-    Returns ``(latencies_us, done_at, failed, degradation)``.
-    Byte-identical to the general scheduler loop run with this single
-    job: the per-request RNG draws happen in the same order, submissions
-    carry the same ``at_ns``, and queue-depth accounting (which only
-    feeds trace events) runs exactly when a sink is attached.  A
-    degraded device yields a clean partial result: refused requests are
-    counted, the surviving ones keep their latencies.
+    Returns ``(latencies_us, sectors_done, done_at, failed,
+    degradation)``.  Byte-identical to the general scheduler loop run
+    with this single source: the per-request draws happen in the same
+    order, submissions carry the same ``at_ns``, and queue-depth
+    accounting (which only feeds trace events) runs exactly when a sink
+    is attached.  A degraded device yields a clean partial result:
+    refused requests are counted, the surviving ones keep their
+    latencies.
     """
-    pattern = job.make_pattern()
-    rng = np.random.default_rng(job.seed)
-    next_lba = pattern.next_lba
-    request_kind = job.request_kind
+    next_request = source.next_request
     submit = device.submit
-    bs = job.bs_sectors
     lat: list[float] = []
     lat_append = lat.append
     done_at = 0
     failed = 0
+    sectors_done = 0
     deg = _Degradation()
 
-    if job.is_open_loop:
-        arrivals = _arrival_times(job, t0)
+    if source.is_open_loop:
+        arrivals = source.arrival_times(t0)
         obs = device.obs
         inflight: list[int] = []
-        for idx in range(job.io_count):
+        idx = 0
+        while (request := next_request()) is not None:
             when = int(arrivals[idx])
-            lba = next_lba(rng)
-            kind = request_kind(rng)
+            idx += 1
+            kind, lba, nsectors = request
             if deg.dead:
                 failed += 1
                 continue
             try:
-                request = submit(kind, lba, bs, at_ns=when)
+                if kind == "flush":
+                    done = device.flush(at_ns=when)
+                else:
+                    done = submit(kind, lba, nsectors, at_ns=when)
             except _FAULT_EXCEPTIONS as exc:
                 deg.note(exc, when, len(lat))
                 failed += 1
                 continue
-            complete = request.complete_ns
-            lat_append((complete - request.submit_ns) / 1_000)
+            complete = done.complete_ns
+            lat_append((complete - done.submit_ns) / 1_000)
+            sectors_done += nsectors
             if complete > done_at:
                 done_at = complete
             if obs.enabled:
@@ -304,115 +326,125 @@ def _run_timed_single(
                 while inflight and inflight[0] <= when:
                     heapq.heappop(inflight)
                 heapq.heappush(inflight, complete)
-                obs.emit(QueueDepth(job=job.name, at_ns=when,
+                obs.emit(QueueDepth(job=source.name, at_ns=when,
                                     depth=len(inflight)))
-        return lat, done_at, failed, deg
+        return lat, sectors_done, done_at, failed, deg
 
-    if job.iodepth == 1:
+    if source.iodepth == 1:
         # Strictly sequential: each request is submitted the instant the
         # previous one completes — no ready heap at all.  A refused
         # request takes no device time, so the next submits at the same
         # instant.
         when = t0
-        for _ in range(job.io_count):
-            lba = next_lba(rng)
-            kind = request_kind(rng)
+        issued = False
+        while (request := next_request()) is not None:
+            kind, lba, nsectors = request
             if deg.dead:
                 failed += 1
                 continue
             try:
-                request = submit(kind, lba, bs, at_ns=when)
+                if kind == "flush":
+                    done = device.flush(at_ns=when)
+                else:
+                    done = submit(kind, lba, nsectors, at_ns=when)
             except _FAULT_EXCEPTIONS as exc:
                 deg.note(exc, when, len(lat))
                 failed += 1
                 continue
-            complete = request.complete_ns
-            lat_append((complete - request.submit_ns) / 1_000)
+            complete = done.complete_ns
+            lat_append((complete - done.submit_ns) / 1_000)
+            sectors_done += nsectors
             when = complete
-        if lat:
+            issued = True
+        if issued:
             done_at = when
-        return lat, done_at, failed, deg
+        return lat, sectors_done, done_at, failed, deg
 
     # Closed loop, iodepth > 1: a slot heap of (ready time, tiebreak),
     # seeded and sequenced exactly like the general scheduler so the
     # submission order (and therefore every timeline) matches.
-    ready: list[tuple[int, int]] = [(t0, d) for d in range(job.iodepth)]
+    ready: list[tuple[int, int]] = [(t0, d) for d in range(source.iodepth)]
     heapq.heapify(ready)
     seq = 64
-    left = job.io_count
     while ready:
         when, _ = heapq.heappop(ready)
-        if left <= 0:
+        request = next_request()
+        if request is None:
             break
-        left -= 1
-        lba = next_lba(rng)
-        kind = request_kind(rng)
+        kind, lba, nsectors = request
         if deg.dead:
             failed += 1
             continue
         try:
-            request = submit(kind, lba, bs, at_ns=when)
+            if kind == "flush":
+                done = device.flush(at_ns=when)
+            else:
+                done = submit(kind, lba, nsectors, at_ns=when)
         except _FAULT_EXCEPTIONS as exc:
             deg.note(exc, when, len(lat))
             failed += 1
-            if not deg.dead and left > 0:
+            if not deg.dead and source.remaining != 0:
                 # The slot stays alive: re-arm at the same instant so
-                # the remaining budget drains (left strictly decreases).
+                # the remaining budget drains (the stream is finite).
                 seq += 1
                 heapq.heappush(ready, (when, seq))
             continue
-        complete = request.complete_ns
-        lat_append((complete - request.submit_ns) / 1_000)
+        complete = done.complete_ns
+        lat_append((complete - done.submit_ns) / 1_000)
+        sectors_done += nsectors
         if complete > done_at:
             done_at = complete
-        if left > 0:
+        if source.remaining != 0:
             seq += 1
             heapq.heappush(ready, (complete, seq))
-    if deg.dead and left > 0:
-        failed += left  # slots died with the device; budget never ran
-    return lat, done_at, failed, deg
+    if deg.dead:
+        left = source.remaining
+        if left:  # slots died with the device; budget never ran
+            failed += left
+    return lat, sectors_done, done_at, failed, deg
 
 
 def run_timed(
     device: TimedSSD,
-    jobs: list[JobSpec],
+    jobs: "list[JobSpec | RequestSource]",
     start_ns: int | None = None,
     sink: TraceSink | None = None,
 ) -> RunResult:
-    """Run jobs on a timed device.
+    """Run sources on a timed device.
 
-    Closed-loop jobs keep ``iodepth`` requests outstanding: a new
+    Closed-loop sources keep ``iodepth`` requests outstanding: a new
     request is submitted the moment one of its slots completes.
-    Open-loop jobs (``submission="open"``) submit at their precomputed
-    arrival times whatever the device is doing; the per-job queue depth
-    at each arrival is emitted as a :class:`~repro.obs.events.QueueDepth`
-    event when a sink is attached.  Jobs share the device, so their
+    Open-loop sources (an open-submission ``JobSpec``, or a trace
+    replaying its recorded timeline) submit at their arrival times
+    whatever the device is doing; the per-source queue depth at each
+    arrival is emitted as a :class:`~repro.obs.events.QueueDepth`
+    event when a sink is attached.  Sources share the device, so their
     requests contend for channels and dies — the source of the mixed-run
     interference the paper measures.
 
     Passing *sink* attaches it to the device for the run (timed
     ``host_request`` events then carry latency and stall attribution).
     """
-    if not jobs:
-        raise ValueError("no jobs")
+    sources = _as_sources(jobs)
     if sink is not None:
         device.attach_sink(sink)
     before = device.smart.snapshot()
     t0 = device.now if start_ns is None else max(start_ns, device.now)
 
-    if len(jobs) == 1 and getattr(device, "fast_path", False):
-        # One job never contends with another for the ready heap, so the
-        # scheduler degenerates to stepping the generator in bulk; the
-        # specialized loops below produce the identical submission
-        # sequence (same RNG draw order, same arrival/completion times)
+    if len(sources) == 1 and getattr(device, "fast_path", False):
+        # One source never contends with another for the ready heap, so
+        # the scheduler degenerates to stepping the stream in bulk; the
+        # specialized loops above produce the identical submission
+        # sequence (same draw order, same arrival/completion times)
         # without one heap push-pop and dict lookup per request.
-        lat, done_at, failed, deg = _run_timed_single(device, jobs[0], t0)
-        job = jobs[0]
+        source = sources[0]
+        lat, sectors, done_at, failed, deg = _run_timed_single(
+            device, source, t0)
         elapsed = max(0, done_at - t0)
-        results = {job.name: JobResult(
-            name=job.name,
+        results = {source.name: JobResult(
+            name=source.name,
             requests=len(lat),
-            sectors=len(lat) * job.bs_sectors,
+            sectors=sectors,
             latencies_us=np.asarray(lat),
             elapsed_ns=elapsed,
             failed_requests=failed,
@@ -422,98 +454,101 @@ def run_timed(
                          degraded_kind=deg.kind, degraded_at_ns=deg.at_ns,
                          ops_before_degraded=deg.ops_before)
 
-    # Per-job state: (next ready time heap of slots, pattern, rng, left).
+    # Per-source scheduler state.
     @dataclass
-    class _JobState:
-        spec: JobSpec
-        pattern: object
-        rng: np.random.Generator
-        slots: list[int] = field(default_factory=list)
-        left: int = 0
+    class _SourceState:
+        source: RequestSource
+        issued: int = 0
         lat: list[float] = field(default_factory=list)
+        sectors: int = 0
         done_at: int = 0
         arrivals: np.ndarray | None = None
         inflight: list[int] = field(default_factory=list)
         failed: int = 0
 
     states = {}
-    ready: list[tuple[int, int, str]] = []  # (when, tiebreak, job name)
-    for i, job in enumerate(jobs):
-        state = _JobState(job, job.make_pattern(),
-                          np.random.default_rng(job.seed), left=job.io_count)
-        states[job.name] = state
-        if job.is_open_loop:
-            state.arrivals = _arrival_times(job, t0)
-            heapq.heappush(ready, (int(state.arrivals[0]), i * 64, job.name))
+    ready: list[tuple[int, int, str]] = []  # (when, tiebreak, source name)
+    for i, source in enumerate(sources):
+        state = _SourceState(source)
+        states[source.name] = state
+        if source.is_open_loop:
+            state.arrivals = source.arrival_times(t0)
+            heapq.heappush(ready, (int(state.arrivals[0]), i * 64, source.name))
         else:
-            for d in range(job.iodepth):
-                heapq.heappush(ready, (t0, i * 64 + d, job.name))
+            for d in range(source.iodepth):
+                heapq.heappush(ready, (t0, i * 64 + d, source.name))
 
-    seq = len(jobs) * 64
+    seq = len(sources) * 64
     deg = _Degradation()
     while ready:
         when, _, name = heapq.heappop(ready)
         state = states[name]
-        if state.left <= 0:
+        source = state.source
+        request = source.next_request()
+        if request is None:
             continue
-        state.left -= 1
-        job = state.spec
-        lba = state.pattern.next_lba(state.rng)
-        kind = job.request_kind(state.rng)
+        state.issued += 1
+        kind, lba, nsectors = request
         if deg.dead:
             state.failed += 1
             continue
         try:
-            request = device.submit(kind, lba, job.bs_sectors, at_ns=when)
+            if kind == "flush":
+                done = device.flush(at_ns=when)
+            else:
+                done = device.submit(kind, lba, nsectors, at_ns=when)
         except _FAULT_EXCEPTIONS as exc:
             deg.note(exc, when,
                      sum(len(s.lat) for s in states.values()))
             state.failed += 1
             if deg.dead:
                 continue  # remaining pops drain as failures
-            if state.left > 0:
-                # The job keeps going: open-loop arrivals are immutable,
-                # a closed-loop slot re-arms at the same instant (a
-                # refused request takes no device time).
-                seq += 1
-                if job.is_open_loop:
-                    next_at = int(state.arrivals[job.io_count - state.left])
+            # The source keeps going: open-loop arrivals are immutable,
+            # a closed-loop slot re-arms at the same instant (a refused
+            # request takes no device time).
+            if source.is_open_loop:
+                if state.issued < len(state.arrivals):
+                    seq += 1
+                    next_at = int(state.arrivals[state.issued])
                     heapq.heappush(ready, (next_at, seq, name))
-                else:
-                    heapq.heappush(ready, (when, seq, name))
+            elif source.remaining != 0:
+                seq += 1
+                heapq.heappush(ready, (when, seq, name))
             continue
-        state.lat.append(request.latency_us)
-        state.done_at = max(state.done_at, request.complete_ns)
-        if job.is_open_loop:
+        state.lat.append(done.latency_us)
+        state.sectors += nsectors
+        state.done_at = max(state.done_at, done.complete_ns)
+        if source.is_open_loop:
             # Queue-depth accounting: completions due by this arrival
             # have drained; this request is now in flight.
             while state.inflight and state.inflight[0] <= when:
                 heapq.heappop(state.inflight)
-            heapq.heappush(state.inflight, request.complete_ns)
+            heapq.heappush(state.inflight, done.complete_ns)
             if device.obs.enabled:
                 device.obs.emit(QueueDepth(job=name, at_ns=when,
                                            depth=len(state.inflight)))
-            if state.left > 0:
+            if state.issued < len(state.arrivals):
                 seq += 1
-                next_at = int(state.arrivals[job.io_count - state.left])
+                next_at = int(state.arrivals[state.issued])
                 heapq.heappush(ready, (next_at, seq, name))
-        elif state.left > 0:
+        elif source.remaining != 0:
             seq += 1
-            heapq.heappush(ready, (request.complete_ns, seq, name))
+            heapq.heappush(ready, (done.complete_ns, seq, name))
 
     results = {}
     elapsed_total = 0
     for name, state in states.items():
         elapsed = max(0, state.done_at - t0)
         elapsed_total = max(elapsed_total, elapsed)
+        left = state.source.remaining
         results[name] = JobResult(
             name=name,
             requests=len(state.lat),
-            sectors=len(state.lat) * state.spec.bs_sectors,
+            sectors=state.sectors,
             latencies_us=np.asarray(state.lat),
             elapsed_ns=elapsed,
             # a dead device leaves budget in the heap; it all failed.
-            failed_requests=state.failed + max(0, state.left),
+            failed_requests=state.failed + (left if left else 0),
         )
     delta = device.smart.delta(before)
     return RunResult(jobs=results, smart_delta=delta, elapsed_ns=elapsed_total,

@@ -1,0 +1,353 @@
+"""The one request-stream abstraction behind every workload.
+
+Until now three request-generation paths grew independently: synthetic
+:class:`~repro.workloads.spec.JobSpec` patterns (PR 2's engine),
+file-system workloads driving a device through backend adapters, and
+:mod:`repro.workloads.trace` replay with no engine integration at all.
+Every consumer — the open/closed-loop engine, fleet tenants, exp cells —
+had to know which path it was on.
+
+A :class:`RequestSource` is the unification: a pull-based stream of host
+requests ``(kind, lba, sectors)`` plus the scheduling attributes the
+engine needs (``iodepth`` for closed loop, ``arrival_times`` for open
+loop).  The engine consumes *only* this surface, so a synthetic job, a
+recorded block trace, a file-system scenario, and a storage engine
+(:mod:`repro.engines`) are interchangeable everywhere a workload goes:
+``run_counter``/``run_timed``, fleet tenant specs, cached experiment
+cells.
+
+Byte-identity is the load-bearing contract: :class:`JobSource` makes
+exactly the RNG draws the pre-refactor engine loops made, in the same
+order (LBA first, then request kind, from one ``default_rng(seed)``
+stream), so every golden figure, fleet pickle, and policy-equivalence
+fingerprint is unchanged.  ``tests/regression/
+test_request_source_equivalence.py`` pins this the way PR 5's
+``test_policy_equivalence.py`` pinned the policy engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.workloads.spec import JobSpec
+from repro.workloads.trace import BlockTrace, TraceRecord
+
+#: request kinds a source may yield; ``flush`` carries ``lba=0,
+#: sectors=0`` and maps to the device's FLUSH CACHE command.
+REQUEST_KINDS = ("write", "read", "trim", "flush")
+
+
+class RequestSource:
+    """Base class: a finite, ordered stream of host requests.
+
+    Subclasses set ``name``, ``iodepth`` and ``is_open_loop`` and
+    implement :meth:`next_request`.  ``remaining`` returns how many
+    requests are left when the source knows (synthetic jobs, traces) or
+    ``None`` when the stream's length emerges as it runs (storage
+    engines generate block I/O lazily from key-value operations).
+
+    Open-loop sources must know their length: :meth:`arrival_times`
+    returns one submission timestamp per request.
+    """
+
+    name: str = "source"
+    iodepth: int = 1
+    is_open_loop: bool = False
+
+    def next_request(self) -> tuple[str, int, int] | None:
+        """The next ``(kind, lba, sectors)``, or ``None`` when done."""
+        raise NotImplementedError
+
+    @property
+    def remaining(self) -> int | None:
+        """Requests left to yield, or ``None`` if unknown upfront."""
+        return None
+
+    def arrival_times(self, t0: int) -> np.ndarray:
+        """Open-loop submission times (ns, int64), one per request."""
+        raise NotImplementedError(
+            f"{type(self).__name__} is closed-loop; it has no arrival "
+            f"schedule")
+
+    def __iter__(self) -> Iterator[tuple[str, int, int]]:
+        while (request := self.next_request()) is not None:
+            yield request
+
+
+def as_source(item: "JobSpec | RequestSource") -> RequestSource:
+    """Normalize an engine input: specs wrap into :class:`JobSource`,
+    sources pass through untouched."""
+    if isinstance(item, JobSpec):
+        return JobSource(item)
+    if isinstance(item, RequestSource):
+        return item
+    raise TypeError(
+        f"expected a JobSpec or RequestSource, got {type(item).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Synthetic jobs (the legacy JobSpec path)
+# ----------------------------------------------------------------------
+
+
+class JobSource(RequestSource):
+    """A :class:`JobSpec` as a request source — the legacy path.
+
+    Draw order is the contract: per request, one address draw
+    (``pattern.next_lba(rng)``) then one kind draw
+    (``job.request_kind(rng)``), both from a single
+    ``default_rng(job.seed)`` stream — exactly what the pre-refactor
+    engine loops did inline, so the request stream is byte-identical.
+    """
+
+    __slots__ = ("job", "name", "iodepth", "is_open_loop", "_left",
+                 "_rng", "_next_lba", "_request_kind", "_bs")
+
+    def __init__(self, job: JobSpec) -> None:
+        self.job = job
+        self.name = job.name
+        self.iodepth = job.iodepth
+        self.is_open_loop = job.is_open_loop
+        self._left = job.io_count
+        self._rng = np.random.default_rng(job.seed)
+        pattern = job.make_pattern()
+        self._next_lba = pattern.next_lba
+        self._request_kind = job.request_kind
+        self._bs = job.bs_sectors
+
+    def next_request(self) -> tuple[str, int, int] | None:
+        if self._left <= 0:
+            return None
+        self._left -= 1
+        rng = self._rng
+        lba = self._next_lba(rng)
+        return self._request_kind(rng), lba, self._bs
+
+    @property
+    def remaining(self) -> int:
+        return self._left
+
+    def arrival_times(self, t0: int) -> np.ndarray:
+        from repro.workloads.engine import _arrival_times
+
+        return _arrival_times(self.job, t0)
+
+
+def synthetic_source(
+    name: str,
+    rw: str,
+    num_sectors: int,
+    *,
+    bs_sectors: int = 1,
+    io_count: int = 1000,
+    iodepth: int = 1,
+    seed: int = 0,
+    pattern: str | None = None,
+    **spec_kwargs,
+) -> JobSource:
+    """Build a whole-device synthetic source in one call.
+
+    The builder behind CLI one-off workloads (``repro-ssd trace`` uses
+    it for both device modes instead of hand-rolling two near-identical
+    ``JobSpec`` constructions) and anywhere else a quick
+    "random writes over the full device" stream is needed.
+    """
+    from repro.workloads.patterns import Region
+
+    job = JobSpec(name, rw, Region(0, num_sectors), bs_sectors=bs_sectors,
+                  io_count=io_count, iodepth=iodepth, seed=seed,
+                  pattern=pattern, **spec_kwargs)
+    return JobSource(job)
+
+
+# ----------------------------------------------------------------------
+# Recorded block traces
+# ----------------------------------------------------------------------
+
+
+class TraceSource(RequestSource):
+    """A recorded :class:`~repro.workloads.trace.BlockTrace` as a
+    request source.
+
+    Timed runs honour the recorded inter-arrival times (open loop,
+    scaled by ``time_scale``: > 1 slows the trace down, < 1 speeds it
+    up); counter runs ignore timestamps.  Pass ``submission="closed"``
+    to replay request-by-request at ``iodepth`` instead of at the
+    recorded timeline.
+
+    ``lba_offset``/``lba_modulo`` relocate the trace into a private
+    slice of the LBA space — how fleet tenants replay a trace inside
+    their share region: each record lands at
+    ``offset + (lba mod modulo)``, so any trace fits any region.
+    """
+
+    def __init__(
+        self,
+        trace: BlockTrace,
+        name: str = "trace",
+        *,
+        time_scale: float = 1.0,
+        submission: str = "open",
+        iodepth: int = 1,
+        lba_offset: int = 0,
+        lba_modulo: int | None = None,
+    ) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        if submission not in ("open", "closed"):
+            raise ValueError(f"unknown submission mode {submission!r}")
+        if iodepth < 1:
+            raise ValueError("iodepth must be >= 1")
+        if lba_offset < 0:
+            raise ValueError("lba_offset must be >= 0")
+        if lba_modulo is not None and lba_modulo < 1:
+            raise ValueError("lba_modulo must be >= 1")
+        self.trace = trace
+        self.name = name
+        self.time_scale = time_scale
+        self.is_open_loop = submission == "open"
+        self.iodepth = iodepth
+        self._offset = lba_offset
+        self._modulo = lba_modulo
+        self._cursor = 0
+
+    def _map_lba(self, record: TraceRecord) -> int:
+        if self._modulo is None:
+            return self._offset + record.lba
+        sectors = max(1, record.sectors)
+        span = max(1, self._modulo - sectors + 1)
+        return self._offset + record.lba % span
+
+    def next_request(self) -> tuple[str, int, int] | None:
+        records = self.trace.records
+        if self._cursor >= len(records):
+            return None
+        record = records[self._cursor]
+        self._cursor += 1
+        if record.kind == "flush":
+            return "flush", 0, 0
+        return record.kind, self._map_lba(record), max(1, record.sectors)
+
+    @property
+    def remaining(self) -> int:
+        return len(self.trace.records) - self._cursor
+
+    def arrival_times(self, t0: int) -> np.ndarray:
+        at_us = np.asarray([r.at_us for r in self.trace.records],
+                           dtype=np.float64)
+        return t0 + (at_us * 1000.0 * self.time_scale).astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# File-system workloads
+# ----------------------------------------------------------------------
+
+
+class RecordingBackend:
+    """An fs backend that records the block stream instead of driving a
+    device.
+
+    File-system models only consult a backend for ``num_sectors`` and
+    ``now_ns`` — they never read data back — so running a model against
+    this recorder captures the exact block-trace the same model would
+    have produced against a real device.  Timestamps are synthesized at
+    ``rate_iops`` (the :class:`~repro.workloads.trace.TraceRecorder`
+    convention).
+    """
+
+    def __init__(self, num_sectors: int, rate_iops: float = 50_000.0) -> None:
+        if num_sectors < 1:
+            raise ValueError("num_sectors must be >= 1")
+        if rate_iops <= 0:
+            raise ValueError("rate_iops must be positive")
+        self.num_sectors = num_sectors
+        self.trace = BlockTrace()
+        self._gap_us = 1e6 / rate_iops
+        self._clock_us = 0.0
+
+    @property
+    def now_ns(self) -> int:
+        return int(self._clock_us * 1000)
+
+    def _log(self, kind: str, lba: int, sectors: int) -> None:
+        self.trace.append(TraceRecord(kind, lba, sectors, self._clock_us))
+        self._clock_us += self._gap_us
+
+    def write(self, lba: int, count: int) -> None:
+        self._log("write", lba, count)
+
+    def read(self, lba: int, count: int) -> None:
+        self._log("read", lba, count)
+
+    def trim(self, lba: int, count: int) -> None:
+        self._log("trim", lba, count)
+
+    def flush(self) -> None:
+        self._log("flush", 0, 0)
+
+
+#: file-system models an :class:`FsSource` can run.
+FS_MODELS = ("ext4", "f2fs")
+
+
+def record_fs_workload(
+    fs_model: str,
+    num_sectors: int,
+    *,
+    operations: int = 500,
+    seed: int = 0,
+    working_files: int = 60,
+    rate_iops: float = 50_000.0,
+) -> BlockTrace:
+    """Run a fileserver scenario over an fs model, capturing its block
+    stream as a trace (no device involved)."""
+    from repro.workloads.fileserver import FileServerConfig, FileServerWorkload
+
+    if fs_model not in FS_MODELS:
+        raise ValueError(f"unknown fs model {fs_model!r}; known: {FS_MODELS}")
+    backend = RecordingBackend(num_sectors, rate_iops=rate_iops)
+    if fs_model == "ext4":
+        from repro.fs.ext4 import Ext4Model
+
+        model = Ext4Model(backend)
+    else:
+        from repro.fs.f2fs import F2fsModel
+
+        model = F2fsModel(backend)
+    workload = FileServerWorkload(
+        model, FileServerConfig(working_files=working_files), seed=seed)
+    workload.prepare()
+    workload.run(operations)
+    return backend.trace
+
+
+class FsSource(TraceSource):
+    """A file-system workload as a request source.
+
+    The fs scenario runs at construction against a
+    :class:`RecordingBackend`; the captured block trace then replays
+    through the engine like any other trace.  Closed-loop by default
+    (an fs issues each request when the previous completes — the
+    behaviour of the synchronous backend adapters).
+    """
+
+    def __init__(
+        self,
+        fs_model: str,
+        num_sectors: int,
+        *,
+        name: str | None = None,
+        operations: int = 500,
+        seed: int = 0,
+        working_files: int = 60,
+        submission: str = "closed",
+        iodepth: int = 1,
+    ) -> None:
+        trace = record_fs_workload(
+            fs_model, num_sectors, operations=operations, seed=seed,
+            working_files=working_files)
+        super().__init__(trace, name or f"fs-{fs_model}",
+                         submission=submission, iodepth=iodepth)
+        self.fs_model = fs_model

@@ -23,6 +23,21 @@ from typing import Iterable
 KINDS = ("write", "read", "trim", "flush")
 
 
+class TraceFormatError(ValueError):
+    """A malformed trace, rejected at load time.
+
+    Carries the 1-based line number of the offending row so the error
+    names the exact spot instead of failing deep inside the engine
+    mid-replay.
+    """
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        if line is not None:
+            message = f"trace line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
 @dataclass(frozen=True)
 class TraceRecord:
     """One host request."""
@@ -83,22 +98,60 @@ class BlockTrace:
         return path
 
     @classmethod
-    def loads(cls, text: str) -> "BlockTrace":
+    def loads(cls, text: str, num_sectors: int | None = None) -> "BlockTrace":
+        """Parse a trace, validating every row at load time.
+
+        Rejected with a :class:`TraceFormatError` naming the offending
+        line: wrong column count, unknown op kinds, unparseable fields,
+        timestamps that go backwards, and — when the target device's
+        *num_sectors* is given — requests that fall outside the LBA
+        space.  Catching these here means a malformed trace fails in
+        one obvious place instead of deep inside the engine mid-replay.
+        """
         reader = csv.reader(io.StringIO(text))
         header = next(reader, None)
         if header != ["op", "lba", "sectors", "at_us"]:
-            raise ValueError(f"not a block trace (header {header!r})")
+            raise TraceFormatError(
+                f"not a block trace (header {header!r}, "
+                f"want op,lba,sectors,at_us)", line=1)
         trace = cls()
-        for row in reader:
+        last_at_us = None
+        for line, row in enumerate(reader, start=2):
             if not row:
                 continue
-            trace.append(TraceRecord(row[0], int(row[1]), int(row[2]),
-                                     float(row[3])))
+            if len(row) != 4:
+                raise TraceFormatError(
+                    f"expected 4 columns (op,lba,sectors,at_us), "
+                    f"got {len(row)}: {row!r}", line=line)
+            kind = row[0]
+            try:
+                lba, sectors, at_us = int(row[1]), int(row[2]), float(row[3])
+            except ValueError:
+                raise TraceFormatError(
+                    f"unparseable lba/sectors/at_us in {row!r}",
+                    line=line) from None
+            try:
+                record = TraceRecord(kind, lba, sectors, at_us)
+            except ValueError as exc:
+                raise TraceFormatError(str(exc), line=line) from None
+            if last_at_us is not None and at_us < last_at_us:
+                raise TraceFormatError(
+                    f"at_us goes backwards ({at_us:g} after "
+                    f"{last_at_us:g}); trace timestamps must be "
+                    f"non-decreasing", line=line)
+            if (num_sectors is not None and kind != "flush"
+                    and lba + max(1, sectors) > num_sectors):
+                raise TraceFormatError(
+                    f"request [{lba}, {lba + max(1, sectors)}) outside "
+                    f"the device's {num_sectors} sectors", line=line)
+            last_at_us = at_us
+            trace.records.append(record)
         return trace
 
     @classmethod
-    def load(cls, path: str | Path) -> "BlockTrace":
-        return cls.loads(Path(path).read_text())
+    def load(cls, path: str | Path,
+             num_sectors: int | None = None) -> "BlockTrace":
+        return cls.loads(Path(path).read_text(), num_sectors=num_sectors)
 
 
 class TraceRecorder:

@@ -1,0 +1,1 @@
+"""Storage-engine unit suites."""

@@ -1,0 +1,158 @@
+"""B-tree engine: split/merge invariants, page accounting, traffic."""
+
+import numpy as np
+import pytest
+
+from repro.engines.btree import BTreeConfig, BTreeEngine
+from repro.engines.kv import YcsbSpec, ycsb_spec_for_device
+from repro.obs.sinks import CounterSink
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.presets import mqsim_baseline
+from repro.workloads.engine import run_counter
+
+NUM_SECTORS = 4096
+
+
+def make_engine(records=64, sink=None, **config_kwargs):
+    spec = YcsbSpec(mix="a", records=records, operations=0)
+    config = BTreeConfig(page_sectors=4, leaf_capacity=8, node_capacity=8,
+                         **config_kwargs)
+    return BTreeEngine(spec, NUM_SECTORS, config, sink=sink)
+
+
+def drain(engine):
+    engine._pending.clear()
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BTreeConfig(page_sectors=0)
+        with pytest.raises(ValueError):
+            BTreeConfig(leaf_capacity=2)
+
+    def test_merge_threshold(self):
+        assert BTreeConfig(leaf_capacity=16).merge_threshold == 4
+
+
+class TestSplits:
+    def test_inserts_split_and_grow_the_tree(self):
+        engine = make_engine()
+        rng = np.random.default_rng(1)
+        for version, key in enumerate(rng.permutation(200), start=1):
+            engine.put(int(key), version)
+            engine.check_invariants()
+        assert engine.btree_stats.splits > 0
+        assert engine.depth >= 3  # 200 keys at 8/leaf need internal levels
+        sink_free = len(engine._free)
+        assert sink_free + len(engine._pages) == engine._num_pages
+
+    def test_every_key_readable_after_split_churn(self):
+        engine = make_engine()
+        expected = {}
+        rng = np.random.default_rng(2)
+        for version, key in enumerate(rng.permutation(300), start=1):
+            engine.put(int(key), version)
+            expected[int(key)] = version
+        for key, version in expected.items():
+            assert engine.get(key) == version
+        assert engine.get(10_000) is None
+
+    def test_overwrites_do_not_split(self):
+        engine = make_engine()
+        for version in range(1, 50):
+            engine.put(5, version)
+        assert engine.btree_stats.splits == 0
+        assert engine.depth == 1
+        assert engine.get(5) == 49
+
+
+class TestMerges:
+    def test_deletes_merge_under_churn(self):
+        engine = make_engine()
+        for key in range(240):
+            engine.put(key, key + 1)
+        allocated = engine.btree_stats.pages_allocated
+        for key in range(239, 4, -1):  # drain back to a handful of keys
+            engine.delete(key)
+            engine.check_invariants()
+        stats = engine.btree_stats
+        assert stats.merges > 0
+        assert stats.pages_freed > 0
+        assert stats.pages_allocated == allocated  # merges never allocate
+        for key in range(5):
+            assert engine.get(key) == key + 1
+        assert engine.get(100) is None
+
+    def test_root_collapse_shrinks_a_two_level_tree(self):
+        # merging is leaf-level, so the tree only loses height when the
+        # root parents the leaves directly: grow to depth 2, drain it.
+        engine = make_engine()
+        for key in range(24):
+            engine.put(key, key + 1)
+        assert engine.depth == 2
+        for key in range(23, 0, -1):
+            engine.delete(key)
+            engine.check_invariants()
+        assert engine.depth == 1
+        assert engine.btree_stats.merges > 0
+        assert engine.get(0) == 1
+
+    def test_delete_of_absent_key_is_harmless(self):
+        engine = make_engine()
+        engine.put(1, 1)
+        engine.delete(99)
+        engine.check_invariants()
+        assert engine.get(1) == 1
+
+
+class TestTraffic:
+    def test_page_traffic_lands_on_page_boundaries(self):
+        engine = make_engine()
+        rng = np.random.default_rng(3)
+        for version, key in enumerate(rng.permutation(100), start=1):
+            engine.put(int(key), version)
+        page = engine.config.page_sectors
+        requests = list(engine._pending)
+        assert requests, "puts must emit block traffic"
+        for kind, lba, sectors in requests:
+            assert kind in ("write", "read", "trim")
+            assert sectors == page
+            assert lba % page == 0
+
+    def test_freed_pages_are_trimmed(self):
+        engine = make_engine()
+        for key in range(120):
+            engine.put(key, key + 1)
+        drain(engine)
+        for key in range(120):
+            engine.delete(key)
+        trims = [r for r in engine._pending if r[0] == "trim"]
+        assert len(trims) == engine.btree_stats.pages_freed > 0
+
+    def test_split_and_merge_events(self):
+        sink = CounterSink()
+        engine = make_engine(sink=sink)
+        for key in range(200):
+            engine.put(key, key + 1)
+        for key in range(200):
+            engine.delete(key)
+        assert sink.count("btree_page_split") == engine.btree_stats.splits > 0
+        assert sink.count("btree_page_merge") == engine.btree_stats.merges > 0
+
+    def test_validation_rejects_too_small_device(self):
+        spec = YcsbSpec(records=10_000)
+        with pytest.raises(ValueError):
+            BTreeEngine(spec, 1024)
+
+
+class TestBtreeOnDevice:
+    def test_read_after_write_through_a_real_device(self):
+        device = SimulatedSSD(mqsim_baseline(scale=4))
+        spec = ycsb_spec_for_device("a", device.num_sectors)
+        engine = BTreeEngine(spec, device.num_sectors, seed=4)
+        result = run_counter(device, [engine])
+        engine.check_invariants()
+        assert engine.stats.read_errors == 0
+        assert engine.stats.gets > 0
+        assert result.jobs[engine.name].requests > spec.records

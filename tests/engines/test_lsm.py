@@ -1,0 +1,147 @@
+"""LSM engine: compaction accounting, bloom filters, space hygiene."""
+
+import pytest
+
+from repro.engines.kv import YCSB_MIXES, YcsbSpec, ycsb_spec_for_device
+from repro.engines.lsm import LsmConfig, LsmEngine, _Bloom
+from repro.obs.sinks import CounterSink
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.presets import mqsim_baseline
+from repro.workloads.engine import run_counter
+
+NUM_SECTORS = 8192
+
+
+def churned_engine(operations=3_000, records=512, sink=None, seed=0):
+    """An LSM that has flushed and compacted: YCSB-A over a small
+    memtable so structural churn is guaranteed."""
+    spec = YcsbSpec(mix="a", records=records, operations=operations)
+    config = LsmConfig(memtable_sectors=64, sstable_sectors=128,
+                       wal_sectors=256, l0_limit=2, fanout=2)
+    engine = LsmEngine(spec, NUM_SECTORS, config, seed=seed, sink=sink)
+    for _ in engine:
+        pass
+    return engine
+
+
+class TestYcsbSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            YcsbSpec(mix="z")
+        with pytest.raises(ValueError):
+            YcsbSpec(records=0)
+        with pytest.raises(ValueError):
+            YcsbSpec(operations=-1)
+        with pytest.raises(ValueError):
+            YcsbSpec(key_dist="latest")
+
+    def test_mixes_are_update_fractions(self):
+        assert YCSB_MIXES["a"] == 0.5
+        assert YCSB_MIXES["c"] == 0.0
+
+    def test_sized_for_device(self):
+        spec = ycsb_spec_for_device("b", 6000)
+        assert spec.records == 1000
+        assert spec.operations == 4000
+        assert spec.dataset_sectors * 6 <= 6000
+
+
+class TestBloom:
+    def test_no_false_negatives(self):
+        keys = list(range(0, 400, 3))
+        bloom = _Bloom(keys, bits_per_key=8, hashes=4)
+        assert all(bloom.may_contain(k) for k in keys)
+
+    def test_filters_most_absent_keys(self):
+        keys = list(range(0, 400, 3))
+        bloom = _Bloom(keys, bits_per_key=8, hashes=4)
+        absent = [k for k in range(1, 1200, 2) if k not in set(keys)]
+        fp = sum(bloom.may_contain(k) for k in absent)
+        assert fp / len(absent) < 0.1  # ~2% expected at 8 bits/key
+
+    def test_deterministic(self):
+        a = _Bloom([1, 2, 3], 8, 4)
+        b = _Bloom([1, 2, 3], 8, 4)
+        assert (a.bits == b.bits).all()
+
+
+class TestLsmStructure:
+    def test_compaction_fires_and_accounts(self):
+        engine = churned_engine()
+        stats = engine.lsm_stats
+        assert stats.flushes > 0
+        assert stats.compactions > 0
+        assert stats.compaction_sectors_read > 0
+        # every sector a compaction read was previously written
+        assert stats.compaction_sectors_read <= (
+            stats.flush_sectors_written + stats.compaction_sectors_written)
+        # engine WAF > 1: WAL plus at least one rewrite of flushed data
+        assert stats.engine_waf > 1.0
+
+    def test_level_sizes_match_table_accounting(self):
+        engine = churned_engine()
+        sizes = engine.level_sizes()
+        assert len(sizes) >= 2  # compaction built at least L1
+        for (count, sectors), tables in zip(sizes, engine.levels):
+            assert count == len(tables)
+            assert sectors == sum(t.sectors for t in tables)
+        # deeper levels hold non-overlapping tables sorted by min_key
+        for tables in engine.levels[1:]:
+            for left, right in zip(tables, tables[1:]):
+                assert left.max_key < right.min_key
+
+    def test_no_entry_lost_to_compaction(self):
+        engine = churned_engine()
+        assert engine.resident_entries() >= len(engine._model)
+        for key, version in engine._model.items():
+            assert engine.get(key) == version
+        assert engine.stats.read_errors == 0
+
+    def test_dropped_tables_release_and_trim_their_space(self):
+        engine = churned_engine()
+        stats = engine.lsm_stats
+        assert stats.trimmed_sectors > 0
+        # live tables and the free map partition the data region
+        live = sum(t.sectors for tables in engine.levels for t in tables)
+        data_region = NUM_SECTORS - engine.config.wal_sectors
+        assert live + engine.space.free_sectors == data_region
+        # trims cover exactly the dropped-table sectors
+        dropped = (stats.flush_sectors_written
+                   + stats.compaction_sectors_written - live)
+        assert stats.trimmed_sectors == dropped
+
+    def test_bloom_filters_save_reads(self):
+        engine = churned_engine()
+        stats = engine.lsm_stats
+        assert stats.bloom_probes > 0
+        assert stats.bloom_negatives > 0  # absent-key probes short-circuit
+        assert stats.bloom_false_positives < stats.bloom_negatives
+
+    def test_events_emitted_when_sink_attached(self):
+        sink = CounterSink()
+        engine = churned_engine(operations=1_500, sink=sink)
+        stats = engine.lsm_stats
+        assert sink.count("memtable_flush") == stats.flushes
+        assert sink.count("sstable_written") == stats.sstables_written
+        assert sink.count("compaction_started") == stats.compactions
+        assert sink.count("compaction_finished") == stats.compactions
+
+    def test_validation(self):
+        spec = YcsbSpec(records=64)
+        with pytest.raises(ValueError):  # WAL swallows the device
+            LsmEngine(spec, 256, LsmConfig(wal_sectors=256))
+        with pytest.raises(ValueError):  # dataset needs 2x headroom
+            LsmEngine(YcsbSpec(records=1000), 1024)
+
+
+class TestLsmOnDevice:
+    def test_read_after_write_through_a_real_device(self):
+        device = SimulatedSSD(mqsim_baseline(scale=4))
+        spec = ycsb_spec_for_device("a", device.num_sectors)
+        engine = LsmEngine(spec, device.num_sectors, seed=3)
+        result = run_counter(device, [engine])
+        assert engine.stats.read_errors == 0
+        assert engine.stats.gets > 0
+        assert result.jobs[engine.name].requests > spec.records
+        # trims actually reached the device
+        assert device.ftl.stats.trimmed_sectors > 0

@@ -1,0 +1,75 @@
+"""Property: engine-level read-after-write holds under churn.
+
+Hypothesis drives both storage engines over random YCSB shapes on the
+tiny device — small enough that memtable flushes, leveled compactions,
+page splits/merges, *and* device-side GC all fire — and asserts the
+ground-truth invariant: every get returns the latest version put
+(``stats.read_errors == 0``), no matter how the engine rearranged the
+data underneath or how the FTL moved it on flash.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engines.btree import BTreeConfig, BTreeEngine
+from repro.engines.kv import YcsbSpec
+from repro.engines.lsm import LsmConfig, LsmEngine
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.presets import tiny
+
+#: bounded so hypothesis examples stay sub-second on the tiny preset.
+MAX_RECORDS = 120
+
+ycsb_specs = st.builds(
+    YcsbSpec,
+    mix=st.sampled_from(["a", "b", "c"]),
+    records=st.integers(24, MAX_RECORDS),
+    operations=st.integers(100, 400),
+    key_dist=st.sampled_from(["zipfian", "uniform"]),
+)
+
+
+def run_on_device(engine):
+    device = SimulatedSSD(tiny())
+    for kind, lba, sectors in engine:
+        if kind == "write":
+            device.write_sectors(lba, sectors)
+        elif kind == "read":
+            device.read_sectors(lba, sectors)
+        elif kind == "trim":
+            device.trim_sectors(lba, sectors)
+        else:
+            device.flush()
+    return device
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=ycsb_specs, seed=st.integers(0, 2**20))
+def test_lsm_read_after_write_survives_compaction_and_gc(spec, seed):
+    # small memtable + low L0 limit: compactions are guaranteed, and
+    # the write traffic forces device GC on the tiny preset.
+    config = LsmConfig(memtable_sectors=16, sstable_sectors=32,
+                       wal_sectors=64, l0_limit=2, fanout=2)
+    engine = LsmEngine(spec, 716, config, seed=seed)
+    device = run_on_device(engine)
+    assert engine.stats.read_errors == 0
+    assert engine.lsm_stats.flushes > 0
+    if engine.lsm_stats.flushes > config.l0_limit:
+        assert engine.lsm_stats.compactions > 0
+    assert device.smart.host_sectors_written > 0
+    # the model is fully recoverable even after the run
+    for key, version in engine._model.items():
+        assert engine.get(key) == version
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=ycsb_specs, seed=st.integers(0, 2**20))
+def test_btree_read_after_write_survives_split_merge_churn(spec, seed):
+    config = BTreeConfig(page_sectors=2, leaf_capacity=8, node_capacity=8)
+    engine = BTreeEngine(spec, 716, config, seed=seed)
+    run_on_device(engine)
+    engine.check_invariants()
+    assert engine.stats.read_errors == 0
+    assert engine.btree_stats.splits > 0  # the load phase alone splits
+    for key, version in engine._model.items():
+        assert engine.get(key) == version

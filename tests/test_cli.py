@@ -10,6 +10,7 @@ ALL_SUBCOMMANDS = [
     "presets", "simulate", "trace", "latency", "nand-page", "waf-study",
     "fidelity", "compression", "jtag-study", "probe-features", "faultsweep",
     "policies", "policy-grid", "infer", "transparency", "fleet",
+    "replay", "engine",
 ]
 
 
@@ -170,6 +171,92 @@ class TestCommands:
         assert "gc_started" in out
         assert out_path.exists()
 
+    def _write_trace(self, tmp_path, max_lba=700):
+        from repro.workloads.trace import BlockTrace, TraceRecord
+
+        trace = BlockTrace([TraceRecord("write", (i * 37) % max_lba, 1,
+                                        i * 20.0) for i in range(80)])
+        trace.append(TraceRecord("flush", 0, 0, 80 * 20.0))
+        return str(trace.save(tmp_path / "trace.csv"))
+
+    def test_replay_timed(self, capsys, tmp_path):
+        path = self._write_trace(tmp_path)
+        assert main(["replay", "--preset", "tiny", "--scale", "1",
+                     "--trace", path, "--time-scale", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "trace replay on tiny" in out
+        assert "open loop" in out and "x0.5" in out
+        assert "p99 (us)" in out
+
+    def test_replay_closed_loop(self, capsys, tmp_path):
+        path = self._write_trace(tmp_path)
+        assert main(["replay", "--preset", "tiny", "--scale", "1",
+                     "--trace", path, "--submission", "closed",
+                     "--iodepth", "4"]) == 0
+        assert "closed loop qd=4" in capsys.readouterr().out
+
+    def test_replay_counter_mode(self, capsys, tmp_path):
+        path = self._write_trace(tmp_path)
+        assert main(["replay", "--preset", "tiny", "--scale", "1",
+                     "--trace", path, "--mode", "counter"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 81 requests" in out
+        assert "WAF" in out
+
+    def test_replay_malformed_trace_exits_nonzero(self, capsys, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("op,lba,sectors,at_us\n"
+                        "write,1,1,10.0\nwrite,2,1,5.0\n")
+        assert main(["replay", "--preset", "tiny", "--scale", "1",
+                     "--trace", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "trace line 3" in out and "backwards" in out
+
+    def test_replay_out_of_range_trace_exits_nonzero(self, capsys, tmp_path):
+        # LBA 5000 is valid CSV but beyond tiny's 716 sectors
+        path = self._write_trace(tmp_path, max_lba=5001)
+        assert main(["replay", "--preset", "tiny", "--scale", "1",
+                     "--trace", path]) == 1
+        assert "outside" in capsys.readouterr().out
+
+    def test_replay_missing_file_exits_nonzero(self, capsys, tmp_path):
+        assert main(["replay", "--preset", "tiny", "--scale", "1",
+                     "--trace", str(tmp_path / "nope.csv")]) == 1
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_replay_empty_trace_exits_nonzero(self, capsys, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("op,lba,sectors,at_us\n")
+        assert main(["replay", "--preset", "tiny", "--scale", "1",
+                     "--trace", str(path)]) == 1
+        assert "no records" in capsys.readouterr().out
+
+    def test_engine(self, capsys):
+        assert main(["engine", "--preset", "tiny", "--scale", "1",
+                     "--mixes", "a", "--jobs", "1", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "storage engines on tiny" in out
+        assert "lsm" in out and "btree" in out
+        assert "engine WAF" in out
+        assert "all reads returned the latest written version" in out
+
+    def test_engine_alloc_override(self, capsys):
+        assert main(["engine", "--preset", "tiny", "--scale", "1",
+                     "--engines", "lsm", "--mixes", "c", "--records", "64",
+                     "--ops", "100", "--alloc", "hotcold",
+                     "--jobs", "1", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "alloc hotcold" in out
+        assert "lsm" in out and "btree" not in out
+
+    def test_engine_unknown_axis_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["engine", "--preset", "tiny", "--scale", "1",
+                  "--engines", "fractal", "--jobs", "1", "--no-cache"])
+        with pytest.raises(SystemExit):
+            main(["engine", "--preset", "tiny", "--scale", "1",
+                  "--mixes", "z", "--jobs", "1", "--no-cache"])
+
     def test_faultsweep(self, capsys):
         assert main(["faultsweep", "--preset", "tiny", "--scale", "1",
                      "--ops", "200", "--strides", "13,47",
@@ -271,6 +358,6 @@ class TestCommands:
             "presets", "simulate", "trace", "latency", "nand-page",
             "waf-study", "fidelity", "compression", "jtag-study",
             "probe-features", "faultsweep", "policies", "policy-grid",
-            "infer", "transparency", "fleet",
+            "infer", "transparency", "fleet", "replay", "engine",
         }
         assert covered == set(ALL_SUBCOMMANDS)

@@ -1,0 +1,200 @@
+"""The RequestSource abstraction: every workload as one stream type."""
+
+import numpy as np
+import pytest
+
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.presets import mqsim_baseline, tiny
+from repro.ssd.timed import TimedSSD
+from repro.workloads.engine import run_counter, run_timed
+from repro.workloads.patterns import Region
+from repro.workloads.source import (
+    FS_MODELS,
+    FsSource,
+    JobSource,
+    RecordingBackend,
+    RequestSource,
+    TraceSource,
+    as_source,
+    record_fs_workload,
+    synthetic_source,
+)
+from repro.workloads.spec import JobSpec
+from repro.workloads.trace import BlockTrace, TraceRecord
+
+
+class TestAsSource:
+    def test_spec_wraps_into_job_source(self):
+        job = JobSpec("j", "randwrite", Region(0, 100), io_count=5)
+        source = as_source(job)
+        assert isinstance(source, JobSource)
+        assert source.name == "j"
+        assert source.job is job
+
+    def test_source_passes_through(self):
+        source = synthetic_source("s", "randwrite", 100, io_count=3)
+        assert as_source(source) is source
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_source("randwrite")
+
+    def test_base_class_is_abstract(self):
+        source = RequestSource()
+        with pytest.raises(NotImplementedError):
+            source.next_request()
+        with pytest.raises(NotImplementedError):
+            source.arrival_times(0)
+        assert source.remaining is None
+
+
+class TestJobSource:
+    def test_scheduling_attributes_mirror_the_spec(self):
+        job = JobSpec("j", "randrw", Region(0, 100), io_count=7, iodepth=4,
+                      seed=3)
+        source = JobSource(job)
+        assert source.name == "j"
+        assert source.iodepth == 4
+        assert not source.is_open_loop
+        assert source.remaining == 7
+
+    def test_yields_io_count_requests_then_none(self):
+        source = synthetic_source("s", "randwrite", 100, io_count=4,
+                                  bs_sectors=2)
+        requests = list(source)
+        assert len(requests) == 4
+        assert source.remaining == 0
+        assert source.next_request() is None
+        for kind, lba, sectors in requests:
+            assert kind == "write"
+            assert sectors == 2
+            assert 0 <= lba <= 98
+
+    def test_open_loop_arrivals_match_the_spec(self):
+        job = JobSpec("j", "randwrite", Region(0, 100), io_count=16,
+                      submission="open", rate_iops=10_000.0, seed=5)
+        source = JobSource(job)
+        assert source.is_open_loop
+        arrivals = source.arrival_times(1000)
+        assert arrivals.shape == (16,)
+        assert arrivals.dtype == np.int64
+        assert np.all(np.diff(arrivals) >= 1)
+        np.testing.assert_array_equal(arrivals,
+                                      JobSource(job).arrival_times(1000))
+
+    def test_builder_matches_hand_built_spec(self):
+        built = synthetic_source("t", "randwrite", 200, bs_sectors=4,
+                                 io_count=9, iodepth=2, seed=7)
+        spec = JobSpec("t", "randwrite", Region(0, 200), bs_sectors=4,
+                       io_count=9, iodepth=2, seed=7)
+        assert built.job == spec
+        assert list(built) == list(JobSource(spec))
+
+
+class TestTraceSource:
+    def _trace(self):
+        return BlockTrace([
+            TraceRecord("write", 10, 4, 0.0),
+            TraceRecord("read", 10, 4, 25.0),
+            TraceRecord("flush", 0, 0, 50.0),
+            TraceRecord("trim", 10, 0, 75.0),
+        ])
+
+    def test_yields_records_in_order(self):
+        source = TraceSource(self._trace())
+        assert source.remaining == 4
+        assert list(source) == [
+            ("write", 10, 4), ("read", 10, 4), ("flush", 0, 0),
+            ("trim", 10, 1),  # zero-sector records replay as one sector
+        ]
+        assert source.remaining == 0
+
+    def test_open_loop_by_default_with_recorded_arrivals(self):
+        source = TraceSource(self._trace())
+        assert source.is_open_loop
+        np.testing.assert_array_equal(
+            source.arrival_times(0), [0, 25_000, 50_000, 75_000])
+
+    def test_time_scale_stretches_arrivals(self):
+        source = TraceSource(self._trace(), time_scale=2.0)
+        np.testing.assert_array_equal(
+            source.arrival_times(1000), [1000, 51_000, 101_000, 151_000])
+
+    def test_closed_submission(self):
+        source = TraceSource(self._trace(), submission="closed", iodepth=3)
+        assert not source.is_open_loop
+        assert source.iodepth == 3
+
+    def test_lba_relocation(self):
+        # offset alone shifts; modulo wraps into [offset, offset+modulo)
+        shifted = TraceSource(self._trace(), lba_offset=100)
+        assert shifted.next_request() == ("write", 110, 4)
+        wrapped = TraceSource(self._trace(), lba_offset=100, lba_modulo=8)
+        kind, lba, sectors = wrapped.next_request()
+        assert (kind, sectors) == ("write", 4)
+        assert 100 <= lba and lba + sectors <= 108
+
+    def test_validation(self):
+        trace = self._trace()
+        with pytest.raises(ValueError):
+            TraceSource(trace, time_scale=0.0)
+        with pytest.raises(ValueError):
+            TraceSource(trace, submission="batched")
+        with pytest.raises(ValueError):
+            TraceSource(trace, iodepth=0)
+        with pytest.raises(ValueError):
+            TraceSource(trace, lba_offset=-1)
+        with pytest.raises(ValueError):
+            TraceSource(trace, lba_modulo=0)
+
+    def test_runs_through_both_engine_modes(self):
+        counter = SimulatedSSD(tiny())
+        result = run_counter(counter, [TraceSource(self._trace())])
+        assert result.jobs["trace"].requests == 4
+        timed = TimedSSD(tiny())
+        result = run_timed(timed, [TraceSource(self._trace())])
+        assert result.jobs["trace"].requests == 4
+        assert result.jobs["trace"].failed_requests == 0
+
+
+class TestRecordingBackend:
+    def test_captures_the_block_stream(self):
+        backend = RecordingBackend(1000, rate_iops=1_000_000.0)
+        backend.write(5, 2)
+        backend.read(5, 2)
+        backend.trim(5, 2)
+        backend.flush()
+        kinds = [r.kind for r in backend.trace]
+        assert kinds == ["write", "read", "trim", "flush"]
+        at_us = [r.at_us for r in backend.trace]
+        assert at_us == sorted(at_us)
+        assert backend.now_ns == 4000  # four ops at 1 us per op
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecordingBackend(0)
+        with pytest.raises(ValueError):
+            RecordingBackend(100, rate_iops=0.0)
+
+
+class TestFsSource:
+    def test_recorded_workload_is_deterministic(self):
+        a = record_fs_workload("ext4", 4096, operations=40, seed=9)
+        b = record_fs_workload("ext4", 4096, operations=40, seed=9)
+        assert len(a) > 0
+        assert a.records == b.records
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            record_fs_workload("zfs", 4096)
+
+    @pytest.mark.parametrize("model", FS_MODELS)
+    def test_source_replays_through_the_engine(self, model):
+        device = SimulatedSSD(mqsim_baseline(scale=4))
+        source = FsSource(model, device.num_sectors, operations=30, seed=2,
+                          working_files=10)
+        assert source.name == f"fs-{model}"
+        assert not source.is_open_loop  # synchronous backend semantics
+        result = run_counter(device, [source])
+        assert result.jobs[source.name].requests == len(source.trace) > 0
+        assert source.remaining == 0

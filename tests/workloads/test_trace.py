@@ -8,6 +8,7 @@ from repro.ssd.presets import tiny
 from repro.ssd.timed import TimedSSD
 from repro.workloads.trace import (
     BlockTrace,
+    TraceFormatError,
     TraceRecord,
     TraceRecorder,
     replay_counter,
@@ -110,3 +111,69 @@ class TestReplay:
     def test_time_scale_validated(self):
         with pytest.raises(ValueError):
             replay_timed(BlockTrace(), TimedSSD(tiny()), time_scale=0)
+
+
+class TestLoadValidation:
+    """Malformed traces are rejected at load time, naming the line."""
+
+    HEADER = "op,lba,sectors,at_us\n"
+
+    def _reject(self, text, num_sectors=None):
+        with pytest.raises(TraceFormatError) as excinfo:
+            BlockTrace.loads(text, num_sectors=num_sectors)
+        return excinfo.value
+
+    def test_bad_header_names_line_one(self):
+        error = self._reject("kind,addr\nwrite,1\n")
+        assert error.line == 1
+        assert "trace line 1" in str(error)
+
+    def test_wrong_column_count(self):
+        error = self._reject(self.HEADER + "write,1,1,0.0\nwrite,2,1\n")
+        assert error.line == 3
+        assert "4 columns" in str(error)
+
+    def test_unparseable_fields(self):
+        error = self._reject(self.HEADER + "write,one,1,0.0\n")
+        assert error.line == 2
+        assert "unparseable" in str(error)
+
+    def test_unknown_op_kind(self):
+        error = self._reject(self.HEADER + "scrub,1,1,0.0\n")
+        assert error.line == 2
+
+    def test_backwards_timestamps(self):
+        error = self._reject(
+            self.HEADER + "write,1,1,10.0\nwrite,2,1,20.0\nwrite,3,1,5.0\n")
+        assert error.line == 4
+        assert "backwards" in str(error)
+
+    def test_lba_out_of_device_range(self):
+        # row 3's request [90, 110) spills past a 100-sector device
+        error = self._reject(
+            self.HEADER + "write,1,1,0.0\nwrite,90,20,1.0\n", num_sectors=100)
+        assert error.line == 3
+        assert "outside" in str(error)
+
+    def test_zero_sector_requests_occupy_one_lba(self):
+        error = self._reject(self.HEADER + "read,100,0,0.0\n", num_sectors=100)
+        assert error.line == 2
+
+    def test_flush_rows_exempt_from_lba_bounds(self):
+        trace = BlockTrace.loads(self.HEADER + "flush,0,0,0.0\n",
+                                 num_sectors=1)
+        assert len(trace) == 1
+
+    def test_in_range_trace_loads_with_bounds(self):
+        text = self.HEADER + "write,0,4,0.0\nread,96,4,2.0\n"
+        assert len(BlockTrace.loads(text, num_sectors=100)) == 2
+
+    def test_error_is_a_value_error(self):
+        # legacy callers catch ValueError; the subclass keeps them working
+        assert issubclass(TraceFormatError, ValueError)
+
+    def test_load_applies_bounds_from_file(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(self.HEADER + "write,500,4,0.0\n")
+        with pytest.raises(TraceFormatError):
+            BlockTrace.load(path, num_sectors=100)
